@@ -1,0 +1,259 @@
+// Package aergia's root benchmark harness regenerates every table and
+// figure of the paper's evaluation (DESIGN.md §4 maps each benchmark to its
+// experiment). Each benchmark iteration runs the complete experiment in
+// Quick mode and reports the figure's headline quantities as custom
+// metrics, so `go test -bench=. -benchmem` reproduces the whole evaluation.
+package aergia_test
+
+import (
+	"io"
+	"testing"
+
+	"aergia/internal/experiments"
+)
+
+var benchOpt = experiments.Options{Quick: true, Seed: 1}
+
+// BenchmarkFig1aHeterogeneityImpact regenerates Figure 1(a): round-duration
+// multiplier as CPU variance grows.
+func BenchmarkFig1aHeterogeneityImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig1a(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 0.0
+		for _, p := range points {
+			if p.Multiplier > worst {
+				worst = p.Multiplier
+			}
+		}
+		b.ReportMetric(worst, "max-multiplier")
+	}
+}
+
+// BenchmarkFig1bDeadlineTime regenerates Figure 1(b): total training time
+// under per-round deadlines.
+func BenchmarkFig1bDeadlineTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.DeadlineSweep(benchOpt, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		unbounded := points[0].TotalTime.Seconds()
+		tightest := points[len(points)-1].TotalTime.Seconds()
+		b.ReportMetric(unbounded, "unbounded-s")
+		b.ReportMetric(tightest, "tightest-deadline-s")
+	}
+}
+
+// BenchmarkFig1cDeadlineAccuracy regenerates Figure 1(c): accuracy under
+// deadlines on non-IID data.
+func BenchmarkFig1cDeadlineAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.DeadlineSweep(benchOpt, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(points[0].Accuracy, "acc-unbounded")
+		b.ReportMetric(points[len(points)-1].Accuracy, "acc-tightest")
+	}
+}
+
+// BenchmarkFig4PhaseProfile regenerates Figure 4: per-phase share of the
+// training cycle for the paper's five dataset/network combinations.
+func BenchmarkFig4PhaseProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		shares, err := experiments.Fig4(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		minBF, maxBF := 1.0, 0.0
+		for _, s := range shares {
+			if s.BF < minBF {
+				minBF = s.BF
+			}
+			if s.BF > maxBF {
+				maxBF = s.BF
+			}
+		}
+		b.ReportMetric(100*minBF, "bf-min-%")
+		b.ReportMetric(100*maxBF, "bf-max-%")
+	}
+}
+
+// gridMetrics reports the per-strategy aggregate of a Figure 6/7 grid.
+func gridMetrics(b *testing.B, cells []experiments.GridCell) {
+	b.Helper()
+	var fedavgTime, aergiaTime, aergiaAcc float64
+	n := 0.0
+	for _, c := range cells {
+		switch c.Strategy {
+		case "fedavg":
+			fedavgTime += c.TotalTime.Seconds()
+		case "aergia":
+			aergiaTime += c.TotalTime.Seconds()
+			aergiaAcc += c.Accuracy
+			n++
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(aergiaAcc/n, "aergia-acc")
+	}
+	if fedavgTime > 0 {
+		b.ReportMetric(100*(1-aergiaTime/fedavgTime), "aergia-vs-fedavg-time-saving-%")
+	}
+}
+
+// BenchmarkFig6IID regenerates Figure 6: the five-strategy grid on IID data
+// (accuracy subplots a–c, training time subplots d–f).
+func BenchmarkFig6IID(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.MainGrid(benchOpt, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gridMetrics(b, cells)
+	}
+}
+
+// BenchmarkFig7NonIID regenerates Figure 7: the same grid on non-IID(3)
+// data.
+func BenchmarkFig7NonIID(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.MainGrid(benchOpt, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gridMetrics(b, cells)
+	}
+}
+
+// BenchmarkFig8RoundDensity regenerates Figure 8: the density of round
+// durations per strategy on FMNIST.
+func BenchmarkFig8RoundDensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig8(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var aergiaPeak, fedavgPeak float64
+		for _, s := range series {
+			switch s.Strategy {
+			case "aergia":
+				aergiaPeak = s.Peak
+			case "fedavg":
+				fedavgPeak = s.Peak
+			}
+		}
+		b.ReportMetric(aergiaPeak, "aergia-peak-s")
+		b.ReportMetric(fedavgPeak, "fedavg-peak-s")
+	}
+}
+
+// BenchmarkFig9SimilarityFactor regenerates Figures 9(a) and 9(b): the
+// similarity factor's effect on accuracy and round time.
+func BenchmarkFig9SimilarityFactor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig9(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := points[0], points[len(points)-1] // f=1 … f=0
+		b.ReportMetric(first.Accuracy, "acc-f1")
+		b.ReportMetric(last.Accuracy, "acc-f0")
+		b.ReportMetric(first.MeanRoundTime.Seconds(), "round-f1-s")
+		b.ReportMetric(last.MeanRoundTime.Seconds(), "round-f0-s")
+	}
+}
+
+// BenchmarkFig10NonIIDDegree regenerates Figure 10: accuracy over time for
+// varying degrees of non-IIDness.
+func BenchmarkFig10NonIIDDegree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig10(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(series[0].Final, "acc-iid")
+		b.ReportMetric(series[len(series)-1].Final, "acc-most-noniid")
+	}
+}
+
+// BenchmarkTable1FeatureMatrix regenerates Table 1 (qualitative; measures
+// only the rendering cost).
+func BenchmarkTable1FeatureMatrix(b *testing.B) {
+	runner := experiments.Registry["table1"]
+	for i := 0; i < b.N; i++ {
+		if err := runner(benchOpt, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfilerOverhead regenerates the §5.4 profiler-overhead claim
+// (paper: 0.22% ± 0.09).
+func BenchmarkProfilerOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.ProfilerOverhead(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64
+		for _, r := range results {
+			if r.Overhead > worst {
+				worst = r.Overhead
+			}
+		}
+		b.ReportMetric(100*worst, "overhead-%")
+	}
+}
+
+// BenchmarkAblationFreeze measures the per-architecture saving from
+// freezing the feature layers (the mechanism behind Aergia's gains).
+func BenchmarkAblationFreeze(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		gains, err := experiments.AblationFreeze(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, g := range gains {
+			sum += g.Saving
+		}
+		b.ReportMetric(100*sum/float64(len(gains)), "mean-saving-%")
+	}
+}
+
+// BenchmarkAsyncStudy reproduces the §2.3 trade-off: asynchronous
+// aggregation vs synchronous FedAvg vs Aergia under equal update budgets.
+func BenchmarkAsyncStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AsyncStudy(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Name {
+			case "fedasync":
+				b.ReportMetric(r.Accuracy, "async-acc")
+				b.ReportMetric(r.TotalTime.Seconds(), "async-time-s")
+			case "aergia":
+				b.ReportMetric(r.Accuracy, "aergia-acc")
+				b.ReportMetric(r.TotalTime.Seconds(), "aergia-time-s")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationSched measures Algorithm 1's makespan reduction over
+// random heterogeneous clusters.
+func BenchmarkAblationSched(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		gain, err := experiments.AblationSched(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*gain.MeanReduction, "mean-reduction-%")
+	}
+}

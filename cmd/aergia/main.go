@@ -1,0 +1,69 @@
+// Command aergia regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	aergia -experiment fig6          # full-scale run of one experiment
+//	aergia -experiment all -quick    # quick pass over every experiment
+//	aergia -list                     # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"aergia/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "aergia:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("aergia", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		experiment = fs.String("experiment", "", "experiment ID (see -list) or 'all'")
+		quick      = fs.Bool("quick", false, "use the reduced benchmark-scale configuration")
+		seed       = fs.Uint64("seed", 1, "experiment seed")
+		list       = fs.Bool("list", false, "list available experiments")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprintln(out, "available experiments:")
+		for _, name := range experiments.Names() {
+			fmt.Fprintf(out, "  %s\n", name)
+		}
+		return nil
+	}
+	if *experiment == "" {
+		return fmt.Errorf("missing -experiment (or -list); available: %s",
+			strings.Join(experiments.Names(), ", "))
+	}
+	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = experiments.Names()
+	}
+	for i, name := range names {
+		runner, ok := experiments.Registry[name]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q; available: %s",
+				name, strings.Join(experiments.Names(), ", "))
+		}
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		if err := runner(opt, out); err != nil {
+			return fmt.Errorf("experiment %s: %w", name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig1a", "fig6", "fig9", "table1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMissingExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("expected error without -experiment")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-experiment", "fig99"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "table1", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "aergia") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunQuickExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "fig4", "-quick", "-seed", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "bf%") {
+		t.Fatalf("fig4 output:\n%s", buf.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &buf); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}

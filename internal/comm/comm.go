@@ -1,0 +1,99 @@
+// Package comm defines the transport-agnostic messaging contract shared by
+// the federated-learning actors. The paper's testbed is a fully connected
+// peer-to-peer RPC network with asynchronous but reliable delivery (§3.1);
+// this package captures that contract so the same federator/client state
+// machines run unchanged over the virtual-time simulated network
+// (internal/sim) and the real TCP transport (internal/rpc).
+package comm
+
+import "time"
+
+// NodeID identifies a participant. The federator is FederatorID; clients
+// use non-negative IDs.
+type NodeID int
+
+// FederatorID is the well-known identity of the central federator.
+const FederatorID NodeID = -1
+
+// Kind tags the protocol message types exchanged during a round.
+type Kind int
+
+// Protocol message kinds.
+const (
+	// KindTrain is sent by the federator to start local training
+	// (carries the global model).
+	KindTrain Kind = iota + 1
+	// KindProfile is a client's online profiling report.
+	KindProfile
+	// KindSchedule carries the federator's signed freeze/offload decision.
+	KindSchedule
+	// KindOffload transfers a frozen model from a weak to a strong client.
+	KindOffload
+	// KindUpdate is a client's trained model update for aggregation.
+	KindUpdate
+	// KindOffloadResult returns the feature section a strong client
+	// trained on behalf of a weak client.
+	KindOffloadResult
+	// KindSimilarity is a client's sealed class-distribution submission
+	// for the enclave, sent before training starts.
+	KindSimilarity
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindTrain:
+		return "train"
+	case KindProfile:
+		return "profile"
+	case KindSchedule:
+		return "schedule"
+	case KindOffload:
+		return "offload"
+	case KindUpdate:
+		return "update"
+	case KindOffloadResult:
+		return "offload-result"
+	case KindSimilarity:
+		return "similarity"
+	default:
+		return "unknown"
+	}
+}
+
+// Message is a protocol envelope. Size is the payload's on-the-wire size in
+// bytes and drives the bandwidth component of transfer delay.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Round   int
+	Kind    Kind
+	Size    int
+	Payload any
+}
+
+// Env is the execution environment handed to an actor: a clock, a way to
+// send messages, and a way to consume (simulated or real) compute time.
+type Env interface {
+	// Now returns the current time since the experiment epoch.
+	Now() time.Duration
+	// Send delivers a message asynchronously and reliably.
+	Send(msg Message)
+	// After schedules fn on this actor after d of compute/wait time.
+	// It returns a handle that can cancel the callback if it has not fired.
+	After(d time.Duration, fn func()) Timer
+}
+
+// Timer is a cancellable pending callback.
+type Timer interface {
+	// Cancel prevents the callback from firing; it is a no-op after the
+	// callback ran.
+	Cancel()
+}
+
+// Handler is implemented by actors (federator, clients).
+type Handler interface {
+	// OnMessage processes one delivered message. Implementations must not
+	// block; long work is represented by Env.After.
+	OnMessage(env Env, msg Message)
+}

@@ -1,0 +1,30 @@
+package comm
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{
+		KindTrain, KindProfile, KindSchedule, KindOffload,
+		KindUpdate, KindOffloadResult, KindSimilarity,
+	}
+	seen := make(map[string]bool, len(kinds))
+	for _, k := range kinds {
+		s := k.String()
+		if s == "unknown" {
+			t.Fatalf("kind %d renders unknown", k)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate kind string %q", s)
+		}
+		seen[s] = true
+	}
+	if Kind(99).String() != "unknown" {
+		t.Fatal("unregistered kind should render unknown")
+	}
+}
+
+func TestFederatorIDIsReserved(t *testing.T) {
+	if FederatorID >= 0 {
+		t.Fatal("FederatorID must not collide with client IDs (non-negative)")
+	}
+}

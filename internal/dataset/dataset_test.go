@@ -1,0 +1,264 @@
+package dataset
+
+import (
+	"errors"
+	"testing"
+
+	"aergia/internal/tensor"
+)
+
+func TestGenerateShapesAndBalance(t *testing.T) {
+	tests := []struct {
+		kind    Kind
+		classes int
+		shape   []int
+	}{
+		{MNIST, 10, []int{1, 28, 28}},
+		{FMNIST, 10, []int{1, 28, 28}},
+		{Cifar10, 10, []int{3, 32, 32}},
+		{Cifar100, 100, []int{3, 32, 32}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.kind.String(), func(t *testing.T) {
+			n := tt.classes * 10
+			ds, err := Generate(Config{Kind: tt.kind, N: n, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ds.Len() != n {
+				t.Fatalf("len = %d, want %d", ds.Len(), n)
+			}
+			for i, d := range ds.Shape {
+				if d != tt.shape[i] {
+					t.Fatalf("shape = %v, want %v", ds.Shape, tt.shape)
+				}
+			}
+			counts := ds.ClassDistribution()
+			for c, cnt := range counts {
+				if cnt != 10 {
+					t.Fatalf("class %d count = %d, want 10 (balanced)", c, cnt)
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Kind: MNIST, N: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Kind: MNIST, N: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Samples {
+		if a.Samples[i].Y != b.Samples[i].Y {
+			t.Fatal("labels differ between same-seed generations")
+		}
+		if !tensor.Equal(a.Samples[i].X, b.Samples[i].X, 0) {
+			t.Fatal("images differ between same-seed generations")
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	a, _ := Generate(Config{Kind: MNIST, N: 10, Seed: 1})
+	b, _ := Generate(Config{Kind: MNIST, N: 10, Seed: 2})
+	same := true
+	for i := range a.Samples {
+		if !tensor.Equal(a.Samples[i].X, b.Samples[i].X, 0) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{Kind: MNIST, N: 0, Seed: 1}); err == nil {
+		t.Fatal("expected error for N=0")
+	}
+	if _, err := Generate(Config{Kind: Kind(0), N: 10, Seed: 1}); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+}
+
+func TestPartitionIIDDisjointAndBalanced(t *testing.T) {
+	ds, _ := Generate(Config{Kind: MNIST, N: 400, Seed: 3})
+	rng := tensor.NewRNG(9)
+	parts, err := PartitionIID(ds, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 8 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	seen := make(map[*tensor.Tensor]bool)
+	for _, p := range parts {
+		if p.Len() != 50 {
+			t.Fatalf("shard size = %d, want 50", p.Len())
+		}
+		for _, s := range p.Samples {
+			if seen[s.X] {
+				t.Fatal("shards are not disjoint")
+			}
+			seen[s.X] = true
+		}
+		// IID shards should contain most classes.
+		counts := p.ClassDistribution()
+		present := 0
+		for _, c := range counts {
+			if c > 0 {
+				present++
+			}
+		}
+		if present < 7 {
+			t.Fatalf("IID shard has only %d classes", present)
+		}
+	}
+}
+
+func TestPartitionNonIIDClassLimit(t *testing.T) {
+	ds, _ := Generate(Config{Kind: MNIST, N: 1000, Seed: 4})
+	rng := tensor.NewRNG(10)
+	for _, cpc := range []int{2, 3, 5, 10} {
+		parts, err := PartitionNonIID(ds, 6, cpc, rng)
+		if err != nil {
+			t.Fatalf("cpc=%d: %v", cpc, err)
+		}
+		for ci, p := range parts {
+			counts := p.ClassDistribution()
+			present := 0
+			for _, c := range counts {
+				if c > 0 {
+					present++
+				}
+			}
+			if present > cpc {
+				t.Fatalf("cpc=%d client %d holds %d classes", cpc, ci, present)
+			}
+			if p.Len() == 0 {
+				t.Fatalf("cpc=%d client %d is empty", cpc, ci)
+			}
+		}
+	}
+}
+
+func TestPartitionNonIIDDisjoint(t *testing.T) {
+	ds, _ := Generate(Config{Kind: MNIST, N: 600, Seed: 5})
+	rng := tensor.NewRNG(11)
+	parts, err := PartitionNonIID(ds, 5, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[*tensor.Tensor]bool)
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+		for _, s := range p.Samples {
+			if seen[s.X] {
+				t.Fatal("non-IID shards are not disjoint")
+			}
+			seen[s.X] = true
+		}
+	}
+	if total > ds.Len() {
+		t.Fatalf("shards cover %d of %d samples", total, ds.Len())
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	ds, _ := Generate(Config{Kind: MNIST, N: 20, Seed: 6})
+	rng := tensor.NewRNG(12)
+	if _, err := PartitionIID(ds, 0, rng); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if _, err := PartitionIID(ds, 100, rng); err == nil {
+		t.Fatal("expected error for k > samples")
+	}
+	if _, err := PartitionNonIID(ds, 4, 0, rng); err == nil {
+		t.Fatal("expected error for classesPerClient=0")
+	}
+	if _, err := PartitionNonIID(ds, 4, 11, rng); err == nil {
+		t.Fatal("expected error for classesPerClient > classes")
+	}
+}
+
+func TestBatches(t *testing.T) {
+	ds, _ := Generate(Config{Kind: MNIST, N: 25, Seed: 8})
+	xss, yss, err := ds.Batches(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xss) != 3 || len(yss) != 3 {
+		t.Fatalf("batches = %d, want 3", len(xss))
+	}
+	if len(xss[2]) != 5 {
+		t.Fatalf("last batch size = %d, want 5", len(xss[2]))
+	}
+	if _, _, err := ds.Batches(0); err == nil {
+		t.Fatal("expected error for batch size 0")
+	}
+	empty := &Dataset{Kind: MNIST, Classes: 10, Shape: ds.Shape}
+	if _, _, err := empty.Batches(4); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	ds, _ := Generate(Config{Kind: MNIST, N: 10, Seed: 9})
+	sub := ds.Subset([]int{0, 2, 4})
+	if sub.Len() != 3 {
+		t.Fatalf("subset len = %d", sub.Len())
+	}
+	if sub.Samples[1].X != ds.Samples[2].X {
+		t.Fatal("subset does not reference original samples")
+	}
+}
+
+// TestClassesAreLearnable verifies the synthetic task is actually solvable:
+// a nearest-prototype classifier on raw pixels should beat chance by a wide
+// margin, which is the property the CNN experiments rely on.
+func TestClassesAreLearnable(t *testing.T) {
+	train, _ := Generate(Config{Kind: MNIST, N: 200, Seed: 10})
+	test, _ := Generate(Config{Kind: MNIST, N: 100, Seed: 10})
+	// Build per-class mean images from train.
+	means := make([]*tensor.Tensor, 10)
+	counts := make([]int, 10)
+	for _, s := range train.Samples {
+		if means[s.Y] == nil {
+			means[s.Y] = tensor.MustNew(s.X.Shape()...)
+		}
+		if err := means[s.Y].AddInPlace(s.X); err != nil {
+			t.Fatal(err)
+		}
+		counts[s.Y]++
+	}
+	for c := range means {
+		means[c].ScaleInPlace(1 / float64(counts[c]))
+	}
+	correct := 0
+	for _, s := range test.Samples {
+		best, bestDist := -1, 0.0
+		for c, m := range means {
+			diff, err := tensor.Sub(s.X, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := diff.Norm2()
+			if best == -1 || d < bestDist {
+				best, bestDist = c, d
+			}
+		}
+		if best == s.Y {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(test.Len())
+	if acc < 0.5 {
+		t.Fatalf("nearest-prototype accuracy = %v, want >= 0.5 (chance is 0.1)", acc)
+	}
+}

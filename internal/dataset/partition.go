@@ -1,0 +1,194 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"aergia/internal/tensor"
+)
+
+// PartitionIID splits the dataset into k disjoint, equally sized,
+// class-balanced shards.
+func PartitionIID(d *Dataset, k int, rng *tensor.RNG) ([]*Dataset, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("dataset: %d partitions", k)
+	}
+	if d.Len() < k {
+		return nil, fmt.Errorf("dataset: %d samples for %d partitions", d.Len(), k)
+	}
+	perm := rng.Perm(d.Len())
+	parts := make([]*Dataset, k)
+	per := d.Len() / k
+	for i := 0; i < k; i++ {
+		parts[i] = d.Subset(perm[i*per : (i+1)*per])
+	}
+	return parts, nil
+}
+
+// PartitionDirichlet splits the dataset into k disjoint shards whose class
+// proportions follow a Dirichlet(alpha) distribution per class — the other
+// standard non-IID benchmark besides the fixed classes-per-client scheme.
+// Small alpha yields highly skewed shards; large alpha approaches IID.
+func PartitionDirichlet(d *Dataset, k int, alpha float64, rng *tensor.RNG) ([]*Dataset, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("dataset: %d partitions", k)
+	}
+	if alpha <= 0 {
+		return nil, fmt.Errorf("dataset: dirichlet alpha %v", alpha)
+	}
+	byClass := make([][]int, d.Classes)
+	for i, s := range d.Samples {
+		byClass[s.Y] = append(byClass[s.Y], i)
+	}
+	shardIdx := make([][]int, k)
+	for _, samples := range byClass {
+		if len(samples) == 0 {
+			continue
+		}
+		props := dirichlet(k, alpha, rng)
+		perm := rng.Perm(len(samples))
+		// Convert proportions into cumulative boundaries over the class.
+		cum := 0.0
+		start := 0
+		for client := 0; client < k; client++ {
+			cum += props[client]
+			end := int(cum * float64(len(samples)))
+			if client == k-1 {
+				end = len(samples)
+			}
+			for _, p := range perm[start:end] {
+				shardIdx[client] = append(shardIdx[client], samples[p])
+			}
+			start = end
+		}
+	}
+	parts := make([]*Dataset, k)
+	for i := range parts {
+		if len(shardIdx[i]) == 0 {
+			return nil, fmt.Errorf("dataset: dirichlet client %d received no samples; increase N or alpha", i)
+		}
+		parts[i] = d.Subset(shardIdx[i])
+	}
+	return parts, nil
+}
+
+// dirichlet samples a k-dimensional Dirichlet(alpha) vector via gamma
+// variates (Marsaglia–Tsang for alpha adjusted below 1 by boosting).
+func dirichlet(k int, alpha float64, rng *tensor.RNG) []float64 {
+	out := make([]float64, k)
+	var sum float64
+	for i := range out {
+		out[i] = gammaVariate(alpha, rng)
+		sum += out[i]
+	}
+	if sum == 0 {
+		for i := range out {
+			out[i] = 1 / float64(k)
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// gammaVariate draws Gamma(shape, 1) using Marsaglia–Tsang, boosting
+// shape < 1 via the standard power transform.
+func gammaVariate(shape float64, rng *tensor.RNG) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaVariate(shape+1, rng) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / (3 * math.Sqrt(d))
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u == 0 {
+			continue
+		}
+		if math.Log(u) < 0.5*x*x+d-d*v+d*math.Log(v) {
+			return d * v
+		}
+	}
+}
+
+// PartitionNonIID splits the dataset into k disjoint shards where each
+// client holds samples from only `classesPerClient` classes, reproducing
+// the paper's non-IID(c) setup (§5.1: "clients sample 3 classes out of the
+// 10 available", §5.4: non-IID(2/5/10)). Local datasets are disjoint.
+func PartitionNonIID(d *Dataset, k, classesPerClient int, rng *tensor.RNG) ([]*Dataset, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("dataset: %d partitions", k)
+	}
+	if classesPerClient <= 0 || classesPerClient > d.Classes {
+		return nil, fmt.Errorf("dataset: %d classes per client of %d", classesPerClient, d.Classes)
+	}
+	// Index samples by class.
+	byClass := make([][]int, d.Classes)
+	for i, s := range d.Samples {
+		byClass[s.Y] = append(byClass[s.Y], i)
+	}
+	// Assign each client its class set. We round-robin over a shuffled class
+	// multiset so that every class is owned by roughly the same number of
+	// clients (keeping all classes represented globally).
+	ownership := make([][]int, d.Classes) // class -> owning clients
+	slots := k * classesPerClient
+	classSeq := make([]int, 0, slots)
+	for len(classSeq) < slots {
+		perm := rng.Perm(d.Classes)
+		classSeq = append(classSeq, perm...)
+	}
+	classSeq = classSeq[:slots]
+	clientClasses := make([]map[int]bool, k)
+	for c := range clientClasses {
+		clientClasses[c] = make(map[int]bool, classesPerClient)
+	}
+	cursor := 0
+	for client := 0; client < k; client++ {
+		for len(clientClasses[client]) < classesPerClient {
+			class := classSeq[cursor%len(classSeq)]
+			cursor++
+			if clientClasses[client][class] {
+				// Duplicate for this client; draw another class.
+				class = rng.Intn(d.Classes)
+				if clientClasses[client][class] {
+					continue
+				}
+			}
+			clientClasses[client][class] = true
+			ownership[class] = append(ownership[class], client)
+		}
+	}
+	// Split every class's samples evenly among its owners (disjoint shards).
+	shardIdx := make([][]int, k)
+	for class, owners := range ownership {
+		if len(owners) == 0 {
+			continue
+		}
+		samples := byClass[class]
+		// Shuffle within the class for unbiased assignment.
+		perm := rng.Perm(len(samples))
+		for i, p := range perm {
+			owner := owners[i%len(owners)]
+			shardIdx[owner] = append(shardIdx[owner], samples[p])
+		}
+	}
+	parts := make([]*Dataset, k)
+	for i := range parts {
+		if len(shardIdx[i]) == 0 {
+			return nil, fmt.Errorf("dataset: client %d received no samples; increase N", i)
+		}
+		parts[i] = d.Subset(shardIdx[i])
+	}
+	return parts, nil
+}

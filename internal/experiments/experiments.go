@@ -1,0 +1,608 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index). Each runner
+// returns structured results and can print the same rows/series the paper
+// reports. Options.Quick shrinks configurations so the full suite runs in
+// benchmark-friendly time; the shapes of the results are preserved.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"aergia/internal/cluster"
+	"aergia/internal/dataset"
+	"aergia/internal/fl"
+	"aergia/internal/metrics"
+	"aergia/internal/nn"
+	"aergia/internal/sim"
+	"aergia/internal/tensor"
+)
+
+// Options tunes the experiment scale.
+type Options struct {
+	// Quick shrinks cluster size, rounds, and dataset so the whole suite
+	// runs in benchmark time.
+	Quick bool
+	// Seed drives all randomness; 0 selects the default (1).
+	Seed uint64
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// scale bundles the per-mode experiment sizes.
+type scale struct {
+	clients      int
+	rounds       int
+	localEpochs  int
+	batchSize    int
+	trainPerCli  int
+	testSamples  int
+	evalEvery    int
+	noiseStd     float64
+	speedJitter  float64
+	participants int
+}
+
+func (o Options) scale() scale {
+	if o.Quick {
+		return scale{
+			clients:     10,
+			rounds:      5,
+			localEpochs: 2,
+			batchSize:   8,
+			trainPerCli: 40,
+			testSamples: 100,
+			evalEvery:   2,
+			noiseStd:    1.4,
+			speedJitter: 0.15,
+		}
+	}
+	return scale{
+		clients:     24,
+		rounds:      30,
+		localEpochs: 2,
+		batchSize:   8,
+		trainPerCli: 40,
+		testSamples: 200,
+		evalEvery:   3,
+		noiseStd:    1.6,
+		speedJitter: 0.15,
+	}
+}
+
+// archFor maps the dataset to the experiment-scale architecture.
+func archFor(kind dataset.Kind) nn.Arch {
+	switch kind {
+	case dataset.MNIST:
+		return nn.ArchMNISTSmall
+	case dataset.FMNIST:
+		return nn.ArchFMNISTSmall
+	default:
+		return nn.ArchCifar10Small
+	}
+}
+
+// baseConfig builds the shared fl.Config for a dataset and strategy.
+func (o Options) baseConfig(kind dataset.Kind, strat fl.Strategy) fl.Config {
+	s := o.scale()
+	return fl.Config{
+		Strategy:     strat,
+		Arch:         archFor(kind),
+		Dataset:      kind,
+		SmallImages:  true,
+		Clients:      s.clients,
+		Rounds:       s.rounds,
+		LocalEpochs:  s.localEpochs,
+		BatchSize:    s.batchSize,
+		TrainSamples: s.trainPerCli * s.clients,
+		TestSamples:  s.testSamples,
+		NoiseStd:     s.noiseStd,
+		SpeedJitter:  s.speedJitter,
+		EvalEvery:    s.evalEvery,
+		// Edge-grade links: 10ms latency, ~1 MB/s; model transfers (global
+		// distribution, offloads, updates) pay their wire cost.
+		Link: sim.UniformLink(10*time.Millisecond, 1e6),
+		Seed: o.seed(),
+	}
+}
+
+// strategies returns the five algorithms of the main evaluation grid.
+func strategies(participants int) []fl.Strategy {
+	return []fl.Strategy{
+		fl.NewFedAvg(participants),
+		fl.NewFedProx(participants, 0.1),
+		fl.NewFedNova(participants),
+		fl.NewTiFL(participants, 3),
+		fl.NewAergia(participants, 1),
+	}
+}
+
+// Runner executes one experiment and writes its report.
+type Runner func(opt Options, w io.Writer) error
+
+// Registry maps experiment IDs (paper figure/table numbers) to runners.
+var Registry = map[string]Runner{
+	"fig1a":           runFig1a,
+	"fig1b":           runFig1b,
+	"fig1c":           runFig1c,
+	"fig4":            runFig4,
+	"fig6":            runFig6,
+	"fig7":            runFig7,
+	"fig8":            runFig8,
+	"fig9":            runFig9,
+	"fig10":           runFig10,
+	"table1":          runTable1,
+	"profiler":        runProfiler,
+	"ablation-freeze": runAblationFreeze,
+	"ablation-sched":  runAblationSched,
+	"async":           runAsyncStudy,
+}
+
+// Names returns the registered experiment IDs in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(Registry))
+	for name := range Registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1(a): impact of CPU heterogeneity on round duration.
+
+// Fig1aPoint is one (clients, variance) cell of Figure 1(a).
+type Fig1aPoint struct {
+	Clients    int
+	Variance   float64
+	Multiplier float64 // round duration relative to the zero-variance case
+}
+
+// Fig1a sweeps CPU variance for several cluster sizes and reports the
+// round-duration multiplier relative to the homogeneous cluster.
+func Fig1a(opt Options) ([]Fig1aPoint, error) {
+	clientCounts := []int{3, 5, 7}
+	variances := []float64{0, 0.01, 0.04, 0.09, 0.16, 0.25}
+	if opt.Quick {
+		clientCounts = []int{3, 5}
+		variances = []float64{0, 0.04, 0.16}
+	}
+	var out []Fig1aPoint
+	for _, n := range clientCounts {
+		var baseline time.Duration
+		for _, v := range variances {
+			rng := tensor.NewRNG(opt.seed()*1000 + uint64(n))
+			speeds := cluster.SpeedsWithVariance(n, 0.5, v, rng)
+			cfg := opt.baseConfig(dataset.MNIST, fl.NewFedAvg(0))
+			cfg.Clients = n
+			cfg.Rounds = 2
+			cfg.TrainSamples = 40 * n
+			cfg.Speeds = speeds
+			cfg.SpeedJitter = 0
+			cfg.EvalEvery = 100 // timing-only experiment
+			res, err := fl.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig1a n=%d v=%v: %w", n, v, err)
+			}
+			mean := res.MeanRoundDuration()
+			if v == 0 {
+				baseline = mean
+			}
+			mult := 1.0
+			if baseline > 0 {
+				mult = float64(mean) / float64(baseline)
+			}
+			out = append(out, Fig1aPoint{Clients: n, Variance: v, Multiplier: mult})
+		}
+	}
+	return out, nil
+}
+
+func runFig1a(opt Options, w io.Writer) error {
+	points, err := Fig1a(opt)
+	if err != nil {
+		return err
+	}
+	tbl := metrics.NewTable("clients", "cpu-variance", "round-duration-multiplier")
+	for _, p := range points {
+		tbl.AddRow(p.Clients, p.Variance, p.Multiplier)
+	}
+	fmt.Fprintln(w, "Figure 1(a): impact of CPU heterogeneity on round duration")
+	_, err = fmt.Fprint(w, tbl.String())
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Figures 1(b) and 1(c): training time and accuracy under deadlines.
+
+// DeadlinePoint is one deadline setting of Figures 1(b)/1(c).
+type DeadlinePoint struct {
+	Label     string
+	Deadline  time.Duration // 0 = unbounded
+	TotalTime time.Duration
+	Accuracy  float64
+	MeanDrops float64 // average clients dropped per round
+}
+
+// DeadlineSweep reproduces the Figure 1(b)/(c) experiment: FedAvg with
+// per-round deadlines at fractions of the unbounded round duration, on
+// non-IID data when nonIID is true.
+func DeadlineSweep(opt Options, nonIID bool) ([]DeadlinePoint, error) {
+	cfg := opt.baseConfig(dataset.MNIST, fl.NewFedAvg(0))
+	if nonIID {
+		cfg.NonIIDClasses = 3
+	}
+	base, err := fl.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("deadline baseline: %w", err)
+	}
+	unbounded := base.MeanRoundDuration()
+	points := []DeadlinePoint{{
+		Label:     "inf",
+		TotalTime: base.TotalTime,
+		Accuracy:  base.FinalAccuracy,
+	}}
+	fractions := []struct {
+		label string
+		frac  float64
+	}{
+		{"0.8x", 0.8}, {"0.6x", 0.6}, {"0.4x", 0.4}, {"0.15x", 0.15},
+	}
+	if opt.Quick {
+		fractions = fractions[1:3]
+	}
+	for _, f := range fractions {
+		d := time.Duration(float64(unbounded) * f.frac)
+		dcfg := cfg
+		dcfg.Strategy = fl.NewDeadlineFedAvg(0, d)
+		res, err := fl.Run(dcfg)
+		if err != nil {
+			return nil, fmt.Errorf("deadline %s: %w", f.label, err)
+		}
+		var drops float64
+		for _, r := range res.Rounds {
+			drops += float64(cfg.Clients - r.Completed)
+		}
+		drops /= float64(len(res.Rounds))
+		points = append(points, DeadlinePoint{
+			Label:     f.label,
+			Deadline:  d,
+			TotalTime: res.TotalTime,
+			Accuracy:  res.FinalAccuracy,
+			MeanDrops: drops,
+		})
+	}
+	return points, nil
+}
+
+func runFig1b(opt Options, w io.Writer) error {
+	points, err := DeadlineSweep(opt, false)
+	if err != nil {
+		return err
+	}
+	tbl := metrics.NewTable("deadline", "total-time", "dropped/round")
+	for _, p := range points {
+		tbl.AddRow(p.Label, p.TotalTime, p.MeanDrops)
+	}
+	fmt.Fprintln(w, "Figure 1(b): total training duration with per-round deadlines")
+	_, err = fmt.Fprint(w, tbl.String())
+	return err
+}
+
+func runFig1c(opt Options, w io.Writer) error {
+	points, err := DeadlineSweep(opt, true)
+	if err != nil {
+		return err
+	}
+	tbl := metrics.NewTable("deadline", "test-accuracy", "dropped/round")
+	for _, p := range points {
+		tbl.AddRow(p.Label, p.Accuracy, p.MeanDrops)
+	}
+	fmt.Fprintln(w, "Figure 1(c): accuracy under deadlines (non-IID)")
+	_, err = fmt.Fprint(w, tbl.String())
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: per-phase time share of the training cycle.
+
+// PhaseShare is one bar group of Figure 4.
+type PhaseShare struct {
+	Arch nn.Arch
+	FF   float64
+	FC   float64
+	BC   float64
+	BF   float64
+}
+
+// Fig4 profiles the four update phases of the paper's five dataset/network
+// combinations.
+func Fig4(Options) ([]PhaseShare, error) {
+	archs := []nn.Arch{
+		nn.ArchCifar10CNN, nn.ArchCifar10ResNet, nn.ArchCifar100VGG,
+		nn.ArchCifar100ResNet, nn.ArchFMNISTCNN,
+	}
+	out := make([]PhaseShare, 0, len(archs))
+	for _, a := range archs {
+		net, err := nn.Build(a, 1)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 %s: %w", a, err)
+		}
+		cost, err := net.PhaseFLOPs()
+		if err != nil {
+			return nil, fmt.Errorf("fig4 %s: %w", a, err)
+		}
+		ff, fc, bc, bf := cost.Shares()
+		out = append(out, PhaseShare{Arch: a, FF: ff, FC: fc, BC: bc, BF: bf})
+	}
+	return out, nil
+}
+
+func runFig4(opt Options, w io.Writer) error {
+	shares, err := Fig4(opt)
+	if err != nil {
+		return err
+	}
+	tbl := metrics.NewTable("network", "ff%", "fc%", "bc%", "bf%")
+	for _, s := range shares {
+		tbl.AddRow(s.Arch.String(), 100*s.FF, 100*s.FC, 100*s.BC, 100*s.BF)
+	}
+	fmt.Fprintln(w, "Figure 4: share of each update phase (bf dominates, 52-75% in the paper)")
+	_, err = fmt.Fprint(w, tbl.String())
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Figures 6 and 7: accuracy and training time across the main grid.
+
+// GridCell is one (dataset, strategy) cell of Figures 6/7.
+type GridCell struct {
+	Dataset   dataset.Kind
+	Strategy  string
+	Accuracy  float64
+	TotalTime time.Duration
+	Offloads  int
+}
+
+// MainGrid runs the five-strategy comparison over the three datasets,
+// IID or non-IID(3) as in §5.2.
+func MainGrid(opt Options, nonIID bool) ([]GridCell, error) {
+	kinds := []dataset.Kind{dataset.MNIST, dataset.FMNIST, dataset.Cifar10}
+	if opt.Quick {
+		kinds = []dataset.Kind{dataset.MNIST, dataset.FMNIST}
+	}
+	var out []GridCell
+	for _, kind := range kinds {
+		for _, strat := range strategies(0) {
+			cfg := opt.baseConfig(kind, strat)
+			if nonIID {
+				cfg.NonIIDClasses = 3
+			}
+			res, err := fl.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("grid %s/%s: %w", kind, strat.Name(), err)
+			}
+			out = append(out, GridCell{
+				Dataset:   kind,
+				Strategy:  res.Strategy,
+				Accuracy:  res.FinalAccuracy,
+				TotalTime: res.TotalTime,
+				Offloads:  res.TotalOffloads(),
+			})
+		}
+	}
+	return out, nil
+}
+
+func printGrid(w io.Writer, title string, cells []GridCell) error {
+	tbl := metrics.NewTable("dataset", "strategy", "accuracy", "total-time", "offloads")
+	for _, c := range cells {
+		tbl.AddRow(c.Dataset.String(), c.Strategy, c.Accuracy, c.TotalTime, c.Offloads)
+	}
+	fmt.Fprintln(w, title)
+	_, err := fmt.Fprint(w, tbl.String())
+	return err
+}
+
+func runFig6(opt Options, w io.Writer) error {
+	cells, err := MainGrid(opt, false)
+	if err != nil {
+		return err
+	}
+	return printGrid(w, "Figure 6: IID accuracy and training time (5 strategies)", cells)
+}
+
+func runFig7(opt Options, w io.Writer) error {
+	cells, err := MainGrid(opt, true)
+	if err != nil {
+		return err
+	}
+	return printGrid(w, "Figure 7: non-IID accuracy and training time (5 strategies)", cells)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: density of round durations (FMNIST).
+
+// DensitySeries is one strategy's round-duration density.
+type DensitySeries struct {
+	Strategy string
+	Mean     time.Duration
+	Peak     float64 // seconds
+	Density  metrics.Density
+}
+
+// Fig8 collects per-round durations for every strategy on FMNIST and
+// estimates their densities.
+func Fig8(opt Options) ([]DensitySeries, error) {
+	var out []DensitySeries
+	for _, strat := range strategies(0) {
+		cfg := opt.baseConfig(dataset.FMNIST, strat)
+		cfg.NonIIDClasses = 3
+		cfg.EvalEvery = 1000 // timing-only experiment
+		if !opt.Quick {
+			cfg.Rounds = 40
+		}
+		res, err := fl.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s: %w", strat.Name(), err)
+		}
+		secs := metrics.DurationsToSeconds(res.RoundDurations())
+		den, err := metrics.EstimateDensity(secs, 64, 0)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s density: %w", strat.Name(), err)
+		}
+		out = append(out, DensitySeries{
+			Strategy: res.Strategy,
+			Mean:     res.MeanRoundDuration(),
+			Peak:     den.Peak(),
+			Density:  den,
+		})
+	}
+	return out, nil
+}
+
+func runFig8(opt Options, w io.Writer) error {
+	series, err := Fig8(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 8: density of round durations (FMNIST, non-IID)")
+	tbl := metrics.NewTable("strategy", "mean-round", "density-peak(s)", "density")
+	for _, s := range series {
+		tbl.AddRow(s.Strategy, s.Mean, s.Peak, metrics.Sparkline(s.Density.Ys))
+	}
+	_, err = fmt.Fprint(w, tbl.String())
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: similarity factor sensitivity.
+
+// SimilarityPoint is one similarity-factor setting of Figures 9(a)/9(b).
+type SimilarityPoint struct {
+	Factor        float64
+	Accuracy      float64
+	MeanRoundTime time.Duration
+}
+
+// Fig9 sweeps the similarity factor f on FMNIST with a per-round client
+// subset, as in §5.3 (24 clients, 3 selected per round).
+func Fig9(opt Options) ([]SimilarityPoint, error) {
+	factors := []float64{1, 0.75, 0.5, 0.25, 0}
+	if opt.Quick {
+		factors = []float64{1, 0.5, 0}
+	}
+	s := opt.scale()
+	// The paper's §5.3 setup selects 3 of 24 clients per round; keep at
+	// least 3 so the similarity term has alternatives to choose between.
+	participants := s.clients / 4
+	if participants < 3 {
+		participants = 3
+	}
+	var out []SimilarityPoint
+	for _, f := range factors {
+		cfg := opt.baseConfig(dataset.FMNIST, fl.NewAergia(participants, f))
+		cfg.NonIIDClasses = 3
+		res, err := fl.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 f=%v: %w", f, err)
+		}
+		out = append(out, SimilarityPoint{
+			Factor:        f,
+			Accuracy:      res.FinalAccuracy,
+			MeanRoundTime: res.MeanRoundDuration(),
+		})
+	}
+	return out, nil
+}
+
+func runFig9(opt Options, w io.Writer) error {
+	points, err := Fig9(opt)
+	if err != nil {
+		return err
+	}
+	tbl := metrics.NewTable("similarity-factor", "test-accuracy", "mean-round-time")
+	for _, p := range points {
+		tbl.AddRow(p.Factor, p.Accuracy, p.MeanRoundTime)
+	}
+	fmt.Fprintln(w, "Figure 9: impact of the similarity factor f on accuracy (a) and round time (b)")
+	_, err = fmt.Fprint(w, tbl.String())
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10: degree of non-IIDness.
+
+// NonIIDSeries is one non-IID level of Figure 10.
+type NonIIDSeries struct {
+	Label    string
+	Times    []time.Duration
+	Accuracy []float64
+	Final    float64
+	Total    time.Duration
+}
+
+// Fig10 trains Aergia under IID, non-IID(10), non-IID(5), and non-IID(2)
+// and reports accuracy over time.
+func Fig10(opt Options) ([]NonIIDSeries, error) {
+	levels := []struct {
+		label   string
+		classes int
+	}{
+		{"IID", 0}, {"non-IID(10)", 10}, {"non-IID(5)", 5}, {"non-IID(2)", 2},
+	}
+	if opt.Quick {
+		levels = levels[:3]
+	}
+	var out []NonIIDSeries
+	for _, lvl := range levels {
+		cfg := opt.baseConfig(dataset.FMNIST, fl.NewAergia(0, 1))
+		cfg.NonIIDClasses = lvl.classes
+		cfg.EvalEvery = 1
+		res, err := fl.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s: %w", lvl.label, err)
+		}
+		times, accs := res.AccuracyOverTime()
+		out = append(out, NonIIDSeries{
+			Label:    lvl.label,
+			Times:    times,
+			Accuracy: accs,
+			Final:    res.FinalAccuracy,
+			Total:    res.TotalTime,
+		})
+	}
+	return out, nil
+}
+
+func runFig10(opt Options, w io.Writer) error {
+	series, err := Fig10(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 10: accuracy over time by degree of non-IIDness (Aergia)")
+	tbl := metrics.NewTable("level", "final-accuracy", "total-time", "accuracy-curve")
+	for _, s := range series {
+		tbl.AddRow(s.Label, s.Final, s.Total, metrics.Sparkline(s.Accuracy))
+	}
+	_, err = fmt.Fprint(w, tbl.String())
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Table 1: qualitative comparison.
+
+func runTable1(_ Options, w io.Writer) error {
+	fmt.Fprintln(w, "Table 1: FL solutions for heterogeneous settings")
+	for _, row := range fl.Table1(strategies(0)) {
+		fmt.Fprintln(w, row)
+	}
+	return nil
+}

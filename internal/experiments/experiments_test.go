@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aergia/internal/dataset"
+	"aergia/internal/nn"
+)
+
+var quick = Options{Quick: true, Seed: 7}
+
+func TestNamesCoverRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != len(Registry) {
+		t.Fatalf("names = %d, registry = %d", len(names), len(Registry))
+	}
+	required := []string{
+		"fig1a", "fig1b", "fig1c", "fig4", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "table1", "profiler",
+	}
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	for _, r := range required {
+		if !set[r] {
+			t.Fatalf("experiment %q missing from registry", r)
+		}
+	}
+}
+
+func TestFig4PhaseSharesMatchPaperShape(t *testing.T) {
+	shares, err := Fig4(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 5 {
+		t.Fatalf("architectures = %d, want the paper's 5", len(shares))
+	}
+	for _, s := range shares {
+		total := s.FF + s.FC + s.BC + s.BF
+		if total < 0.999 || total > 1.001 {
+			t.Fatalf("%s shares sum to %v", s.Arch, total)
+		}
+		// The paper's Figure 4: bf dominates every combination (52-75%).
+		if s.BF < 0.5 || s.BF > 0.8 {
+			t.Fatalf("%s bf share = %v", s.Arch, s.BF)
+		}
+	}
+}
+
+func TestFig1aVarianceIncreasesRoundTime(t *testing.T) {
+	points, err := Fig1a(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byClients := map[int][]Fig1aPoint{}
+	for _, p := range points {
+		byClients[p.Clients] = append(byClients[p.Clients], p)
+	}
+	for n, ps := range byClients {
+		if ps[0].Variance != 0 || ps[0].Multiplier != 1 {
+			t.Fatalf("n=%d baseline point = %+v", n, ps[0])
+		}
+		last := ps[len(ps)-1]
+		if last.Multiplier <= 1 {
+			t.Fatalf("n=%d: max-variance multiplier = %v, want > 1", n, last.Multiplier)
+		}
+	}
+}
+
+func TestDeadlineSweepShape(t *testing.T) {
+	points, err := DeadlineSweep(quick, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Label != "inf" {
+		t.Fatalf("first point = %+v", points[0])
+	}
+	// Deadlines bound training time below the unbounded run (Figure 1b)...
+	for _, p := range points[1:] {
+		if p.TotalTime >= points[0].TotalTime {
+			t.Fatalf("deadline %s total %v >= unbounded %v", p.Label, p.TotalTime, points[0].TotalTime)
+		}
+		if p.MeanDrops <= 0 {
+			t.Fatalf("deadline %s dropped no clients", p.Label)
+		}
+	}
+	// ...and the tightest deadline hurts accuracy vs unbounded (Figure 1c).
+	tightest := points[len(points)-1]
+	if tightest.Accuracy >= points[0].Accuracy {
+		t.Fatalf("tightest deadline accuracy %v >= unbounded %v",
+			tightest.Accuracy, points[0].Accuracy)
+	}
+}
+
+func TestProfilerOverheadBelowOnePercent(t *testing.T) {
+	results, err := ProfilerOverhead(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Overhead <= 0 || r.Overhead > 0.01 {
+			t.Fatalf("%s overhead = %v, want (0, 1%%]", r.Arch, r.Overhead)
+		}
+	}
+}
+
+func TestAblationFreezeSavingsMatchBF(t *testing.T) {
+	gains, err := AblationFreeze(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range gains {
+		if g.Saving < 0.5 || g.Saving > 0.8 {
+			t.Fatalf("%s saving = %v, want bf-dominated range", g.Arch, g.Saving)
+		}
+	}
+}
+
+func TestAblationSchedImproves(t *testing.T) {
+	gain, err := AblationSched(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gain.NeverWorse {
+		t.Fatal("Algorithm 1 made some cluster worse")
+	}
+	if gain.MeanReduction <= 0.05 {
+		t.Fatalf("mean makespan reduction = %v, want > 5%%", gain.MeanReduction)
+	}
+}
+
+func TestRunnersProduceOutput(t *testing.T) {
+	// The cheap runners run end-to-end here; the expensive grid runners are
+	// covered by the benchmark harness.
+	for _, name := range []string{"fig4", "table1", "profiler", "ablation-freeze", "ablation-sched"} {
+		runner, ok := Registry[name]
+		if !ok {
+			t.Fatalf("runner %s missing", name)
+		}
+		var buf bytes.Buffer
+		if err := runner(quick, &buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", name)
+		}
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Registry["table1"](quick, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fedavg", "fedprox", "fednova", "tifl", "aergia", "++"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestArchForCoversKinds(t *testing.T) {
+	tests := map[dataset.Kind]nn.Arch{
+		dataset.MNIST:   nn.ArchMNISTSmall,
+		dataset.FMNIST:  nn.ArchFMNISTSmall,
+		dataset.Cifar10: nn.ArchCifar10Small,
+	}
+	for kind, want := range tests {
+		if got := archFor(kind); got != want {
+			t.Fatalf("archFor(%s) = %s, want %s", kind, got, want)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"aergia/internal/comm"
+	"aergia/internal/nn"
+)
+
+// AsyncFederator implements the asynchronous aggregation alternative the
+// paper discusses in §2.3: instead of waiting for every client, the
+// federator folds each update into the global model the moment it arrives,
+// discounted by its staleness (FedAsync-style):
+//
+//	w ← (1-α_k)·w + α_k·w_k,   α_k = Alpha / (1 + staleness)
+//
+// where staleness is the number of model versions published since the
+// client received its base model. The paper's observation — async avoids
+// idle waiting but risks slower convergence and lower accuracy — is
+// reproduced by the "async" experiment.
+type AsyncFederator struct {
+	// Arch is the global model architecture.
+	Arch nn.Arch
+	// Clients lists all registered clients.
+	Clients []ClientInfo
+	// Local is the per-dispatch local training configuration.
+	Local LocalConfig
+	// Alpha is the base mixing weight in (0,1].
+	Alpha float64
+	// TotalUpdates is the number of client updates to absorb before
+	// stopping (the async analogue of a round budget).
+	TotalUpdates int
+	// EvalEvery evaluates accuracy every k updates; 0 defaults to the
+	// number of clients.
+	EvalEvery int
+	// Evaluate computes test accuracy of the global weights.
+	Evaluate func(w nn.Weights) (float64, error)
+	// OnFinish is called once the update budget is exhausted.
+	OnFinish func(*AsyncResults)
+	// Logf, when set, receives debug traces.
+	Logf func(format string, args ...any)
+
+	global   *nn.Network
+	version  int
+	absorbed int
+	results  *AsyncResults
+	finished bool
+}
+
+// AsyncSample is one evaluated point of an asynchronous run.
+type AsyncSample struct {
+	Updates  int
+	Time     time.Duration
+	Accuracy float64
+}
+
+// AsyncResults aggregates an asynchronous experiment.
+type AsyncResults struct {
+	// Samples are the periodic accuracy evaluations.
+	Samples []AsyncSample
+	// TotalUpdates is the number of absorbed client updates.
+	TotalUpdates int
+	// TotalTime is the virtual time at which the budget was exhausted.
+	TotalTime time.Duration
+	// FinalAccuracy is the last evaluation.
+	FinalAccuracy float64
+	// MeanStaleness is the average staleness of absorbed updates.
+	MeanStaleness float64
+
+	stalenessSum int
+}
+
+var _ comm.Handler = (*AsyncFederator)(nil)
+
+// ErrAsyncConfig reports an invalid asynchronous configuration.
+var ErrAsyncConfig = errors.New("fl: invalid async federator configuration")
+
+// Init builds the global model. Call once before Start.
+func (f *AsyncFederator) Init() error {
+	if f.Alpha <= 0 || f.Alpha > 1 {
+		return fmt.Errorf("%w: alpha %v", ErrAsyncConfig, f.Alpha)
+	}
+	if f.TotalUpdates <= 0 {
+		return fmt.Errorf("%w: %d total updates", ErrAsyncConfig, f.TotalUpdates)
+	}
+	if len(f.Clients) == 0 {
+		return fmt.Errorf("%w: no clients", ErrAsyncConfig)
+	}
+	global, err := nn.Build(f.Arch, 1)
+	if err != nil {
+		return fmt.Errorf("fl: async global model: %w", err)
+	}
+	f.global = global
+	if f.EvalEvery <= 0 {
+		f.EvalEvery = len(f.Clients)
+	}
+	f.results = &AsyncResults{}
+	return nil
+}
+
+// Start dispatches the initial model to every client.
+func (f *AsyncFederator) Start(env comm.Env) {
+	for _, c := range f.Clients {
+		f.dispatch(env, c.ID)
+	}
+}
+
+// Results returns the accumulated results.
+func (f *AsyncFederator) Results() *AsyncResults { return f.results }
+
+// dispatch sends the current global model to one client; the Round field
+// carries the model version so staleness is measurable on return.
+func (f *AsyncFederator) dispatch(env comm.Env, to comm.NodeID) {
+	cfg := f.Local
+	cfg.Round = f.version
+	cfg.ProfileBatches = 0
+	w := f.global.SnapshotWeights()
+	env.Send(comm.Message{
+		To:      to,
+		Round:   f.version,
+		Kind:    comm.KindTrain,
+		Size:    w.ByteSize(),
+		Payload: TrainPayload{Config: cfg, Global: w.Clone()},
+	})
+}
+
+// OnMessage implements comm.Handler.
+func (f *AsyncFederator) OnMessage(env comm.Env, msg comm.Message) {
+	if f.finished || msg.Kind != comm.KindUpdate {
+		return
+	}
+	p, ok := msg.Payload.(UpdatePayload)
+	if !ok {
+		return
+	}
+	staleness := f.version - p.Update.Round
+	if staleness < 0 {
+		f.logf("async: update from the future (version %d > %d)", p.Update.Round, f.version)
+		return
+	}
+	alpha := f.Alpha / float64(1+staleness)
+	current := f.global.SnapshotWeights()
+	current.Scale(1 - alpha)
+	if err := current.Axpy(alpha, p.Update.Weights); err != nil {
+		f.logf("async: mix update from %d: %v", p.Update.Client, err)
+		return
+	}
+	if err := f.global.LoadWeights(current); err != nil {
+		f.logf("async: load mixed weights: %v", err)
+		return
+	}
+	f.version++
+	f.absorbed++
+	f.results.stalenessSum += staleness
+
+	if f.Evaluate != nil && (f.absorbed%f.EvalEvery == 0 || f.absorbed == f.TotalUpdates) {
+		acc, err := f.Evaluate(f.global.SnapshotWeights())
+		if err != nil {
+			f.logf("async: evaluate: %v", err)
+		} else {
+			f.results.Samples = append(f.results.Samples, AsyncSample{
+				Updates:  f.absorbed,
+				Time:     env.Now(),
+				Accuracy: acc,
+			})
+			f.results.FinalAccuracy = acc
+		}
+	}
+	if f.absorbed >= f.TotalUpdates {
+		f.finished = true
+		f.results.TotalUpdates = f.absorbed
+		f.results.TotalTime = env.Now()
+		if f.absorbed > 0 {
+			f.results.MeanStaleness = float64(f.results.stalenessSum) / float64(f.absorbed)
+		}
+		if f.OnFinish != nil {
+			f.OnFinish(f.results)
+		}
+		return
+	}
+	// Keep the sender busy with the fresh model.
+	f.dispatch(env, p.Update.Client)
+}
+
+func (f *AsyncFederator) logf(format string, args ...any) {
+	if f.Logf != nil {
+		f.Logf(format, args...)
+	}
+}

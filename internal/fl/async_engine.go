@@ -1,0 +1,165 @@
+package fl
+
+import (
+	"fmt"
+
+	"aergia/internal/cluster"
+	"aergia/internal/comm"
+	"aergia/internal/dataset"
+	"aergia/internal/nn"
+	"aergia/internal/sim"
+	"aergia/internal/tensor"
+)
+
+// AsyncConfig describes an asynchronous FL experiment; the fields mirror
+// Config where they overlap.
+type AsyncConfig struct {
+	Arch          nn.Arch
+	Dataset       dataset.Kind
+	SmallImages   bool
+	Clients       int
+	TotalUpdates  int
+	LocalEpochs   int
+	BatchSize     int
+	LR            float64
+	Alpha         float64
+	TrainSamples  int
+	TestSamples   int
+	NonIIDClasses int
+	NoiseStd      float64
+	Speeds        []float64
+	SpeedJitter   float64
+	Cost          cluster.CostModel
+	Link          sim.LinkModel
+	EvalEvery     int
+	Seed          uint64
+}
+
+func (c *AsyncConfig) fillDefaults() {
+	if c.Clients == 0 {
+		c.Clients = 24
+	}
+	if c.TotalUpdates == 0 {
+		c.TotalUpdates = 10 * c.Clients
+	}
+	if c.LocalEpochs == 0 {
+		c.LocalEpochs = 1
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 8
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.6
+	}
+	if c.TrainSamples == 0 {
+		c.TrainSamples = 40 * c.Clients
+	}
+	if c.TestSamples == 0 {
+		c.TestSamples = 200
+	}
+	if c.Cost.FLOPSPerSecond == 0 {
+		c.Cost = cluster.DefaultCostModel()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// RunAsync executes an asynchronous (FedAsync-style) experiment on the
+// virtual-time simulator.
+func RunAsync(cfg AsyncConfig) (*AsyncResults, error) {
+	cfg.fillDefaults()
+	train, err := dataset.Generate(dataset.Config{
+		Kind: cfg.Dataset, N: cfg.TrainSamples, Seed: cfg.Seed, Small: cfg.SmallImages,
+		NoiseStd: cfg.NoiseStd,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fl: async train data: %w", err)
+	}
+	test, err := dataset.Generate(dataset.Config{
+		Kind: cfg.Dataset, N: cfg.TestSamples, Seed: cfg.Seed, Small: cfg.SmallImages,
+		NoiseStd: cfg.NoiseStd, Variant: 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fl: async test data: %w", err)
+	}
+	dataRNG := tensor.NewRNG(cfg.Seed ^ 0xda7a)
+	var shards []*dataset.Dataset
+	if cfg.NonIIDClasses > 0 {
+		shards, err = dataset.PartitionNonIID(train, cfg.Clients, cfg.NonIIDClasses, dataRNG)
+	} else {
+		shards, err = dataset.PartitionIID(train, cfg.Clients, dataRNG)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fl: async partition: %w", err)
+	}
+	speeds := cfg.Speeds
+	if speeds == nil {
+		speeds = cluster.UniformSpeeds(cfg.Clients, tensor.NewRNG(cfg.Seed^0x5eed))
+	}
+	if len(speeds) != cfg.Clients {
+		return nil, fmt.Errorf("fl: async %d speeds for %d clients", len(speeds), cfg.Clients)
+	}
+
+	kernel := sim.NewKernel()
+	network := sim.NewNetwork(kernel, cfg.Link)
+	infos := make([]ClientInfo, cfg.Clients)
+	for i := 0; i < cfg.Clients; i++ {
+		id := comm.NodeID(i)
+		infos[i] = ClientInfo{ID: id, Samples: shards[i].Len(), Speed: speeds[i]}
+		client := &Client{
+			ID:               id,
+			Arch:             cfg.Arch,
+			Data:             shards[i],
+			Speed:            speeds[i],
+			Jitter:           cfg.SpeedJitter,
+			JitterSeed:       cfg.Seed,
+			Cost:             cfg.Cost,
+			ProfilerOverhead: -1,
+		}
+		if err := client.Init(); err != nil {
+			return nil, err
+		}
+		network.Register(id, client)
+	}
+
+	testXs, testYs := test.Inputs(), test.Labels()
+	evalNet, err := nn.Build(cfg.Arch, 1)
+	if err != nil {
+		return nil, err
+	}
+	fed := &AsyncFederator{
+		Arch:    cfg.Arch,
+		Clients: infos,
+		Local: LocalConfig{
+			Epochs:    cfg.LocalEpochs,
+			BatchSize: cfg.BatchSize,
+			LR:        cfg.LR,
+		},
+		Alpha:        cfg.Alpha,
+		TotalUpdates: cfg.TotalUpdates,
+		EvalEvery:    cfg.EvalEvery,
+		Evaluate: func(w nn.Weights) (float64, error) {
+			if err := evalNet.LoadWeights(w); err != nil {
+				return 0, err
+			}
+			return evalNet.Evaluate(testXs, testYs)
+		},
+	}
+	if err := fed.Init(); err != nil {
+		return nil, err
+	}
+	network.Register(comm.FederatorID, fed)
+
+	var out *AsyncResults
+	fed.OnFinish = func(r *AsyncResults) { out = r }
+	kernel.Schedule(0, func() { fed.Start(network.Env(comm.FederatorID)) })
+	kernel.Run()
+	if out == nil {
+		return nil, fmt.Errorf("fl: async experiment did not complete (%d updates absorbed)", fed.absorbed)
+	}
+	return out, nil
+}

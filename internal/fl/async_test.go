@@ -1,0 +1,142 @@
+package fl
+
+import (
+	"errors"
+	"testing"
+
+	"aergia/internal/dataset"
+	"aergia/internal/nn"
+)
+
+func asyncTestConfig() AsyncConfig {
+	return AsyncConfig{
+		Arch:         nn.ArchMNISTSmall,
+		Dataset:      dataset.MNIST,
+		SmallImages:  true,
+		Clients:      6,
+		TotalUpdates: 30,
+		LocalEpochs:  1,
+		BatchSize:    8,
+		TrainSamples: 240,
+		TestSamples:  80,
+		Seed:         13,
+	}
+}
+
+func TestRunAsyncEndToEnd(t *testing.T) {
+	res, err := RunAsync(asyncTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalUpdates != 30 {
+		t.Fatalf("total updates = %d", res.TotalUpdates)
+	}
+	if res.TotalTime <= 0 {
+		t.Fatal("total time not recorded")
+	}
+	if len(res.Samples) == 0 {
+		t.Fatal("no accuracy samples recorded")
+	}
+	if res.FinalAccuracy < 0.5 {
+		t.Fatalf("final accuracy = %v", res.FinalAccuracy)
+	}
+	// Accuracy must improve from the earliest sample.
+	if res.FinalAccuracy <= res.Samples[0].Accuracy-0.05 {
+		t.Fatalf("no improvement: first %v, final %v",
+			res.Samples[0].Accuracy, res.FinalAccuracy)
+	}
+}
+
+func TestRunAsyncDeterministic(t *testing.T) {
+	a, err := RunAsync(asyncTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAsync(asyncTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalTime != b.TotalTime || a.FinalAccuracy != b.FinalAccuracy {
+		t.Fatal("async runs with the same seed diverged")
+	}
+}
+
+func TestRunAsyncStalenessOnHeterogeneousCluster(t *testing.T) {
+	cfg := asyncTestConfig()
+	cfg.Speeds = []float64{0.1, 0.9, 0.95, 1.0, 0.9, 0.85}
+	res, err := RunAsync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fast clients publish many versions while the straggler trains, so
+	// its updates arrive stale; the mean staleness must be non-zero.
+	if res.MeanStaleness <= 0 {
+		t.Fatalf("mean staleness = %v, want > 0 with a straggler", res.MeanStaleness)
+	}
+}
+
+func TestRunAsyncNoIdleWaiting(t *testing.T) {
+	// The async federator's virtual completion time must undercut the
+	// synchronous FedAvg run that performs the same number of local
+	// updates on the same heterogeneous cluster.
+	speeds := []float64{0.1, 0.9, 0.95, 1.0, 0.9, 0.85}
+	asyncCfg := asyncTestConfig()
+	asyncCfg.Speeds = speeds
+	asyncRes, err := RunAsync(asyncCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncCfg := Config{
+		Strategy:     NewFedAvg(0),
+		Arch:         nn.ArchMNISTSmall,
+		Dataset:      dataset.MNIST,
+		SmallImages:  true,
+		Clients:      6,
+		Rounds:       5, // 5 rounds × 6 clients = the same 30 updates
+		LocalEpochs:  1,
+		BatchSize:    8,
+		TrainSamples: 240,
+		TestSamples:  80,
+		Speeds:       speeds,
+		Seed:         13,
+	}
+	syncRes, err := Run(syncCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asyncRes.TotalTime >= syncRes.TotalTime {
+		t.Fatalf("async %v not faster than sync %v for equal update budgets",
+			asyncRes.TotalTime, syncRes.TotalTime)
+	}
+}
+
+func TestAsyncFederatorValidation(t *testing.T) {
+	base := &AsyncFederator{
+		Arch:         nn.ArchMNISTSmall,
+		Clients:      []ClientInfo{{ID: 0}},
+		Alpha:        0.5,
+		TotalUpdates: 10,
+	}
+	if err := base.Init(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*AsyncFederator{
+		{Arch: nn.ArchMNISTSmall, Clients: []ClientInfo{{ID: 0}}, Alpha: 0, TotalUpdates: 1},
+		{Arch: nn.ArchMNISTSmall, Clients: []ClientInfo{{ID: 0}}, Alpha: 1.5, TotalUpdates: 1},
+		{Arch: nn.ArchMNISTSmall, Clients: []ClientInfo{{ID: 0}}, Alpha: 0.5, TotalUpdates: 0},
+		{Arch: nn.ArchMNISTSmall, Alpha: 0.5, TotalUpdates: 1},
+	}
+	for i, f := range bad {
+		if err := f.Init(); !errors.Is(err, ErrAsyncConfig) {
+			t.Fatalf("case %d: err = %v, want ErrAsyncConfig", i, err)
+		}
+	}
+}
+
+func TestRunAsyncSpeedMismatch(t *testing.T) {
+	cfg := asyncTestConfig()
+	cfg.Speeds = []float64{0.5}
+	if _, err := RunAsync(cfg); err == nil {
+		t.Fatal("expected error for speed count mismatch")
+	}
+}

@@ -1,0 +1,529 @@
+package fl
+
+import (
+	"fmt"
+	"time"
+
+	"aergia/internal/cluster"
+	"aergia/internal/comm"
+	"aergia/internal/dataset"
+	"aergia/internal/nn"
+	"aergia/internal/profile"
+	"aergia/internal/sched"
+	"aergia/internal/tensor"
+	"aergia/internal/trace"
+)
+
+// Client is the message-driven FL client actor. Model updates are computed
+// for real; durations come from the cluster cost model and the client's
+// speed, so the same actor runs on virtual time (simulation) or wall time.
+type Client struct {
+	// ID is the client's node identity.
+	ID comm.NodeID
+	// Arch builds local model replicas.
+	Arch nn.Arch
+	// Data is the client's private shard.
+	Data *dataset.Dataset
+	// Speed is the CPU fraction in (0,1].
+	Speed float64
+	// Jitter models transient load (collocated applications, §3.1): each
+	// round the effective speed is Speed scaled by a uniform factor in
+	// [1-Jitter, 1+Jitter], clamped to (0.02, 1]. Zero disables it.
+	Jitter float64
+	// JitterSeed seeds the per-client jitter stream.
+	JitterSeed uint64
+	// Cost converts FLOPs into durations.
+	Cost cluster.CostModel
+	// Verifier checks the federator's signed schedule envelopes.
+	Verifier *sched.Verifier
+	// ProfilerOverhead is the profiler's per-batch overhead fraction;
+	// negative selects the profiler default.
+	ProfilerOverhead float64
+	// Logf, when set, receives debug traces.
+	Logf func(format string, args ...any)
+	// Trace, when set, records timeline events (Figure 5 style).
+	Trace *trace.Log
+
+	net       *nn.Network
+	opt       *nn.SGD
+	phase     nn.PhaseCost
+	jitterRNG *tensor.RNG
+	effSpeed  float64
+
+	// Per-round state.
+	round        int
+	cfg          LocalConfig
+	batchXs      [][]*tensor.Tensor
+	batchYs      [][]int
+	totalBatches int
+	executed     int // real batches already executed this round
+	frozen       bool
+	fullDur      time.Duration
+	frozenDur    time.Duration
+	bfDur        time.Duration
+	trainStart   time.Duration
+	completion   comm.Timer
+	offloaded    bool
+
+	// Strong-side state.
+	directive    *sched.Directive
+	ownDone      bool
+	offloadJob   *OffloadPayload
+	helperActive bool
+}
+
+var _ comm.Handler = (*Client)(nil)
+
+// Init builds the client's local network replica. It must be called once
+// before the client receives messages.
+func (c *Client) Init() error {
+	net, err := nn.Build(c.Arch, 1) // weights are overwritten by the global model
+	if err != nil {
+		return fmt.Errorf("client %d: build network: %w", c.ID, err)
+	}
+	phase, err := net.PhaseFLOPs()
+	if err != nil {
+		return fmt.Errorf("client %d: phase costs: %w", c.ID, err)
+	}
+	c.net = net
+	c.phase = phase
+	c.jitterRNG = tensor.NewRNG(c.JitterSeed ^ (uint64(c.ID+1) * 0x9e3779b97f4a7c15))
+	c.effSpeed = c.Speed
+	return nil
+}
+
+// roundSpeed draws the effective speed for a new round.
+func (c *Client) roundSpeed() float64 {
+	if c.Jitter <= 0 {
+		return c.Speed
+	}
+	factor := 1 + c.Jitter*(2*c.jitterRNG.Float64()-1)
+	s := c.Speed * factor
+	if s < 0.02 {
+		s = 0.02
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// OnMessage implements comm.Handler.
+func (c *Client) OnMessage(env comm.Env, msg comm.Message) {
+	switch msg.Kind {
+	case comm.KindTrain:
+		p, ok := msg.Payload.(TrainPayload)
+		if !ok {
+			c.logf("client %d: bad train payload %T", c.ID, msg.Payload)
+			return
+		}
+		c.startRound(env, p)
+	case comm.KindSchedule:
+		p, ok := msg.Payload.(SchedulePayload)
+		if !ok {
+			return
+		}
+		c.onSchedule(env, p.Envelope)
+	case comm.KindOffload:
+		p, ok := msg.Payload.(OffloadPayload)
+		if !ok {
+			return
+		}
+		if msg.Round != c.round {
+			c.logf("client %d: stale offload for round %d", c.ID, msg.Round)
+			return
+		}
+		c.offloadJob = &p
+		c.maybeRunHelper(env)
+	default:
+		c.logf("client %d: unexpected message kind %s", c.ID, msg.Kind)
+	}
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// startRound resets state and begins local training for a new round.
+func (c *Client) startRound(env comm.Env, p TrainPayload) {
+	if c.completion != nil {
+		c.completion.Cancel()
+	}
+	c.round = p.Config.Round
+	c.cfg = p.Config
+	c.effSpeed = c.roundSpeed()
+	c.executed = 0
+	c.frozen = false
+	c.offloaded = false
+	c.directive = nil
+	c.ownDone = false
+	c.offloadJob = nil
+	c.helperActive = false
+	c.net.SetFeaturesFrozen(false)
+	if err := c.net.LoadWeights(p.Global); err != nil {
+		c.logf("client %d: load global: %v", c.ID, err)
+		return
+	}
+	c.opt = nn.NewSGD(p.Config.LR)
+	if p.Config.Mu > 0 {
+		c.opt.Mu = p.Config.Mu
+		c.opt.SetGlobalReference(p.Global)
+		if err := c.opt.RegisterProximalLayout(c.net); err != nil {
+			c.logf("client %d: proximal layout: %v", c.ID, err)
+			return
+		}
+	}
+	xs, ys, err := c.Data.Batches(p.Config.BatchSize)
+	if err != nil {
+		c.logf("client %d: batches: %v", c.ID, err)
+		return
+	}
+	c.batchXs, c.batchYs = xs, ys
+	epochs := p.Config.Epochs
+	if epochs <= 0 {
+		epochs = 1
+	}
+	c.totalBatches = epochs * len(xs)
+
+	full, err := c.Cost.BatchDuration(c.phase, p.Config.BatchSize, c.effSpeed)
+	if err != nil {
+		c.logf("client %d: cost model: %v", c.ID, err)
+		return
+	}
+	frozenD, err := c.Cost.FrozenBatchDuration(c.phase, p.Config.BatchSize, c.effSpeed)
+	if err != nil {
+		c.logf("client %d: cost model: %v", c.ID, err)
+		return
+	}
+	_, _, _, bf, err := c.Cost.PhaseDurations(c.phase, p.Config.BatchSize, c.effSpeed)
+	if err != nil {
+		c.logf("client %d: cost model: %v", c.ID, err)
+		return
+	}
+	c.fullDur, c.frozenDur, c.bfDur = full, frozenD, bf
+	c.trainStart = env.Now()
+	c.Trace.Record(env.Now(), c.ID, c.round, trace.TrainStart,
+		fmt.Sprintf("%d batches, speed %.2f", c.totalBatches, c.effSpeed))
+
+	profBatches := p.Config.ProfileBatches
+	if profBatches >= c.totalBatches {
+		profBatches = 0 // nothing left to optimize; skip profiling
+	}
+	if profBatches > 0 {
+		round := c.round
+		env.After(c.durationOfBatches(profBatches), func() {
+			if c.round != round {
+				return
+			}
+			c.sendProfileReport(env, profBatches)
+		})
+	}
+	round := c.round
+	c.completion = env.After(c.durationOfBatches(c.totalBatches), func() {
+		if c.round != round {
+			return
+		}
+		c.finishOwnTraining(env)
+	})
+}
+
+// profOverheadFactor returns 1 + the profiler overhead fraction.
+func (c *Client) profOverheadFactor() float64 {
+	oh := c.ProfilerOverhead
+	if oh < 0 {
+		oh = profile.DefaultOverheadFraction
+	}
+	return 1 + oh
+}
+
+// durationOfBatches returns the virtual time needed to run the first k full
+// batches of the round, accounting for the profiler overhead on the first
+// ProfileBatches of them.
+func (c *Client) durationOfBatches(k int) time.Duration {
+	p := c.cfg.ProfileBatches
+	if p > k {
+		p = k
+	}
+	if p < 0 {
+		p = 0
+	}
+	profiled := time.Duration(float64(p) * float64(c.fullDur) * c.profOverheadFactor())
+	return profiled + time.Duration(k-p)*c.fullDur
+}
+
+// batchesDoneBy inverts durationOfBatches: how many full batches are
+// complete after elapsed time.
+func (c *Client) batchesDoneBy(elapsed time.Duration) int {
+	p := c.cfg.ProfileBatches
+	if p < 0 {
+		p = 0
+	}
+	profiledDur := time.Duration(float64(p) * float64(c.fullDur) * c.profOverheadFactor())
+	if elapsed <= profiledDur {
+		per := time.Duration(float64(c.fullDur) * c.profOverheadFactor())
+		if per <= 0 {
+			return p
+		}
+		return int(elapsed / per)
+	}
+	if c.fullDur <= 0 {
+		return c.totalBatches
+	}
+	done := p + int((elapsed-profiledDur)/c.fullDur)
+	if done > c.totalBatches {
+		done = c.totalBatches
+	}
+	return done
+}
+
+// sendProfileReport reports the per-phase batch durations measured by the
+// online profiler (derived from the cost model, i.e. the client's actual
+// current speed) plus the remaining update count.
+func (c *Client) sendProfileReport(env comm.Env, profiled int) {
+	prof := profile.New(c.ProfilerOverhead)
+	ff, fc, bc, bf, err := c.Cost.PhaseDurations(c.phase, c.cfg.BatchSize, c.effSpeed)
+	if err != nil {
+		c.logf("client %d: profile durations: %v", c.ID, err)
+		return
+	}
+	for i := 0; i < profiled; i++ {
+		prof.RecordBatch(ff, fc, bc, bf)
+	}
+	report, err := prof.Report(c.ID, c.round, c.totalBatches-profiled)
+	if err != nil {
+		c.logf("client %d: profile report: %v", c.ID, err)
+		return
+	}
+	c.Trace.Record(env.Now(), c.ID, c.round, trace.ProfileSent,
+		fmt.Sprintf("full batch %v", report.FullBatch()))
+	env.Send(comm.Message{
+		To:      comm.FederatorID,
+		Round:   c.round,
+		Kind:    comm.KindProfile,
+		Size:    128,
+		Payload: ProfilePayload{Report: report},
+	})
+}
+
+// onSchedule handles a signed freeze/offload directive.
+func (c *Client) onSchedule(env comm.Env, envlp sched.Envelope) {
+	if c.Verifier != nil {
+		if err := c.Verifier.Verify(envlp, c.round); err != nil {
+			c.logf("client %d: reject schedule: %v", c.ID, err)
+			return
+		}
+	}
+	d := envlp.Directive
+	if d.Round != c.round || d.Client != c.ID {
+		c.logf("client %d: directive mismatch %+v", c.ID, d)
+		return
+	}
+	switch d.Role {
+	case sched.RoleOffload:
+		c.beginOffload(env, d)
+	case sched.RoleReceive:
+		c.directive = &d
+		c.maybeRunHelper(env)
+	default:
+		c.logf("client %d: unknown role %d", c.ID, d.Role)
+	}
+}
+
+// beginOffload implements the weak client's side of Figure 5: finish the
+// scheduled number of full updates, freeze the feature layers, ship the
+// model to the strong client, and complete the round with the lighter
+// frozen procedure.
+func (c *Client) beginOffload(env comm.Env, d sched.Directive) {
+	if c.offloaded || c.ownDone {
+		return // already offloaded or finished; late directive
+	}
+	c.offloaded = true
+	if c.completion != nil {
+		c.completion.Cancel()
+	}
+	// The client kept training full batches while waiting for the
+	// scheduling decision; it cannot have done fewer than the directive's
+	// offload point if the decision arrived late.
+	byNow := c.batchesDoneBy(env.Now() - c.trainStart)
+	target := d.OffloadAfter
+	if byNow > target {
+		target = byNow
+	}
+	if target > c.totalBatches {
+		target = c.totalBatches
+	}
+	readyAt := c.trainStart + c.durationOfBatches(target)
+	delay := readyAt - env.Now()
+	round := c.round
+	env.After(delay, func() {
+		if c.round != round {
+			return
+		}
+		c.offloadNow(env, d, target)
+	})
+}
+
+// offloadNow executes the freeze-and-offload at the moment the target batch
+// count completes.
+func (c *Client) offloadNow(env comm.Env, d sched.Directive, target int) {
+	if err := c.runBatches(target-c.executed, false); err != nil {
+		c.logf("client %d: full batches before offload: %v", c.ID, err)
+		return
+	}
+	c.net.SetFeaturesFrozen(true)
+	c.frozen = true
+	remaining := c.totalBatches - target
+	c.Trace.Record(env.Now(), c.ID, c.round, trace.ModelFrozen,
+		fmt.Sprintf("after %d batches", target))
+	w := c.net.SnapshotWeights()
+	c.Trace.Record(env.Now(), c.ID, c.round, trace.OffloadSent,
+		fmt.Sprintf("to client %d, %d updates", d.Peer, remaining))
+	env.Send(comm.Message{
+		To:    d.Peer,
+		Round: c.round,
+		Kind:  comm.KindOffload,
+		Size:  w.ByteSize(),
+		Payload: OffloadPayload{
+			Weak:    c.ID,
+			Weights: w.Clone(),
+			Updates: remaining,
+		},
+	})
+	round := c.round
+	env.After(time.Duration(remaining)*c.frozenDur, func() {
+		if c.round != round {
+			return
+		}
+		if err := c.runBatches(remaining, true); err != nil {
+			c.logf("client %d: frozen batches: %v", c.ID, err)
+			return
+		}
+		c.sendUpdate(env, true)
+	})
+}
+
+// finishOwnTraining completes the round without offloading.
+func (c *Client) finishOwnTraining(env comm.Env) {
+	if c.offloaded {
+		return
+	}
+	if err := c.runBatches(c.totalBatches-c.executed, false); err != nil {
+		c.logf("client %d: training: %v", c.ID, err)
+		return
+	}
+	c.ownDone = true
+	c.sendUpdate(env, false)
+	c.maybeRunHelper(env)
+}
+
+// sendUpdate ships the trained model to the federator.
+func (c *Client) sendUpdate(env comm.Env, partial bool) {
+	detail := "full model"
+	if partial {
+		detail = "classifier only (features offloaded)"
+	}
+	c.Trace.Record(env.Now(), c.ID, c.round, trace.UpdateSent, detail)
+	w := c.net.SnapshotWeights()
+	env.Send(comm.Message{
+		To:    comm.FederatorID,
+		Round: c.round,
+		Kind:  comm.KindUpdate,
+		Size:  w.ByteSize(),
+		Payload: UpdatePayload{Update: Update{
+			Client:     c.ID,
+			Round:      c.round,
+			NumSamples: c.Data.Len(),
+			Steps:      c.totalBatches,
+			Weights:    w.Clone(),
+			Partial:    partial,
+		}},
+	})
+}
+
+// maybeRunHelper starts the strong-side offloaded training once both the
+// directive and the frozen model have arrived and the client's own training
+// is done.
+//
+// Cost model: each offloaded update is charged the strong client's
+// bf-phase duration — the x_b = t_{k,4} assumption Algorithm 2 makes. The
+// strong client reuses the forward activations of its own local batches, so
+// only the offloaded model's feature backward pass is added work.
+func (c *Client) maybeRunHelper(env comm.Env) {
+	if c.helperActive || !c.ownDone || c.directive == nil || c.offloadJob == nil {
+		return
+	}
+	c.helperActive = true
+	job := *c.offloadJob
+	if job.Weak != c.directive.Peer {
+		c.logf("client %d: offload from %d, directive peer %d", c.ID, job.Weak, c.directive.Peer)
+		return
+	}
+	updates := job.Updates
+	round := c.round
+	c.Trace.Record(env.Now(), c.ID, c.round, trace.HelperStart,
+		fmt.Sprintf("training %d offloaded updates for client %d", updates, job.Weak))
+	env.After(time.Duration(updates)*c.bfDur, func() {
+		if c.round != round {
+			return
+		}
+		c.runHelperTraining(env, job, updates)
+	})
+}
+
+// runHelperTraining trains the offloaded model's feature section on the
+// strong client's own data and returns it to the federator.
+func (c *Client) runHelperTraining(env comm.Env, job OffloadPayload, updates int) {
+	scratch, err := nn.Build(c.Arch, 1)
+	if err != nil {
+		c.logf("client %d: helper network: %v", c.ID, err)
+		return
+	}
+	if err := scratch.LoadWeights(job.Weights); err != nil {
+		c.logf("client %d: helper load: %v", c.ID, err)
+		return
+	}
+	opt := nn.NewSGD(c.cfg.LR)
+	for i := 0; i < updates; i++ {
+		b := i % len(c.batchXs)
+		if _, err := scratch.TrainBatch(c.batchXs[b], c.batchYs[b], opt); err != nil {
+			c.logf("client %d: helper training: %v", c.ID, err)
+			return
+		}
+	}
+	w := scratch.SnapshotWeights()
+	c.Trace.Record(env.Now(), c.ID, c.round, trace.HelperDone,
+		fmt.Sprintf("returning features of client %d", job.Weak))
+	env.Send(comm.Message{
+		To:    comm.FederatorID,
+		Round: c.round,
+		Kind:  comm.KindOffloadResult,
+		Size:  8 * len(w.Feature),
+		Payload: OffloadResultPayload{
+			Weak:    job.Weak,
+			Strong:  c.ID,
+			Feature: w.Feature,
+		},
+	})
+}
+
+// runBatches executes n real training batches on the local model; frozen
+// selects the bf-free procedure (the feature section must already be
+// frozen by the caller via offloadNow).
+func (c *Client) runBatches(n int, frozen bool) error {
+	if n <= 0 {
+		return nil
+	}
+	if frozen != c.net.FeaturesFrozen() {
+		return fmt.Errorf("fl: client %d frozen state mismatch", c.ID)
+	}
+	for i := 0; i < n; i++ {
+		b := c.executed % len(c.batchXs)
+		if _, err := c.net.TrainBatch(c.batchXs[b], c.batchYs[b], c.opt); err != nil {
+			return err
+		}
+		c.executed++
+	}
+	return nil
+}

@@ -1,0 +1,307 @@
+package fl
+
+import (
+	"testing"
+	"time"
+
+	"aergia/internal/dataset"
+	"aergia/internal/nn"
+)
+
+// testConfig is a small, fast experiment shared by the end-to-end tests.
+func testConfig(strat Strategy) Config {
+	return Config{
+		Strategy:     strat,
+		Arch:         nn.ArchMNISTSmall,
+		Dataset:      dataset.MNIST,
+		SmallImages:  true,
+		Clients:      8,
+		Rounds:       4,
+		LocalEpochs:  2,
+		BatchSize:    8,
+		TrainSamples: 320,
+		TestSamples:  100,
+		Seed:         42,
+	}
+}
+
+func TestRunFedAvgEndToEnd(t *testing.T) {
+	res, err := Run(testConfig(NewFedAvg(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "fedavg" {
+		t.Fatalf("strategy = %s", res.Strategy)
+	}
+	if len(res.Rounds) != 4 {
+		t.Fatalf("rounds = %d", len(res.Rounds))
+	}
+	for _, r := range res.Rounds {
+		if r.Duration <= 0 {
+			t.Fatalf("round %d duration = %v", r.Round, r.Duration)
+		}
+		if r.Completed != 8 {
+			t.Fatalf("round %d completed = %d", r.Round, r.Completed)
+		}
+		if r.Offloads != 0 {
+			t.Fatalf("fedavg offloaded %d pairs", r.Offloads)
+		}
+	}
+	if res.FinalAccuracy < 0.8 {
+		t.Fatalf("final accuracy = %v, want >= 0.8 on the easy task", res.FinalAccuracy)
+	}
+	if res.TotalTime <= 0 {
+		t.Fatal("total time not recorded")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(testConfig(NewFedAvg(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testConfig(NewFedAvg(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalTime != b.TotalTime || a.FinalAccuracy != b.FinalAccuracy {
+		t.Fatalf("same seed diverged: %v/%v vs %v/%v",
+			a.TotalTime, a.FinalAccuracy, b.TotalTime, b.FinalAccuracy)
+	}
+	for i := range a.Rounds {
+		if a.Rounds[i].Duration != b.Rounds[i].Duration {
+			t.Fatalf("round %d durations differ", i)
+		}
+	}
+}
+
+func TestRunAergiaOffloadsAndBeatsFedAvg(t *testing.T) {
+	// Strongly heterogeneous cluster: two stragglers, six strong clients.
+	speeds := []float64{0.1, 0.15, 0.9, 0.95, 1.0, 0.85, 0.9, 1.0}
+	base := testConfig(nil)
+	base.Speeds = speeds
+
+	fedavgCfg := base
+	fedavgCfg.Strategy = NewFedAvg(0)
+	fedavg, err := Run(fedavgCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aergiaCfg := base
+	aergiaCfg.Strategy = NewAergia(0, 1)
+	aergia, err := Run(aergiaCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aergia.TotalOffloads() == 0 {
+		t.Fatal("aergia never offloaded on a heterogeneous cluster")
+	}
+	if aergia.MeanRoundDuration() >= fedavg.MeanRoundDuration() {
+		t.Fatalf("aergia mean round %v >= fedavg %v",
+			aergia.MeanRoundDuration(), fedavg.MeanRoundDuration())
+	}
+	if aergia.FinalAccuracy < fedavg.FinalAccuracy-0.1 {
+		t.Fatalf("aergia accuracy %v far below fedavg %v",
+			aergia.FinalAccuracy, fedavg.FinalAccuracy)
+	}
+}
+
+func TestRunDeadlineDropsStragglers(t *testing.T) {
+	speeds := []float64{0.05, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9}
+	cfg := testConfig(nil)
+	cfg.Speeds = speeds
+	// First find the fast clients' finish time, then set a deadline that
+	// only the straggler misses.
+	cfg.Strategy = NewFedAvg(0)
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The round lasts as long as the straggler; a deadline at half of it
+	// must drop exactly that client.
+	cfg.Strategy = NewDeadlineFedAvg(0, full.Rounds[0].Duration/2)
+	capped, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range capped.Rounds {
+		if r.Completed >= 8 {
+			t.Fatalf("round %d completed %d, expected stragglers dropped", r.Round, r.Completed)
+		}
+		if r.Completed < 7 {
+			t.Fatalf("round %d completed %d, only the straggler should drop", r.Round, r.Completed)
+		}
+		if r.Duration > full.Rounds[0].Duration/2+time.Millisecond {
+			t.Fatalf("round %d duration %v exceeds deadline", r.Round, r.Duration)
+		}
+	}
+	if capped.TotalTime >= full.TotalTime {
+		t.Fatalf("deadline run %v not faster than full run %v", capped.TotalTime, full.TotalTime)
+	}
+}
+
+func TestRunTiFLSelectsTiers(t *testing.T) {
+	cfg := testConfig(NewTiFL(0, 3))
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PreTraining <= 0 {
+		t.Fatal("tifl offline profiling time not charged")
+	}
+	// Tier-based rounds aggregate fewer clients than the full cluster.
+	for _, r := range res.Rounds {
+		if r.Completed == 0 || r.Completed > 8 {
+			t.Fatalf("round %d completed = %d", r.Round, r.Completed)
+		}
+	}
+}
+
+func TestRunFedProxAndFedNova(t *testing.T) {
+	for _, strat := range []Strategy{NewFedProx(0, 0.1), NewFedNova(0)} {
+		cfg := testConfig(strat)
+		cfg.NonIIDClasses = 3
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", strat.Name(), err)
+		}
+		if len(res.Rounds) != cfg.Rounds {
+			t.Fatalf("%s rounds = %d", strat.Name(), len(res.Rounds))
+		}
+		if res.FinalAccuracy <= 0.2 {
+			t.Fatalf("%s final accuracy = %v", strat.Name(), res.FinalAccuracy)
+		}
+	}
+}
+
+func TestRunNonIIDHurtsAccuracy(t *testing.T) {
+	iid := testConfig(NewFedAvg(0))
+	iid.Rounds = 3
+	iid.NoiseStd = 1.6 // hard task so the gap is visible early
+	iidRes, err := Run(iid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	non := iid
+	non.NonIIDClasses = 2
+	nonRes, err := Run(non)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nonRes.Rounds[0].Accuracy >= iidRes.Rounds[0].Accuracy {
+		t.Fatalf("non-IID(2) first-round accuracy %v >= IID %v",
+			nonRes.Rounds[0].Accuracy, iidRes.Rounds[0].Accuracy)
+	}
+}
+
+func TestRunDirichletPartition(t *testing.T) {
+	cfg := testConfig(NewFedAvg(0))
+	cfg.DirichletAlpha = 0.3
+	cfg.TrainSamples = 640 // more headroom so every shard is non-empty
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != cfg.Rounds {
+		t.Fatalf("rounds = %d", len(res.Rounds))
+	}
+	if res.FinalAccuracy <= 0.2 {
+		t.Fatalf("accuracy = %v", res.FinalAccuracy)
+	}
+}
+
+func TestRunClientSubsetSelection(t *testing.T) {
+	cfg := testConfig(NewFedAvg(3))
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rounds {
+		if r.Completed != 3 {
+			t.Fatalf("round %d aggregated %d updates, want 3", r.Round, r.Completed)
+		}
+	}
+}
+
+func TestRunSpeedJitterVariesRoundDurations(t *testing.T) {
+	cfg := testConfig(NewFedAvg(0))
+	cfg.SpeedJitter = 0.4
+	cfg.Rounds = 5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Rounds[0].Duration
+	varied := false
+	for _, r := range res.Rounds[1:] {
+		if r.Duration != first {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Fatal("speed jitter did not vary round durations")
+	}
+}
+
+func TestRunEvalEvery(t *testing.T) {
+	cfg := testConfig(NewFedAvg(0))
+	cfg.EvalEvery = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evaluated := 0
+	for _, r := range res.Rounds {
+		if r.Accuracy >= 0 {
+			evaluated++
+		}
+	}
+	// Rounds 0 and 2 by cadence, plus the forced final round 3.
+	if evaluated != 3 {
+		t.Fatalf("evaluated %d rounds, want 3", evaluated)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("expected error for missing strategy")
+	}
+	cfg := testConfig(NewFedAvg(0))
+	cfg.Speeds = []float64{0.5} // wrong length
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected error for speed count mismatch")
+	}
+}
+
+func TestResultsHelpers(t *testing.T) {
+	r := &Results{
+		PreTraining: time.Second,
+		Rounds: []RoundStats{
+			{Round: 0, Duration: 2 * time.Second, Accuracy: 0.5, Offloads: 1},
+			{Round: 1, Duration: 4 * time.Second, Accuracy: -1, Offloads: 2},
+			{Round: 2, Duration: 6 * time.Second, Accuracy: 0.9},
+		},
+	}
+	if r.MeanRoundDuration() != 4*time.Second {
+		t.Fatalf("mean = %v", r.MeanRoundDuration())
+	}
+	if r.TotalOffloads() != 3 {
+		t.Fatalf("offloads = %d", r.TotalOffloads())
+	}
+	times, accs := r.AccuracyOverTime()
+	if len(times) != 2 || len(accs) != 2 {
+		t.Fatalf("accuracy series = %v/%v", times, accs)
+	}
+	if times[0] != 3*time.Second || times[1] != 13*time.Second {
+		t.Fatalf("times = %v", times)
+	}
+	durs := r.RoundDurations()
+	if len(durs) != 3 || durs[2] != 6*time.Second {
+		t.Fatalf("durations = %v", durs)
+	}
+	empty := &Results{}
+	if empty.MeanRoundDuration() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}

@@ -1,0 +1,102 @@
+package fl
+
+import (
+	"sort"
+	"time"
+
+	"aergia/internal/comm"
+	"aergia/internal/nn"
+	"aergia/internal/tensor"
+)
+
+// FedCS is the resource-aware client selection baseline of Nishio &
+// Yonetani (§6.2): the federator estimates each candidate's round time from
+// its (offline-profiled) speed and only selects clients expected to finish
+// within the round deadline, maximizing participation without waiting for
+// stragglers. The paper notes it works in IID settings but loses accuracy
+// on non-IID data because slow clients' unique samples are systematically
+// excluded — the failure mode Aergia's offloading avoids.
+type FedCS struct {
+	// Participants caps the per-round selection; 0 means everyone eligible.
+	Participants int
+	// RoundBudget is the per-round time budget used both for selection and
+	// as the hard deadline.
+	RoundBudget time.Duration
+	// EstimateRound estimates a client's round duration from its info;
+	// required.
+	EstimateRound func(ClientInfo) time.Duration
+}
+
+var _ Strategy = (*FedCS)(nil)
+
+// NewFedCS returns a FedCS strategy with the given round budget and
+// duration estimator.
+func NewFedCS(participants int, budget time.Duration, estimate func(ClientInfo) time.Duration) *FedCS {
+	return &FedCS{Participants: participants, RoundBudget: budget, EstimateRound: estimate}
+}
+
+// Name implements Strategy.
+func (s *FedCS) Name() string { return "fedcs" }
+
+// Caps implements Strategy.
+func (s *FedCS) Caps() Caps {
+	return Caps{ResourceHeterogeneity: AwarenessPartial, MinimizesTrainingTime: true}
+}
+
+// Select implements Strategy: pick the fastest clients whose estimated
+// round time fits the budget.
+func (s *FedCS) Select(_ int, clients []ClientInfo, rng *tensor.RNG) []comm.NodeID {
+	type cand struct {
+		info ClientInfo
+		est  time.Duration
+	}
+	var eligible []cand
+	for _, c := range clients {
+		est := s.EstimateRound(c)
+		if s.RoundBudget <= 0 || est <= s.RoundBudget {
+			eligible = append(eligible, cand{info: c, est: est})
+		}
+	}
+	if len(eligible) == 0 {
+		// Nobody fits: fall back to the single fastest client so rounds
+		// still make progress.
+		best := clients[0]
+		bestEst := s.EstimateRound(best)
+		for _, c := range clients[1:] {
+			if est := s.EstimateRound(c); est < bestEst {
+				best, bestEst = c, est
+			}
+		}
+		return []comm.NodeID{best.ID}
+	}
+	sort.Slice(eligible, func(i, j int) bool {
+		if eligible[i].est != eligible[j].est {
+			return eligible[i].est < eligible[j].est
+		}
+		return eligible[i].info.ID < eligible[j].info.ID
+	})
+	k := s.Participants
+	if k <= 0 || k > len(eligible) {
+		k = len(eligible)
+	}
+	out := make([]comm.NodeID, 0, k)
+	for _, c := range eligible[:k] {
+		out = append(out, c.info.ID)
+	}
+	_ = rng // selection is deterministic given the estimates
+	return out
+}
+
+// LocalMu implements Strategy.
+func (s *FedCS) LocalMu() float64 { return 0 }
+
+// Aggregate implements Strategy.
+func (s *FedCS) Aggregate(_ nn.Weights, updates []Update) (nn.Weights, error) {
+	return weightedAverage(updates)
+}
+
+// Deadline implements Strategy.
+func (s *FedCS) Deadline(int) time.Duration { return s.RoundBudget }
+
+// Offloading implements Strategy.
+func (s *FedCS) Offloading() bool { return false }

@@ -1,0 +1,185 @@
+package fl
+
+import (
+	"testing"
+	"time"
+
+	"aergia/internal/comm"
+	"aergia/internal/dataset"
+	"aergia/internal/nn"
+	"aergia/internal/tensor"
+)
+
+// speedEstimator estimates round time inversely proportional to speed.
+func speedEstimator(base time.Duration) func(ClientInfo) time.Duration {
+	return func(c ClientInfo) time.Duration {
+		if c.Speed <= 0 {
+			return time.Hour
+		}
+		return time.Duration(float64(base) / c.Speed)
+	}
+}
+
+func TestFedCSSelectsOnlyFittingClients(t *testing.T) {
+	s := NewFedCS(0, 2*time.Second, speedEstimator(time.Second))
+	clients := []ClientInfo{
+		{ID: 0, Speed: 0.1}, // 10s — excluded
+		{ID: 1, Speed: 0.9}, // ~1.1s — included
+		{ID: 2, Speed: 0.4}, // 2.5s — excluded
+		{ID: 3, Speed: 0.6}, // ~1.7s — included
+	}
+	sel := s.Select(0, clients, tensor.NewRNG(1))
+	if len(sel) != 2 {
+		t.Fatalf("selected = %v", sel)
+	}
+	for _, id := range sel {
+		if id == 0 || id == 2 {
+			t.Fatalf("selected over-budget client %d", id)
+		}
+	}
+}
+
+func TestFedCSFallsBackToFastest(t *testing.T) {
+	s := NewFedCS(0, time.Millisecond, speedEstimator(time.Second))
+	clients := []ClientInfo{
+		{ID: 0, Speed: 0.2},
+		{ID: 1, Speed: 0.9},
+	}
+	sel := s.Select(0, clients, tensor.NewRNG(1))
+	if len(sel) != 1 || sel[0] != 1 {
+		t.Fatalf("fallback selection = %v, want the fastest client", sel)
+	}
+}
+
+func TestFedCSParticipantCap(t *testing.T) {
+	s := NewFedCS(2, time.Hour, speedEstimator(time.Second))
+	clients := []ClientInfo{
+		{ID: 0, Speed: 0.3}, {ID: 1, Speed: 0.9}, {ID: 2, Speed: 0.8}, {ID: 3, Speed: 0.5},
+	}
+	sel := s.Select(0, clients, tensor.NewRNG(1))
+	if len(sel) != 2 {
+		t.Fatalf("selected = %v", sel)
+	}
+	// The cap keeps the fastest candidates.
+	want := map[comm.NodeID]bool{1: true, 2: true}
+	for _, id := range sel {
+		if !want[id] {
+			t.Fatalf("selected %d, want the two fastest", id)
+		}
+	}
+}
+
+func TestFedCSMetadata(t *testing.T) {
+	s := NewFedCS(0, time.Second, speedEstimator(time.Second))
+	if s.Name() != "fedcs" {
+		t.Fatalf("name = %s", s.Name())
+	}
+	if s.Deadline(3) != time.Second {
+		t.Fatalf("deadline = %v", s.Deadline(3))
+	}
+	if s.Offloading() || s.LocalMu() != 0 {
+		t.Fatal("fedcs metadata wrong")
+	}
+	caps := s.Caps()
+	if caps.ResourceHeterogeneity != AwarenessPartial || !caps.MinimizesTrainingTime {
+		t.Fatalf("caps = %+v", caps)
+	}
+}
+
+func TestFedCSEndToEndExcludesStraggler(t *testing.T) {
+	// Clients 0 is a hopeless straggler; FedCS must never wait for it.
+	speeds := []float64{0.05, 0.8, 0.85, 0.9, 0.95, 1.0, 0.9, 0.85}
+	// Estimate round time analytically from the cost model the engine uses.
+	probe, err := nn.Build(nn.ArchMNISTSmall, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase, err := probe.PhaseFLOPs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(nil)
+	cfg.Speeds = speeds
+	estimate := func(c ClientInfo) time.Duration {
+		d, err := cfg.Cost.BatchDuration(phase, cfg.BatchSize, c.Speed)
+		if err != nil {
+			return time.Hour
+		}
+		// 2 epochs × 5 batches per round in the test config.
+		return 10 * d
+	}
+	cfg.fillDefaults()
+	budget := estimate(ClientInfo{Speed: 0.5})
+	cfg.Strategy = NewFedCS(0, budget, estimate)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rounds {
+		if r.Completed == 0 {
+			t.Fatalf("round %d aggregated nothing", r.Round)
+		}
+		if r.Duration > budget+time.Millisecond {
+			t.Fatalf("round %d duration %v exceeds budget %v", r.Round, r.Duration, budget)
+		}
+	}
+}
+
+func TestPartitionDirichlet(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Config{Kind: dataset.MNIST, N: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(8)
+	parts, err := dataset.PartitionDirichlet(ds, 5, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	if total != ds.Len() {
+		t.Fatalf("dirichlet shards cover %d of %d samples", total, ds.Len())
+	}
+	// Low alpha must produce skew: some shard has a dominant class.
+	maxShare := 0.0
+	for _, p := range parts {
+		counts := p.ClassDistribution()
+		for _, c := range counts {
+			share := float64(c) / float64(p.Len())
+			if share > maxShare {
+				maxShare = share
+			}
+		}
+	}
+	if maxShare < 0.2 {
+		t.Fatalf("max class share = %v, expected skew with alpha=0.3", maxShare)
+	}
+	// Invalid arguments.
+	if _, err := dataset.PartitionDirichlet(ds, 0, 1, rng); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if _, err := dataset.PartitionDirichlet(ds, 3, 0, rng); err == nil {
+		t.Fatal("expected error for alpha=0")
+	}
+}
+
+func TestPartitionDirichletHighAlphaNearIID(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Config{Kind: dataset.MNIST, N: 2000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := dataset.PartitionDirichlet(ds, 4, 100, tensor.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a huge alpha every shard holds every class.
+	for i, p := range parts {
+		for c, cnt := range p.ClassDistribution() {
+			if cnt == 0 {
+				t.Fatalf("shard %d missing class %d despite alpha=100", i, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package fl
+
+import (
+	"fmt"
+	"time"
+
+	"aergia/internal/comm"
+	"aergia/internal/nn"
+	"aergia/internal/profile"
+	"aergia/internal/sched"
+	"aergia/internal/similarity"
+	"aergia/internal/tensor"
+	"aergia/internal/trace"
+)
+
+// Federator is the central coordinator actor: it selects clients, ships the
+// global model, collects online profiles, computes and signs freeze/offload
+// schedules (for Aergia), recombines offloaded models, aggregates updates,
+// and measures round durations with its own clock.
+type Federator struct {
+	// Arch is the global model architecture.
+	Arch nn.Arch
+	// Strategy selects/aggregates and toggles the offloading protocol.
+	Strategy Strategy
+	// Clients lists all registered clients.
+	Clients []ClientInfo
+	// Local is the per-round local training config template; Round is
+	// stamped per round.
+	Local LocalConfig
+	// Rounds is the number of global rounds to run.
+	Rounds int
+	// EvalEvery evaluates test accuracy every k rounds (and always on the
+	// final round); 0 defaults to 1.
+	EvalEvery int
+	// Evaluate computes the global model's test accuracy.
+	Evaluate func(w nn.Weights) (float64, error)
+	// Signer signs schedule envelopes; required when the strategy
+	// offloads.
+	Signer *sched.Signer
+	// Similarity is the enclave-computed EMD matrix (may be nil).
+	Similarity similarity.Matrix
+	// SimilarityIndex maps client IDs to matrix rows.
+	SimilarityIndex map[comm.NodeID]int
+	// SimilarityFactor is f in Algorithm 1.
+	SimilarityFactor float64
+	// Seed drives client selection.
+	Seed uint64
+	// OnFinish is invoked once all rounds complete.
+	OnFinish func(*Results)
+	// Logf, when set, receives debug traces.
+	Logf func(format string, args ...any)
+	// Trace, when set, records timeline events (Figure 5 style).
+	Trace *trace.Log
+
+	global  *nn.Network
+	rng     *tensor.RNG
+	results *Results
+
+	round       int
+	roundStart  time.Duration
+	selected    []comm.NodeID
+	selectedSet map[comm.NodeID]bool
+	reports     map[comm.NodeID]profile.Report
+	scheduled   bool
+	pairs       map[comm.NodeID]sched.Pair // weak -> pair
+	updates     map[comm.NodeID]Update
+	features    map[comm.NodeID][]float64 // weak -> trained features
+	deadline    comm.Timer
+	finished    bool
+}
+
+var _ comm.Handler = (*Federator)(nil)
+
+// Init builds the global model and internal state. Call once before Start.
+func (f *Federator) Init() error {
+	if f.Strategy == nil {
+		return fmt.Errorf("fl: federator needs a strategy")
+	}
+	if f.Rounds <= 0 {
+		return fmt.Errorf("fl: %d rounds", f.Rounds)
+	}
+	if f.Strategy.Offloading() && f.Signer == nil {
+		return fmt.Errorf("fl: offloading strategy requires a schedule signer")
+	}
+	global, err := nn.Build(f.Arch, f.Seed)
+	if err != nil {
+		return fmt.Errorf("fl: global model: %w", err)
+	}
+	f.global = global
+	f.rng = tensor.NewRNG(f.Seed ^ 0x5ca1ab1e)
+	f.results = &Results{Strategy: f.Strategy.Name()}
+	if f.EvalEvery <= 0 {
+		f.EvalEvery = 1
+	}
+	return nil
+}
+
+// Start begins round 0. The env must belong to the federator node.
+func (f *Federator) Start(env comm.Env) {
+	f.round = 0
+	f.startRound(env)
+}
+
+// Results returns the accumulated experiment results.
+func (f *Federator) Results() *Results { return f.results }
+
+// GlobalWeights snapshots the current global model.
+func (f *Federator) GlobalWeights() nn.Weights { return f.global.SnapshotWeights() }
+
+func (f *Federator) logf(format string, args ...any) {
+	if f.Logf != nil {
+		f.Logf(format, args...)
+	}
+}
+
+func (f *Federator) startRound(env comm.Env) {
+	f.selected = f.Strategy.Select(f.round, f.Clients, f.rng)
+	f.selectedSet = make(map[comm.NodeID]bool, len(f.selected))
+	for _, id := range f.selected {
+		f.selectedSet[id] = true
+	}
+	f.reports = make(map[comm.NodeID]profile.Report, len(f.selected))
+	f.scheduled = false
+	f.pairs = make(map[comm.NodeID]sched.Pair)
+	f.updates = make(map[comm.NodeID]Update, len(f.selected))
+	f.features = make(map[comm.NodeID][]float64)
+	f.finished = false
+	f.roundStart = env.Now()
+	f.Trace.Record(env.Now(), comm.FederatorID, f.round, trace.RoundStart,
+		fmt.Sprintf("%d clients selected", len(f.selected)))
+
+	cfg := f.Local
+	cfg.Round = f.round
+	cfg.Mu = f.Strategy.LocalMu()
+	if !f.Strategy.Offloading() {
+		cfg.ProfileBatches = 0
+	}
+	w := f.global.SnapshotWeights()
+	for _, id := range f.selected {
+		env.Send(comm.Message{
+			To:      id,
+			Round:   f.round,
+			Kind:    comm.KindTrain,
+			Size:    w.ByteSize(),
+			Payload: TrainPayload{Config: cfg, Global: w.Clone()},
+		})
+	}
+	if d := f.Strategy.Deadline(f.round); d > 0 {
+		round := f.round
+		f.deadline = env.After(d, func() {
+			if f.round != round || f.finished {
+				return
+			}
+			f.logf("federator: round %d deadline fired with %d/%d updates",
+				round, len(f.updates), len(f.selected))
+			f.finalizeRound(env)
+		})
+	}
+}
+
+// OnMessage implements comm.Handler.
+func (f *Federator) OnMessage(env comm.Env, msg comm.Message) {
+	if msg.Round != f.round {
+		f.logf("federator: ignore %s for round %d (current %d)", msg.Kind, msg.Round, f.round)
+		return
+	}
+	switch msg.Kind {
+	case comm.KindProfile:
+		p, ok := msg.Payload.(ProfilePayload)
+		if !ok || !f.Strategy.Offloading() {
+			return
+		}
+		f.onProfile(env, p.Report)
+	case comm.KindUpdate:
+		p, ok := msg.Payload.(UpdatePayload)
+		if !ok {
+			return
+		}
+		if !f.selectedSet[p.Update.Client] {
+			f.logf("federator: update from unselected client %d", p.Update.Client)
+			return
+		}
+		f.updates[p.Update.Client] = p.Update
+		f.maybeFinalize(env)
+	case comm.KindOffloadResult:
+		p, ok := msg.Payload.(OffloadResultPayload)
+		if !ok {
+			return
+		}
+		if pair, exists := f.pairs[p.Weak]; !exists || pair.Strong != p.Strong {
+			f.logf("federator: unexpected offload result weak=%d strong=%d", p.Weak, p.Strong)
+			return
+		}
+		f.features[p.Weak] = p.Feature
+		f.maybeFinalize(env)
+	default:
+		f.logf("federator: unexpected message kind %s", msg.Kind)
+	}
+}
+
+// onProfile collects profiling reports and, once all selected clients have
+// reported, computes and distributes the signed freeze/offload schedule.
+func (f *Federator) onProfile(env comm.Env, r profile.Report) {
+	if err := r.Validate(); err != nil {
+		f.logf("federator: invalid report from %d: %v", r.ClientID, err)
+		return
+	}
+	if !f.selectedSet[r.ClientID] || f.scheduled {
+		return
+	}
+	f.reports[r.ClientID] = r
+	if len(f.reports) < len(f.selected) {
+		return
+	}
+	f.scheduled = true
+	perfs := make([]sched.Perf, 0, len(f.reports))
+	for _, id := range f.selected {
+		rep := f.reports[id]
+		perfs = append(perfs, sched.Perf{
+			ID:        id,
+			T123:      rep.Tasks123(),
+			T4:        rep.Task4(),
+			Remaining: rep.Remaining,
+		})
+	}
+	schedule, err := sched.Compute(f.round, perfs, sched.Config{
+		SimilarityFactor: f.SimilarityFactor,
+		Similarity:       f.Similarity,
+		Index:            f.SimilarityIndex,
+	})
+	if err != nil {
+		f.logf("federator: schedule: %v", err)
+		return
+	}
+	for _, pair := range schedule.Pairs {
+		f.pairs[pair.Weak] = pair
+		weakDir := sched.Directive{
+			Client:           pair.Weak,
+			Round:            f.round,
+			Role:             sched.RoleOffload,
+			Peer:             pair.Strong,
+			OffloadAfter:     pair.OffloadAfter,
+			OffloadedUpdates: pair.OffloadedUpdates,
+		}
+		strongDir := sched.Directive{
+			Client:           pair.Strong,
+			Round:            f.round,
+			Role:             sched.RoleReceive,
+			Peer:             pair.Weak,
+			OffloadAfter:     pair.OffloadAfter,
+			OffloadedUpdates: pair.OffloadedUpdates,
+		}
+		f.Trace.Record(env.Now(), comm.FederatorID, f.round, trace.ScheduleSent,
+			fmt.Sprintf("weak %d -> strong %d after %d updates",
+				pair.Weak, pair.Strong, pair.OffloadAfter))
+		for _, d := range []sched.Directive{weakDir, strongDir} {
+			envlp, err := f.Signer.Sign(d)
+			if err != nil {
+				f.logf("federator: sign directive: %v", err)
+				return
+			}
+			env.Send(comm.Message{
+				To:      d.Client,
+				Round:   f.round,
+				Kind:    comm.KindSchedule,
+				Size:    256,
+				Payload: SchedulePayload{Envelope: envlp},
+			})
+		}
+	}
+}
+
+// maybeFinalize completes the round once every expected piece arrived.
+func (f *Federator) maybeFinalize(env comm.Env) {
+	if f.finished {
+		return
+	}
+	if len(f.updates) < len(f.selected) {
+		return
+	}
+	for weak := range f.pairs {
+		if _, ok := f.features[weak]; !ok {
+			return
+		}
+	}
+	f.finalizeRound(env)
+}
+
+// finalizeRound recombines offloaded models, aggregates, records stats, and
+// starts the next round (or finishes the experiment).
+func (f *Federator) finalizeRound(env comm.Env) {
+	f.finished = true
+	if f.deadline != nil {
+		f.deadline.Cancel()
+		f.deadline = nil
+	}
+	updates := make([]Update, 0, len(f.updates))
+	for _, id := range f.selected {
+		u, ok := f.updates[id]
+		if !ok {
+			continue // dropped by deadline
+		}
+		if feat, offloaded := f.features[id]; offloaded && u.Partial {
+			// Recombine: feature section from the strong client, classifier
+			// from the weak client (paper §3.3, model aggregation).
+			u.Weights = nn.Weights{Feature: feat, Classifier: u.Weights.Classifier}
+		}
+		updates = append(updates, u)
+	}
+	if len(updates) > 0 {
+		next, err := f.Strategy.Aggregate(f.global.SnapshotWeights(), updates)
+		if err != nil {
+			f.logf("federator: aggregate: %v", err)
+		} else if err := f.global.LoadWeights(next); err != nil {
+			f.logf("federator: load aggregated: %v", err)
+		}
+	}
+	stats := RoundStats{
+		Round:     f.round,
+		Duration:  env.Now() - f.roundStart,
+		Accuracy:  -1,
+		Completed: len(updates),
+		Offloads:  len(f.pairs),
+	}
+	lastRound := f.round == f.Rounds-1
+	if f.Evaluate != nil && (lastRound || f.round%f.EvalEvery == 0) {
+		acc, err := f.Evaluate(f.global.SnapshotWeights())
+		if err != nil {
+			f.logf("federator: evaluate: %v", err)
+		} else {
+			stats.Accuracy = acc
+			f.results.FinalAccuracy = acc
+		}
+	}
+	f.Trace.Record(env.Now(), comm.FederatorID, f.round, trace.RoundEnd,
+		fmt.Sprintf("duration %v, %d updates, %d offloads",
+			stats.Duration, stats.Completed, stats.Offloads))
+	f.results.Rounds = append(f.results.Rounds, stats)
+	f.results.TotalTime = f.results.PreTraining + sumDurations(f.results.Rounds)
+
+	if lastRound {
+		if f.OnFinish != nil {
+			f.OnFinish(f.results)
+		}
+		return
+	}
+	f.round++
+	f.startRound(env)
+}
+
+func sumDurations(rounds []RoundStats) time.Duration {
+	var total time.Duration
+	for _, r := range rounds {
+		total += r.Duration
+	}
+	return total
+}

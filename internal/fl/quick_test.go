@@ -1,0 +1,147 @@
+package fl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"aergia/internal/comm"
+	"aergia/internal/nn"
+	"aergia/internal/tensor"
+)
+
+// Property: FedAvg aggregation is a convex combination — every aggregated
+// weight lies within [min, max] of the client values.
+func TestQuickWeightedAverageConvex(t *testing.T) {
+	f := func(vals []float64, counts []uint8) bool {
+		n := len(vals)
+		if len(counts) < n {
+			n = len(counts)
+		}
+		if n == 0 {
+			return true
+		}
+		updates := make([]Update, 0, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			v := vals[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				return true
+			}
+			samples := int(counts[i]%50) + 1
+			updates = append(updates, Update{
+				Client:     0,
+				NumSamples: samples,
+				Steps:      1,
+				Weights:    nn.Weights{Feature: []float64{v}, Classifier: []float64{v}},
+			})
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		avg, err := weightedAverage(updates)
+		if err != nil {
+			return false
+		}
+		const eps = 1e-9
+		return avg.Feature[0] >= lo-eps && avg.Feature[0] <= hi+eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FedAvg with equal sample counts equals the arithmetic mean.
+func TestQuickWeightedAverageEqualCounts(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var sum float64
+		updates := make([]Update, 0, len(vals))
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				return true
+			}
+			sum += v
+			updates = append(updates, Update{
+				NumSamples: 7, Steps: 1,
+				Weights: nn.Weights{Feature: []float64{v}, Classifier: []float64{v}},
+			})
+		}
+		avg, err := weightedAverage(updates)
+		if err != nil {
+			return false
+		}
+		mean := sum / float64(len(vals))
+		return math.Abs(avg.Feature[0]-mean) <= 1e-9*(1+math.Abs(mean))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FedNova with uniform step counts reduces to FedAvg for any
+// sample-count mix.
+func TestQuickFedNovaUniformStepsIsFedAvg(t *testing.T) {
+	rng := tensor.NewRNG(41)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(6)
+		prev := nn.Weights{Feature: []float64{rng.NormFloat64()}, Classifier: []float64{rng.NormFloat64()}}
+		updates := make([]Update, n)
+		for i := range updates {
+			updates[i] = Update{
+				NumSamples: 1 + rng.Intn(30),
+				Steps:      5,
+				Weights: nn.Weights{
+					Feature:    []float64{rng.NormFloat64()},
+					Classifier: []float64{rng.NormFloat64()},
+				},
+			}
+		}
+		nova, err := NewFedNova(0).Aggregate(prev, updates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		avg, err := weightedAverage(updates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(nova.Feature[0]-avg.Feature[0]) > 1e-9 ||
+			math.Abs(nova.Classifier[0]-avg.Classifier[0]) > 1e-9 {
+			t.Fatalf("trial %d: fednova %v vs fedavg %v", trial, nova, avg)
+		}
+	}
+}
+
+// Property: selectRandom returns distinct IDs and respects the bound for
+// arbitrary cluster sizes.
+func TestQuickSelectRandomBounds(t *testing.T) {
+	rng := tensor.NewRNG(43)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		k := rng.Intn(50)
+		clients := make([]ClientInfo, n)
+		for i := range clients {
+			clients[i] = ClientInfo{ID: comm.NodeID(i)}
+		}
+		sel := selectRandom(k, clients, rng)
+		want := n
+		if k > 0 && k < n {
+			want = k
+		}
+		if len(sel) != want {
+			t.Fatalf("n=%d k=%d: selected %d, want %d", n, k, len(sel), want)
+		}
+		seen := map[any]bool{}
+		for _, id := range sel {
+			if seen[id] {
+				t.Fatalf("duplicate id %v", id)
+			}
+			seen[id] = true
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package nn
+
+import (
+	"fmt"
+	"os"
+)
+
+// SaveWeightsFile writes a weight snapshot to path in the compact binary
+// format of Weights.Marshal. The write is atomic: the snapshot lands in a
+// temporary file first and is renamed into place.
+func SaveWeightsFile(path string, w Weights) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, w.Marshal(), 0o644); err != nil {
+		return fmt.Errorf("nn: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		if rmErr := os.Remove(tmp); rmErr != nil {
+			_ = rmErr // best-effort cleanup of the temp file
+		}
+		return fmt.Errorf("nn: commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadWeightsFile reads a snapshot written by SaveWeightsFile.
+func LoadWeightsFile(path string) (Weights, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return Weights{}, fmt.Errorf("nn: read checkpoint: %w", err)
+	}
+	w, err := UnmarshalWeights(buf)
+	if err != nil {
+		return Weights{}, fmt.Errorf("nn: decode checkpoint %s: %w", path, err)
+	}
+	return w, nil
+}
+
+// SaveCheckpoint snapshots a network's current parameters to path.
+func (n *Network) SaveCheckpoint(path string) error {
+	return SaveWeightsFile(path, n.SnapshotWeights())
+}
+
+// LoadCheckpoint restores a network's parameters from path; the snapshot
+// must match the network's architecture.
+func (n *Network) LoadCheckpoint(path string) error {
+	w, err := LoadWeightsFile(path)
+	if err != nil {
+		return err
+	}
+	return n.LoadWeights(w)
+}

@@ -1,0 +1,101 @@
+package nn
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	net, err := Build(ArchMNISTSmall, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	other, err := Build(ArchMNISTSmall, 1) // different init
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.LoadCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.SnapshotWeights(), other.SnapshotWeights()
+	for i := range a.Feature {
+		if a.Feature[i] != b.Feature[i] {
+			t.Fatal("checkpoint round-trip changed feature weights")
+		}
+	}
+	for i := range a.Classifier {
+		if a.Classifier[i] != b.Classifier[i] {
+			t.Fatal("checkpoint round-trip changed classifier weights")
+		}
+	}
+}
+
+func TestCheckpointMissingFile(t *testing.T) {
+	if _, err := LoadWeightsFile(filepath.Join(t.TempDir(), "nope.ckpt")); err == nil {
+		t.Fatal("expected error for missing checkpoint")
+	}
+}
+
+func TestCheckpointCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	net, _ := Build(ArchMNISTSmall, 1)
+	if err := net.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate to corrupt.
+	w, err := LoadWeightsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = w
+	buf := w.Marshal()
+	if err := SaveWeightsFile(path, w); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf[:len(buf)-8]
+	if _, err := UnmarshalWeights(truncated); !errors.Is(err, ErrWeightSize) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckpointArchMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	small, _ := Build(ArchMNISTSmall, 1)
+	if err := small.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	big, _ := Build(ArchCifar10CNN, 1)
+	if err := big.LoadCheckpoint(path); !errors.Is(err, ErrWeightSize) {
+		t.Fatalf("err = %v, want ErrWeightSize", err)
+	}
+}
+
+func TestSGDWeightDecayShrinksWeights(t *testing.T) {
+	net, _ := Build(ArchMNISTSmall, 3)
+	before := net.SnapshotWeights()
+	opt := NewSGD(0.1)
+	opt.WeightDecay = 0.5
+	net.ZeroGrads()
+	// Zero task gradient: only the decay acts.
+	if err := opt.Step(net.classifierParams(), net.classifierGrads()); err != nil {
+		t.Fatal(err)
+	}
+	after := net.SnapshotWeights()
+	for i := range after.Classifier {
+		if before.Classifier[i] == 0 {
+			continue
+		}
+		ratio := after.Classifier[i] / before.Classifier[i]
+		if ratio < 0.94 || ratio > 0.96 {
+			t.Fatalf("decay ratio = %v, want 0.95", ratio)
+		}
+	}
+}

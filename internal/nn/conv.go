@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"aergia/internal/tensor"
+)
+
+// Conv2DLayer is a 2-D convolution with bias.
+type Conv2DLayer struct {
+	InChannels  int
+	OutChannels int
+	Kernel      int
+	Pad         int
+	Stride      int
+
+	weight *tensor.Tensor // (F, C, K, K)
+	bias   *tensor.Tensor // (F)
+	gw     *tensor.Tensor
+	gb     *tensor.Tensor
+
+	lastInput *tensor.Tensor
+}
+
+var _ Layer = (*Conv2DLayer)(nil)
+
+// NewConv2D returns a convolution layer with He-initialized weights.
+func NewConv2D(inC, outC, kernel, pad, stride int, rng *tensor.RNG) *Conv2DLayer {
+	l := &Conv2DLayer{
+		InChannels:  inC,
+		OutChannels: outC,
+		Kernel:      kernel,
+		Pad:         pad,
+		Stride:      stride,
+		weight:      tensor.MustNew(outC, inC, kernel, kernel),
+		bias:        tensor.MustNew(outC),
+		gw:          tensor.MustNew(outC, inC, kernel, kernel),
+		gb:          tensor.MustNew(outC),
+	}
+	fanIn := float64(inC * kernel * kernel)
+	l.weight.FillNormal(rng, math.Sqrt(2/fanIn))
+	return l
+}
+
+// Name implements Layer.
+func (l *Conv2DLayer) Name() string {
+	return fmt.Sprintf("conv%dx%d(%d->%d)", l.Kernel, l.Kernel, l.InChannels, l.OutChannels)
+}
+
+// Forward implements Layer.
+func (l *Conv2DLayer) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	l.lastInput = x
+	return tensor.Conv2D(x, l.weight, l.bias, l.Pad, l.Stride)
+}
+
+// Backward implements Layer.
+func (l *Conv2DLayer) Backward(gy *tensor.Tensor) (*tensor.Tensor, error) {
+	if l.lastInput == nil {
+		return nil, ErrNoForward
+	}
+	gx, gw, gb, err := tensor.Conv2DGrads(l.lastInput, l.weight, gy, l.Pad, l.Stride)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.gw.AddInPlace(gw); err != nil {
+		return nil, err
+	}
+	if err := l.gb.AddInPlace(gb); err != nil {
+		return nil, err
+	}
+	return gx, nil
+}
+
+// Params implements Layer.
+func (l *Conv2DLayer) Params() []*tensor.Tensor { return []*tensor.Tensor{l.weight, l.bias} }
+
+// Grads implements Layer.
+func (l *Conv2DLayer) Grads() []*tensor.Tensor { return []*tensor.Tensor{l.gw, l.gb} }
+
+// OutShape implements Layer.
+func (l *Conv2DLayer) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 || in[0] != l.InChannels {
+		return nil, fmt.Errorf("nn: conv expects (%d,H,W), got %v", l.InChannels, in)
+	}
+	oh := (in[1]+2*l.Pad-l.Kernel)/l.Stride + 1
+	ow := (in[2]+2*l.Pad-l.Kernel)/l.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("nn: conv output %dx%d for input %v", oh, ow, in)
+	}
+	return []int{l.OutChannels, oh, ow}, nil
+}
+
+// ForwardFLOPs implements Layer. One multiply-add per kernel tap per output
+// element, counted as two FLOPs.
+func (l *Conv2DLayer) ForwardFLOPs(in []int) float64 {
+	out, err := l.OutShape(in)
+	if err != nil {
+		return 0
+	}
+	taps := float64(l.InChannels * l.Kernel * l.Kernel)
+	return 2 * taps * float64(numel(out))
+}
+
+// BackwardFLOPs implements Layer. The backward pass computes both the input
+// gradient and the weight gradient, each costing about one forward pass.
+func (l *Conv2DLayer) BackwardFLOPs(in []int) float64 {
+	return 2 * l.ForwardFLOPs(in)
+}

@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"aergia/internal/tensor"
+)
+
+// DenseLayer is a fully connected layer: y = Wx + b.
+type DenseLayer struct {
+	In  int
+	Out int
+
+	weight *tensor.Tensor // (Out, In)
+	bias   *tensor.Tensor // (Out)
+	gw     *tensor.Tensor
+	gb     *tensor.Tensor
+
+	lastInput *tensor.Tensor
+}
+
+var _ Layer = (*DenseLayer)(nil)
+
+// NewDense returns a dense layer with Xavier-initialized weights.
+func NewDense(in, out int, rng *tensor.RNG) *DenseLayer {
+	l := &DenseLayer{
+		In:     in,
+		Out:    out,
+		weight: tensor.MustNew(out, in),
+		bias:   tensor.MustNew(out),
+		gw:     tensor.MustNew(out, in),
+		gb:     tensor.MustNew(out),
+	}
+	l.weight.FillNormal(rng, math.Sqrt(2/float64(in+out)))
+	return l
+}
+
+// Name implements Layer.
+func (l *DenseLayer) Name() string { return fmt.Sprintf("dense(%d->%d)", l.In, l.Out) }
+
+// Forward implements Layer.
+func (l *DenseLayer) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Dims() != 1 || x.Size() != l.In {
+		return nil, fmt.Errorf("nn: dense expects vector of %d, got %v", l.In, x.Shape())
+	}
+	l.lastInput = x
+	y := tensor.MustNew(l.Out)
+	wd, xd, yd, bd := l.weight.Data(), x.Data(), y.Data(), l.bias.Data()
+	for o := 0; o < l.Out; o++ {
+		row := wd[o*l.In : (o+1)*l.In]
+		s := bd[o]
+		for i, v := range xd {
+			s += row[i] * v
+		}
+		yd[o] = s
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (l *DenseLayer) Backward(gy *tensor.Tensor) (*tensor.Tensor, error) {
+	if l.lastInput == nil {
+		return nil, ErrNoForward
+	}
+	if gy.Size() != l.Out {
+		return nil, fmt.Errorf("nn: dense grad size %d, want %d", gy.Size(), l.Out)
+	}
+	gx := tensor.MustNew(l.In)
+	wd, xd := l.weight.Data(), l.lastInput.Data()
+	gyd, gxd, gwd, gbd := gy.Data(), gx.Data(), l.gw.Data(), l.gb.Data()
+	for o := 0; o < l.Out; o++ {
+		g := gyd[o]
+		gbd[o] += g
+		if g == 0 {
+			continue
+		}
+		row := wd[o*l.In : (o+1)*l.In]
+		grow := gwd[o*l.In : (o+1)*l.In]
+		for i, v := range xd {
+			grow[i] += g * v
+			gxd[i] += g * row[i]
+		}
+	}
+	return gx, nil
+}
+
+// Params implements Layer.
+func (l *DenseLayer) Params() []*tensor.Tensor { return []*tensor.Tensor{l.weight, l.bias} }
+
+// Grads implements Layer.
+func (l *DenseLayer) Grads() []*tensor.Tensor { return []*tensor.Tensor{l.gw, l.gb} }
+
+// OutShape implements Layer.
+func (l *DenseLayer) OutShape(in []int) ([]int, error) {
+	if numel(in) != l.In {
+		return nil, fmt.Errorf("nn: dense input %v, want %d elements", in, l.In)
+	}
+	return []int{l.Out}, nil
+}
+
+// ForwardFLOPs implements Layer.
+func (l *DenseLayer) ForwardFLOPs([]int) float64 {
+	return 2 * float64(l.In*l.Out)
+}
+
+// BackwardFLOPs implements Layer.
+func (l *DenseLayer) BackwardFLOPs([]int) float64 {
+	return 4 * float64(l.In*l.Out)
+}

@@ -1,0 +1,30 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalWeights hardens the checkpoint decoder against malformed
+// input: it must never panic and must round-trip valid snapshots.
+func FuzzUnmarshalWeights(f *testing.F) {
+	net, err := Build(ArchMNISTSmall, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := net.SnapshotWeights().Marshal()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:8])
+	f.Add(append([]byte(nil), valid[:len(valid)-1]...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := UnmarshalWeights(data)
+		if err != nil {
+			return
+		}
+		// Successful decodes must re-encode to the identical bytes.
+		if !bytes.Equal(w.Marshal(), data) {
+			t.Fatalf("round-trip mismatch for %d-byte input", len(data))
+		}
+	})
+}

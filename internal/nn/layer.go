@@ -1,0 +1,166 @@
+// Package nn implements the convolutional neural networks trained by the
+// federated-learning experiments: layers with exact forward/backward passes,
+// a network type split into feature and classifier sections (mirroring the
+// paper's four training phases ff/fc/bc/bf), parameter freezing, an SGD
+// optimizer with an optional FedProx proximal term, and a FLOP-based cost
+// model used by the simulation to derive virtual training times.
+package nn
+
+import (
+	"errors"
+	"fmt"
+
+	"aergia/internal/tensor"
+)
+
+// Layer is a differentiable network component operating on single samples.
+// Backward must be called after Forward with the gradient of the loss with
+// respect to the layer output; it accumulates parameter gradients internally
+// and returns the gradient with respect to the layer input.
+type Layer interface {
+	// Name identifies the layer kind for diagnostics.
+	Name() string
+	// Forward computes the layer output for one sample.
+	Forward(x *tensor.Tensor) (*tensor.Tensor, error)
+	// Backward propagates the upstream gradient and accumulates parameter
+	// gradients. It must be preceded by a Forward call for the same sample.
+	Backward(gy *tensor.Tensor) (*tensor.Tensor, error)
+	// Params returns the trainable parameter tensors (possibly empty).
+	Params() []*tensor.Tensor
+	// Grads returns the accumulated gradient tensors, aligned with Params.
+	Grads() []*tensor.Tensor
+	// OutShape computes the output shape for a given input shape.
+	OutShape(in []int) ([]int, error)
+	// ForwardFLOPs estimates the floating-point operations of Forward for
+	// one sample with the given input shape.
+	ForwardFLOPs(in []int) float64
+	// BackwardFLOPs estimates the floating-point operations of Backward.
+	BackwardFLOPs(in []int) float64
+}
+
+// ErrNoForward is returned when Backward is invoked before Forward.
+var ErrNoForward = errors.New("nn: Backward called before Forward")
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	mask []bool
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (l *ReLU) Name() string { return "relu" }
+
+// Forward implements Layer.
+func (l *ReLU) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	y := x.Clone()
+	d := y.Data()
+	if cap(l.mask) < len(d) {
+		l.mask = make([]bool, len(d))
+	}
+	l.mask = l.mask[:len(d)]
+	for i, v := range d {
+		if v > 0 {
+			l.mask[i] = true
+		} else {
+			l.mask[i] = false
+			d[i] = 0
+		}
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(gy *tensor.Tensor) (*tensor.Tensor, error) {
+	if len(l.mask) != gy.Size() {
+		return nil, fmt.Errorf("%w: relu mask %d vs grad %d", ErrNoForward, len(l.mask), gy.Size())
+	}
+	gx := gy.Clone()
+	d := gx.Data()
+	for i := range d {
+		if !l.mask[i] {
+			d[i] = 0
+		}
+	}
+	return gx, nil
+}
+
+// Params implements Layer.
+func (l *ReLU) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (l *ReLU) Grads() []*tensor.Tensor { return nil }
+
+// OutShape implements Layer.
+func (l *ReLU) OutShape(in []int) ([]int, error) {
+	out := make([]int, len(in))
+	copy(out, in)
+	return out, nil
+}
+
+// ForwardFLOPs implements Layer.
+func (l *ReLU) ForwardFLOPs(in []int) float64 { return float64(numel(in)) }
+
+// BackwardFLOPs implements Layer.
+func (l *ReLU) BackwardFLOPs(in []int) float64 { return float64(numel(in)) }
+
+// Flatten reshapes any input to a 1-D vector.
+type Flatten struct {
+	inShape []int
+}
+
+var _ Layer = (*Flatten)(nil)
+
+// NewFlatten returns a flattening layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (l *Flatten) Name() string { return "flatten" }
+
+// Forward implements Layer.
+func (l *Flatten) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	l.inShape = x.Shape()
+	return x.Clone().Reshape(x.Size())
+}
+
+// Backward implements Layer.
+func (l *Flatten) Backward(gy *tensor.Tensor) (*tensor.Tensor, error) {
+	if l.inShape == nil {
+		return nil, ErrNoForward
+	}
+	return gy.Clone().Reshape(l.inShape...)
+}
+
+// Params implements Layer.
+func (l *Flatten) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (l *Flatten) Grads() []*tensor.Tensor { return nil }
+
+// OutShape implements Layer.
+func (l *Flatten) OutShape(in []int) ([]int, error) {
+	return []int{numel(in)}, nil
+}
+
+// ForwardFLOPs implements Layer.
+func (l *Flatten) ForwardFLOPs([]int) float64 { return 0 }
+
+// BackwardFLOPs implements Layer.
+func (l *Flatten) BackwardFLOPs([]int) float64 { return 0 }
+
+func numel(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
+}
+
+func zeroAll(ts []*tensor.Tensor) {
+	for _, t := range ts {
+		t.Zero()
+	}
+}

@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"aergia/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the cross-entropy loss of logits against an
+// integer label and the gradient of the loss with respect to the logits.
+// It is numerically stabilized by subtracting the max logit.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, label int) (loss float64, grad *tensor.Tensor, err error) {
+	if logits.Dims() != 1 {
+		return 0, nil, fmt.Errorf("nn: loss expects 1-D logits, got %v", logits.Shape())
+	}
+	n := logits.Size()
+	if label < 0 || label >= n {
+		return 0, nil, fmt.Errorf("nn: label %d out of range [0,%d)", label, n)
+	}
+	d := logits.Data()
+	maxv := d[0]
+	for _, v := range d {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	exps := make([]float64, n)
+	for i, v := range d {
+		exps[i] = math.Exp(v - maxv)
+		sum += exps[i]
+	}
+	grad = tensor.MustNew(n)
+	gd := grad.Data()
+	for i := range exps {
+		p := exps[i] / sum
+		gd[i] = p
+	}
+	loss = -math.Log(gd[label] + 1e-12)
+	gd[label] -= 1
+	return loss, grad, nil
+}
+
+// Softmax returns the softmax probabilities of the logits.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	d := logits.Data()
+	maxv := d[0]
+	for _, v := range d {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	out := tensor.MustNew(logits.Size())
+	od := out.Data()
+	var sum float64
+	for i, v := range d {
+		od[i] = math.Exp(v - maxv)
+		sum += od[i]
+	}
+	for i := range od {
+		od[i] /= sum
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+
+	"aergia/internal/tensor"
+)
+
+// Network is a CNN classifier split into two sections, mirroring the paper's
+// decomposition: the feature section (convolutional layers) and the
+// classifier section (fully connected layers). A local training step then
+// consists of four phases:
+//
+//	ff — forward pass through the feature section
+//	fc — forward pass through the classifier section
+//	bc — backward pass through the classifier section
+//	bf — backward pass through the feature section
+//
+// Freezing the feature section skips bf (and feature gradient updates),
+// which is the mechanism weak clients use in Aergia.
+type Network struct {
+	InShape    []int
+	Features   []Layer
+	Classifier []Layer
+
+	featuresFrozen bool
+}
+
+// ErrFrozen is returned when an operation requires trainable features but
+// the feature section is frozen.
+var ErrFrozen = errors.New("nn: feature section is frozen")
+
+// NewNetwork assembles a network from feature and classifier sections and
+// validates the shape flow from inShape.
+func NewNetwork(inShape []int, features, classifier []Layer) (*Network, error) {
+	n := &Network{
+		InShape:    append([]int(nil), inShape...),
+		Features:   features,
+		Classifier: classifier,
+	}
+	if _, err := n.OutShape(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// OutShape propagates the input shape through every layer, validating that
+// the sections compose, and returns the final output shape.
+func (n *Network) OutShape() ([]int, error) {
+	shape := append([]int(nil), n.InShape...)
+	var err error
+	for _, l := range n.Features {
+		if shape, err = l.OutShape(shape); err != nil {
+			return nil, fmt.Errorf("feature layer %s: %w", l.Name(), err)
+		}
+	}
+	for _, l := range n.Classifier {
+		if shape, err = l.OutShape(shape); err != nil {
+			return nil, fmt.Errorf("classifier layer %s: %w", l.Name(), err)
+		}
+	}
+	return shape, nil
+}
+
+// SetFeaturesFrozen toggles freezing of the feature section.
+func (n *Network) SetFeaturesFrozen(frozen bool) { n.featuresFrozen = frozen }
+
+// FeaturesFrozen reports whether the feature section is frozen.
+func (n *Network) FeaturesFrozen() bool { return n.featuresFrozen }
+
+// ForwardFeatures runs the ff phase for one sample.
+func (n *Network) ForwardFeatures(x *tensor.Tensor) (*tensor.Tensor, error) {
+	h := x
+	var err error
+	for _, l := range n.Features {
+		if h, err = l.Forward(h); err != nil {
+			return nil, fmt.Errorf("ff %s: %w", l.Name(), err)
+		}
+	}
+	return h, nil
+}
+
+// ForwardClassifier runs the fc phase for one sample.
+func (n *Network) ForwardClassifier(h *tensor.Tensor) (*tensor.Tensor, error) {
+	var err error
+	for _, l := range n.Classifier {
+		if h, err = l.Forward(h); err != nil {
+			return nil, fmt.Errorf("fc %s: %w", l.Name(), err)
+		}
+	}
+	return h, nil
+}
+
+// Forward runs ff then fc.
+func (n *Network) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	h, err := n.ForwardFeatures(x)
+	if err != nil {
+		return nil, err
+	}
+	return n.ForwardClassifier(h)
+}
+
+// BackwardClassifier runs the bc phase, returning the gradient at the
+// feature/classifier boundary.
+func (n *Network) BackwardClassifier(gy *tensor.Tensor) (*tensor.Tensor, error) {
+	g := gy
+	var err error
+	for i := len(n.Classifier) - 1; i >= 0; i-- {
+		l := n.Classifier[i]
+		if g, err = l.Backward(g); err != nil {
+			return nil, fmt.Errorf("bc %s: %w", l.Name(), err)
+		}
+	}
+	return g, nil
+}
+
+// BackwardFeatures runs the bf phase. It returns ErrFrozen when the feature
+// section is frozen.
+func (n *Network) BackwardFeatures(g *tensor.Tensor) error {
+	if n.featuresFrozen {
+		return ErrFrozen
+	}
+	var err error
+	for i := len(n.Features) - 1; i >= 0; i-- {
+		l := n.Features[i]
+		if g, err = l.Backward(g); err != nil {
+			return fmt.Errorf("bf %s: %w", l.Name(), err)
+		}
+	}
+	return nil
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (n *Network) ZeroGrads() {
+	for _, l := range n.Features {
+		zeroAll(l.Grads())
+	}
+	for _, l := range n.Classifier {
+		zeroAll(l.Grads())
+	}
+}
+
+// TrainBatch performs one SGD step on a mini-batch. When the feature
+// section is frozen, the bf phase is skipped and only classifier parameters
+// are updated. It returns the mean loss over the batch.
+func (n *Network) TrainBatch(xs []*tensor.Tensor, ys []int, opt *SGD) (float64, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return 0, fmt.Errorf("nn: batch of %d inputs, %d labels", len(xs), len(ys))
+	}
+	n.ZeroGrads()
+	var total float64
+	for i, x := range xs {
+		logits, err := n.Forward(x)
+		if err != nil {
+			return 0, err
+		}
+		loss, grad, err := SoftmaxCrossEntropy(logits, ys[i])
+		if err != nil {
+			return 0, err
+		}
+		total += loss
+		gBoundary, err := n.BackwardClassifier(grad)
+		if err != nil {
+			return 0, err
+		}
+		if !n.featuresFrozen {
+			if err := n.BackwardFeatures(gBoundary); err != nil {
+				return 0, err
+			}
+		}
+	}
+	inv := 1 / float64(len(xs))
+	scaleGrads(n.classifierGrads(), inv)
+	if !n.featuresFrozen {
+		scaleGrads(n.featureGrads(), inv)
+	}
+	if err := opt.Step(n.classifierParams(), n.classifierGrads()); err != nil {
+		return 0, err
+	}
+	if !n.featuresFrozen {
+		if err := opt.Step(n.featureParams(), n.featureGrads()); err != nil {
+			return 0, err
+		}
+	}
+	return total * inv, nil
+}
+
+// Predict returns the argmax class for one sample.
+func (n *Network) Predict(x *tensor.Tensor) (int, error) {
+	logits, err := n.Forward(x)
+	if err != nil {
+		return 0, err
+	}
+	return logits.MaxIndex(), nil
+}
+
+// Evaluate returns the accuracy of the network on a labelled set.
+func (n *Network) Evaluate(xs []*tensor.Tensor, ys []int) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("nn: empty evaluation set")
+	}
+	correct := 0
+	for i, x := range xs {
+		p, err := n.Predict(x)
+		if err != nil {
+			return 0, err
+		}
+		if p == ys[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs)), nil
+}
+
+func (n *Network) featureParams() []*tensor.Tensor {
+	var ps []*tensor.Tensor
+	for _, l := range n.Features {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+func (n *Network) classifierParams() []*tensor.Tensor {
+	var ps []*tensor.Tensor
+	for _, l := range n.Classifier {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+func (n *Network) featureGrads() []*tensor.Tensor {
+	var gs []*tensor.Tensor
+	for _, l := range n.Features {
+		gs = append(gs, l.Grads()...)
+	}
+	return gs
+}
+
+func (n *Network) classifierGrads() []*tensor.Tensor {
+	var gs []*tensor.Tensor
+	for _, l := range n.Classifier {
+		gs = append(gs, l.Grads()...)
+	}
+	return gs
+}
+
+func scaleGrads(gs []*tensor.Tensor, a float64) {
+	for _, g := range gs {
+		g.ScaleInPlace(a)
+	}
+}
+
+// ParamCount returns the total number of trainable parameters.
+func (n *Network) ParamCount() int {
+	total := 0
+	for _, p := range n.featureParams() {
+		total += p.Size()
+	}
+	for _, p := range n.classifierParams() {
+		total += p.Size()
+	}
+	return total
+}
+
+// ByteSize returns the serialized model size in bytes (8 bytes/parameter),
+// used by the network transfer cost model.
+func (n *Network) ByteSize() int { return 8 * n.ParamCount() }

@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"fmt"
+
+	"aergia/internal/tensor"
+)
+
+// MaxPoolLayer applies non-overlapping max pooling with a square window.
+type MaxPoolLayer struct {
+	Size int
+
+	lastArg   []int
+	lastShape []int
+}
+
+var _ Layer = (*MaxPoolLayer)(nil)
+
+// NewMaxPool returns a max-pooling layer with the given window size.
+func NewMaxPool(size int) *MaxPoolLayer { return &MaxPoolLayer{Size: size} }
+
+// Name implements Layer.
+func (l *MaxPoolLayer) Name() string { return fmt.Sprintf("maxpool%d", l.Size) }
+
+// Forward implements Layer.
+func (l *MaxPoolLayer) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	y, arg, err := tensor.MaxPool2D(x, l.Size)
+	if err != nil {
+		return nil, err
+	}
+	l.lastArg = arg
+	l.lastShape = x.Shape()
+	return y, nil
+}
+
+// Backward implements Layer.
+func (l *MaxPoolLayer) Backward(gy *tensor.Tensor) (*tensor.Tensor, error) {
+	if l.lastArg == nil {
+		return nil, ErrNoForward
+	}
+	return tensor.MaxPool2DGrad(gy, l.lastArg, l.lastShape)
+}
+
+// Params implements Layer.
+func (l *MaxPoolLayer) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (l *MaxPoolLayer) Grads() []*tensor.Tensor { return nil }
+
+// OutShape implements Layer.
+func (l *MaxPoolLayer) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 || in[1]%l.Size != 0 || in[2]%l.Size != 0 {
+		return nil, fmt.Errorf("nn: maxpool%d cannot pool %v", l.Size, in)
+	}
+	return []int{in[0], in[1] / l.Size, in[2] / l.Size}, nil
+}
+
+// ForwardFLOPs implements Layer.
+func (l *MaxPoolLayer) ForwardFLOPs(in []int) float64 { return float64(numel(in)) }
+
+// BackwardFLOPs implements Layer.
+func (l *MaxPoolLayer) BackwardFLOPs(in []int) float64 { return float64(numel(in)) }

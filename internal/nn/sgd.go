@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+
+	"aergia/internal/tensor"
+)
+
+// SGD is a stochastic gradient descent optimizer with optional momentum and
+// an optional FedProx proximal term. With Mu > 0 and a global reference
+// snapshot set, the effective gradient becomes g + Mu*(w - w_global), which
+// is the regularization FedProx uses to limit client drift on non-IID data.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	// WeightDecay is the L2 regularization coefficient; 0 disables it.
+	WeightDecay float64
+	Mu          float64 // FedProx proximal coefficient; 0 disables it.
+
+	global   []float64 // flattened reference weights for the proximal term
+	refs     map[*tensor.Tensor]refAssign
+	velocity map[*tensor.Tensor][]float64
+}
+
+// ErrNoGlobal is returned when a proximal step runs without a reference.
+var ErrNoGlobal = errors.New("nn: proximal term requires SetGlobalReference")
+
+// NewSGD returns an optimizer with the given learning rate.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// SetGlobalReference installs the flattened global weights (feature section
+// followed by classifier section) used by the FedProx proximal term. Pass
+// nil to clear.
+func (o *SGD) SetGlobalReference(w Weights) {
+	o.global = append(append([]float64(nil), w.Feature...), w.Classifier...)
+}
+
+// Step applies one update to params given grads.
+func (o *SGD) Step(params, grads []*tensor.Tensor) error {
+	if len(params) != len(grads) {
+		return fmt.Errorf("nn: %d params vs %d grads", len(params), len(grads))
+	}
+	for i, p := range params {
+		g := grads[i]
+		if p.Size() != g.Size() {
+			return fmt.Errorf("nn: param %d size %d vs grad %d", i, p.Size(), g.Size())
+		}
+		pd, gd := p.Data(), g.Data()
+		var prox []float64
+		if o.Mu > 0 {
+			ref, err := o.referenceFor(p)
+			if err != nil {
+				return err
+			}
+			prox = ref
+		}
+		var vel []float64
+		if o.Momentum > 0 {
+			if o.velocity == nil {
+				o.velocity = make(map[*tensor.Tensor][]float64)
+			}
+			vel = o.velocity[p]
+			if vel == nil {
+				vel = make([]float64, p.Size())
+				o.velocity[p] = vel
+			}
+		}
+		for j := range pd {
+			eff := gd[j]
+			if o.WeightDecay > 0 {
+				eff += o.WeightDecay * pd[j]
+			}
+			if prox != nil {
+				eff += o.Mu * (pd[j] - prox[j])
+			}
+			if vel != nil {
+				vel[j] = o.Momentum*vel[j] + eff
+				eff = vel[j]
+			}
+			pd[j] -= o.LR * eff
+		}
+	}
+	return nil
+}
+
+// refAssign maps parameter tensors to their slice of the global reference.
+type refAssign struct {
+	offset int
+	length int
+}
+
+// referenceFor lazily assigns each parameter tensor a contiguous slice of
+// the flattened global reference, in first-seen order. The network always
+// snapshots and steps parameters in a fixed order (classifier first or
+// feature first), and SnapshotWeights flattens feature-then-classifier, so
+// we locate slices by cumulative size bookkeeping per tensor identity.
+func (o *SGD) referenceFor(p *tensor.Tensor) ([]float64, error) {
+	if o.global == nil {
+		return nil, ErrNoGlobal
+	}
+	if o.refs == nil {
+		o.refs = make(map[*tensor.Tensor]refAssign)
+	}
+	if a, ok := o.refs[p]; ok {
+		return o.global[a.offset : a.offset+a.length], nil
+	}
+	return nil, fmt.Errorf("nn: parameter not registered for proximal term; call RegisterProximalLayout")
+}
+
+// RegisterProximalLayout declares the parameter order matching the global
+// reference layout (feature params followed by classifier params).
+func (o *SGD) RegisterProximalLayout(n *Network) error {
+	ps := append(n.featureParams(), n.classifierParams()...)
+	total := 0
+	for _, p := range ps {
+		total += p.Size()
+	}
+	if o.global != nil && total != len(o.global) {
+		return fmt.Errorf("%w: layout %d vs reference %d", ErrWeightSize, total, len(o.global))
+	}
+	o.refs = make(map[*tensor.Tensor]refAssign, len(ps))
+	off := 0
+	for _, p := range ps {
+		o.refs[p] = refAssign{offset: off, length: p.Size()}
+		off += p.Size()
+	}
+	return nil
+}

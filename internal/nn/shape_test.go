@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"testing"
+
+	"aergia/internal/tensor"
+)
+
+// TestLayerOutShapes pins the shape propagation of every layer kind.
+func TestLayerOutShapes(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	tests := []struct {
+		name  string
+		layer Layer
+		in    []int
+		want  []int
+	}{
+		{"conv same", NewConv2D(3, 8, 3, 1, 1, rng), []int{3, 16, 16}, []int{8, 16, 16}},
+		{"conv valid", NewConv2D(1, 4, 5, 0, 1, rng), []int{1, 28, 28}, []int{4, 24, 24}},
+		{"conv stride", NewConv2D(1, 4, 3, 1, 2, rng), []int{1, 16, 16}, []int{4, 8, 8}},
+		{"pool", NewMaxPool(2), []int{4, 8, 8}, []int{4, 4, 4}},
+		{"relu", NewReLU(), []int{2, 3, 4}, []int{2, 3, 4}},
+		{"flatten", NewFlatten(), []int{2, 3, 4}, []int{24}},
+		{"dense", NewDense(24, 10, rng), []int{24}, []int{10}},
+		{"residual", NewResidualBlock(4, rng), []int{4, 8, 8}, []int{4, 8, 8}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := tt.layer.OutShape(tt.in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tt.want) {
+				t.Fatalf("shape = %v, want %v", got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Fatalf("shape = %v, want %v", got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+// TestLayerOutShapeErrors pins the rejection of incompatible inputs.
+func TestLayerOutShapeErrors(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	tests := []struct {
+		name  string
+		layer Layer
+		in    []int
+	}{
+		{"conv wrong channels", NewConv2D(3, 8, 3, 1, 1, rng), []int{1, 16, 16}},
+		{"conv wrong rank", NewConv2D(3, 8, 3, 1, 1, rng), []int{16, 16}},
+		{"conv too small", NewConv2D(1, 4, 7, 0, 1, rng), []int{1, 5, 5}},
+		{"pool indivisible", NewMaxPool(3), []int{2, 8, 8}},
+		{"dense wrong size", NewDense(24, 10, rng), []int{25}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := tt.layer.OutShape(tt.in); err == nil {
+				t.Fatalf("OutShape(%v) accepted an incompatible input", tt.in)
+			}
+		})
+	}
+}
+
+// TestNetworkRejectsBrokenComposition verifies that NewNetwork validates
+// the shape flow end to end.
+func TestNetworkRejectsBrokenComposition(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	_, err := NewNetwork([]int{1, 8, 8},
+		[]Layer{NewConv2D(1, 4, 3, 1, 1, rng)},
+		[]Layer{NewFlatten(), NewDense(99, 10, rng)}) // 4*8*8 = 256 != 99
+	if err == nil {
+		t.Fatal("expected composition error")
+	}
+}
+
+// TestDenseForwardRejectsWrongInput pins runtime input validation.
+func TestDenseForwardRejectsWrongInput(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	l := NewDense(4, 2, rng)
+	bad := tensor.MustNew(5)
+	if _, err := l.Forward(bad); err == nil {
+		t.Fatal("dense accepted wrong input size")
+	}
+	gy := tensor.MustNew(3)
+	good := tensor.MustNew(4)
+	if _, err := l.Forward(good); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Backward(gy); err == nil {
+		t.Fatal("dense accepted wrong gradient size")
+	}
+}
+
+// TestConvBackwardBeforeForward pins the ErrNoForward contract for layers
+// with cached state.
+func TestConvBackwardBeforeForward(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	conv := NewConv2D(1, 2, 3, 1, 1, rng)
+	gy := tensor.MustNew(2, 4, 4)
+	if _, err := conv.Backward(gy); err == nil {
+		t.Fatal("conv backward before forward should fail")
+	}
+	pool := NewMaxPool(2)
+	if _, err := pool.Backward(gy); err == nil {
+		t.Fatal("pool backward before forward should fail")
+	}
+	res := NewResidualBlock(2, rng)
+	if _, err := res.Backward(gy); err == nil {
+		t.Fatal("residual backward before forward should fail")
+	}
+	fl := NewFlatten()
+	if _, err := fl.Backward(tensor.MustNew(4)); err == nil {
+		t.Fatal("flatten backward before forward should fail")
+	}
+}
+
+// TestLayerFLOPsPositive pins that every layer reports sane cost-model
+// numbers (the scheduler divides by them indirectly).
+func TestLayerFLOPsPositive(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	layers := []struct {
+		layer Layer
+		in    []int
+	}{
+		{NewConv2D(3, 8, 3, 1, 1, rng), []int{3, 16, 16}},
+		{NewDense(24, 10, rng), []int{24}},
+		{NewMaxPool(2), []int{4, 8, 8}},
+		{NewReLU(), []int{4, 8, 8}},
+		{NewResidualBlock(4, rng), []int{4, 8, 8}},
+	}
+	for _, tt := range layers {
+		fwd, bwd := tt.layer.ForwardFLOPs(tt.in), tt.layer.BackwardFLOPs(tt.in)
+		if fwd <= 0 || bwd <= 0 {
+			t.Fatalf("%s: flops fwd=%v bwd=%v", tt.layer.Name(), fwd, bwd)
+		}
+		if bwd < fwd {
+			t.Fatalf("%s: backward (%v) cheaper than forward (%v)", tt.layer.Name(), bwd, fwd)
+		}
+	}
+	// Flatten is free.
+	fl := NewFlatten()
+	if fl.ForwardFLOPs([]int{4}) != 0 || fl.BackwardFLOPs([]int{4}) != 0 {
+		t.Fatal("flatten should be free")
+	}
+}

@@ -1,0 +1,197 @@
+package rpc
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"aergia/internal/comm"
+)
+
+type pingPayload struct {
+	Text string
+}
+
+type collector struct {
+	mu  sync.Mutex
+	got []comm.Message
+	ch  chan comm.Message
+}
+
+func newCollector() *collector {
+	return &collector{ch: make(chan comm.Message, 64)}
+}
+
+func (c *collector) OnMessage(_ comm.Env, msg comm.Message) {
+	c.mu.Lock()
+	c.got = append(c.got, msg)
+	c.mu.Unlock()
+	c.ch <- msg
+}
+
+func (c *collector) wait(t *testing.T, n int) []comm.Message {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		c.mu.Lock()
+		cnt := len(c.got)
+		c.mu.Unlock()
+		if cnt >= n {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return append([]comm.Message(nil), c.got...)
+		}
+		select {
+		case <-c.ch:
+		case <-deadline:
+			t.Fatalf("timed out waiting for %d messages", n)
+		}
+	}
+}
+
+func TestPeerRoundTrip(t *testing.T) {
+	RegisterPayload(pingPayload{})
+	ca, cb := newCollector(), newCollector()
+	a, err := Listen(1, "127.0.0.1:0", ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := a.Close(); err != nil {
+			t.Errorf("close a: %v", err)
+		}
+	}()
+	b, err := Listen(2, "127.0.0.1:0", cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := b.Close(); err != nil {
+			t.Errorf("close b: %v", err)
+		}
+	}()
+	reg := map[comm.NodeID]string{1: a.Addr(), 2: b.Addr()}
+	a.SetRegistry(reg)
+	b.SetRegistry(reg)
+
+	a.Env().Send(comm.Message{To: 2, Round: 3, Kind: comm.KindTrain,
+		Payload: pingPayload{Text: "hello"}})
+	got := cb.wait(t, 1)
+	if got[0].From != 1 || got[0].Round != 3 || got[0].Kind != comm.KindTrain {
+		t.Fatalf("message = %+v", got[0])
+	}
+	p, ok := got[0].Payload.(pingPayload)
+	if !ok || p.Text != "hello" {
+		t.Fatalf("payload = %#v", got[0].Payload)
+	}
+
+	// Reply on the reverse path, exercising a second connection.
+	b.Env().Send(comm.Message{To: 1, Kind: comm.KindUpdate, Payload: pingPayload{Text: "ack"}})
+	back := ca.wait(t, 1)
+	if back[0].From != 2 {
+		t.Fatalf("reply from %d", back[0].From)
+	}
+}
+
+func TestPeerManyMessagesOrdered(t *testing.T) {
+	RegisterPayload(pingPayload{})
+	cb := newCollector()
+	a, err := Listen(1, "127.0.0.1:0", newCollector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	b, err := Listen(2, "127.0.0.1:0", cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+	reg := map[comm.NodeID]string{1: a.Addr(), 2: b.Addr()}
+	a.SetRegistry(reg)
+	b.SetRegistry(reg)
+	const n = 50
+	for i := 0; i < n; i++ {
+		a.Env().Send(comm.Message{To: 2, Round: i, Kind: comm.KindProfile,
+			Payload: pingPayload{}})
+	}
+	got := cb.wait(t, n)
+	for i, msg := range got {
+		if msg.Round != i {
+			t.Fatalf("message %d has round %d (reordered on one connection)", i, msg.Round)
+		}
+	}
+}
+
+func TestPeerSendUnknownDestination(t *testing.T) {
+	a, err := Listen(1, "127.0.0.1:0", newCollector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	err = a.send(comm.Message{To: 99})
+	if err == nil {
+		t.Fatal("expected error for unknown destination")
+	}
+}
+
+func TestPeerSendAfterClose(t *testing.T) {
+	a, err := Listen(1, "127.0.0.1:0", newCollector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.send(comm.Message{To: 1}); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestEnvAfterAndNow(t *testing.T) {
+	a, err := Listen(1, "127.0.0.1:0", newCollector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	env := a.Env()
+	start := env.Now()
+	done := make(chan struct{})
+	env.After(20*time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("After callback never fired")
+	}
+	if env.Now() <= start {
+		t.Fatal("clock did not advance")
+	}
+}
+
+func TestEnvAfterCancel(t *testing.T) {
+	a, err := Listen(1, "127.0.0.1:0", newCollector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	fired := make(chan struct{}, 1)
+	tm := a.Env().After(30*time.Millisecond, func() { fired <- struct{}{} })
+	tm.Cancel()
+	select {
+	case <-fired:
+		t.Fatal("cancelled timer fired")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestPeerCloseIdempotent(t *testing.T) {
+	a, err := Listen(1, "127.0.0.1:0", newCollector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

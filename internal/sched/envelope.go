@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"aergia/internal/comm"
+)
+
+// The paper notes that "scheduling decisions are cryptographically signed
+// by the federator for authenticity, and ... contain a monotonically
+// increasing sequence number so that they cannot be replayed" (§4.1).
+// Signer and Verifier implement exactly that envelope.
+
+// Errors reported by envelope verification.
+var (
+	ErrBadSignature = errors.New("sched: schedule signature verification failed")
+	ErrReplay       = errors.New("sched: schedule sequence number not increasing")
+	ErrStaleRound   = errors.New("sched: schedule for a stale round")
+)
+
+// Directive is the per-client slice of a schedule: what one client must do.
+type Directive struct {
+	// Client is the addressee.
+	Client comm.NodeID `json:"client"`
+	// Round is the global round this directive belongs to.
+	Round int `json:"round"`
+	// Role distinguishes offloading (weak) from receiving (strong) clients.
+	Role Role `json:"role"`
+	// Peer is the matched client (strong for a weak client, weak for a
+	// strong one).
+	Peer comm.NodeID `json:"peer"`
+	// OffloadAfter (weak role) is the number of full updates before
+	// freezing and offloading.
+	OffloadAfter int `json:"offloadAfter"`
+	// OffloadedUpdates (strong role) is the number of batches to train the
+	// offloaded feature section for.
+	OffloadedUpdates int `json:"offloadedUpdates"`
+}
+
+// Role identifies the side of an offloading pair.
+type Role int
+
+// Directive roles.
+const (
+	RoleOffload Role = iota + 1 // weak client: freeze and offload
+	RoleReceive                 // strong client: train the offloaded model
+)
+
+// Envelope is a signed, replay-protected directive.
+type Envelope struct {
+	Seq       uint64    `json:"seq"`
+	Directive Directive `json:"directive"`
+	Signature []byte    `json:"signature"`
+}
+
+// Signer signs directives with the federator's identity key, stamping each
+// envelope with a monotonically increasing sequence number.
+type Signer struct {
+	key ed25519.PrivateKey
+
+	mu  sync.Mutex
+	seq uint64
+}
+
+// NewSigner creates a signer with a fresh ed25519 key.
+func NewSigner(rand io.Reader) (*Signer, error) {
+	_, key, err := ed25519.GenerateKey(rand)
+	if err != nil {
+		return nil, fmt.Errorf("sched: signer key: %w", err)
+	}
+	return &Signer{key: key}, nil
+}
+
+// PublicKey returns the verification key clients pin.
+func (s *Signer) PublicKey() ed25519.PublicKey {
+	pub, ok := s.key.Public().(ed25519.PublicKey)
+	if !ok {
+		panic("sched: unexpected public key type")
+	}
+	return pub
+}
+
+// Sign wraps a directive in a signed envelope.
+func (s *Signer) Sign(d Directive) (Envelope, error) {
+	s.mu.Lock()
+	s.seq++
+	seq := s.seq
+	s.mu.Unlock()
+	body, err := envelopeBody(seq, d)
+	if err != nil {
+		return Envelope{}, err
+	}
+	return Envelope{Seq: seq, Directive: d, Signature: ed25519.Sign(s.key, body)}, nil
+}
+
+func envelopeBody(seq uint64, d Directive) ([]byte, error) {
+	payload, err := json.Marshal(struct {
+		Seq       uint64    `json:"seq"`
+		Directive Directive `json:"directive"`
+	}{seq, d})
+	if err != nil {
+		return nil, fmt.Errorf("sched: encode envelope: %w", err)
+	}
+	return payload, nil
+}
+
+// Verifier validates envelopes on the client side: authentic signature,
+// strictly increasing sequence numbers, and a round that is not stale.
+type Verifier struct {
+	pub ed25519.PublicKey
+
+	mu      sync.Mutex
+	lastSeq uint64
+}
+
+// NewVerifier pins the federator's public key.
+func NewVerifier(pub ed25519.PublicKey) *Verifier {
+	return &Verifier{pub: pub}
+}
+
+// Verify checks an envelope against the pinned key and replay state.
+// currentRound is the client's current global round; directives for older
+// rounds are rejected (the paper: "messages sent by the federator that
+// arrive late (i.e., in the next round) are ignored").
+func (v *Verifier) Verify(env Envelope, currentRound int) error {
+	body, err := envelopeBody(env.Seq, env.Directive)
+	if err != nil {
+		return err
+	}
+	if !ed25519.Verify(v.pub, body, env.Signature) {
+		return ErrBadSignature
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if env.Seq <= v.lastSeq {
+		return fmt.Errorf("%w: seq %d after %d", ErrReplay, env.Seq, v.lastSeq)
+	}
+	if env.Directive.Round < currentRound {
+		return fmt.Errorf("%w: round %d, current %d", ErrStaleRound, env.Directive.Round, currentRound)
+	}
+	v.lastSeq = env.Seq
+	return nil
+}

@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"math"
+	"time"
+
+	"aergia/internal/comm"
+)
+
+// The paper notes (§4.3) that Algorithms 1 and 2 "can be modified to
+// support heterogeneous network transmission latencies and bandwidths,
+// which is straightforward and has been omitted for space reasons". This
+// file implements that extension: the offloading-point search additionally
+// accounts for the time to ship the frozen model from the weak to the
+// strong client, so pairs behind slow links are penalized and the offload
+// point shifts to keep both chains balanced.
+
+// LinkCost describes the directed link used for a model offload.
+type LinkCost struct {
+	// Latency is the one-way message latency.
+	Latency time.Duration
+	// BandwidthBps is the sustainable bandwidth in bytes per second;
+	// zero or negative means infinite.
+	BandwidthBps float64
+}
+
+// TransferTime returns the time to move `bytes` across the link.
+func (l LinkCost) TransferTime(bytes int) time.Duration {
+	d := l.Latency
+	if l.BandwidthBps > 0 && bytes > 0 {
+		d += time.Duration(float64(bytes) / l.BandwidthBps * float64(time.Second))
+	}
+	return d
+}
+
+// NetworkModel yields the link cost between two clients.
+type NetworkModel func(from, to comm.NodeID) LinkCost
+
+// UniformNetwork returns a NetworkModel with identical links everywhere.
+func UniformNetwork(latency time.Duration, bandwidthBps float64) NetworkModel {
+	return func(comm.NodeID, comm.NodeID) LinkCost {
+		return LinkCost{Latency: latency, BandwidthBps: bandwidthBps}
+	}
+}
+
+// NetConfig extends Config with link awareness.
+type NetConfig struct {
+	Config
+	// Network models inter-client links; nil disables the extension.
+	Network NetworkModel
+	// ModelBytes is the serialized size of an offloaded model.
+	ModelBytes int
+}
+
+// OffloadPointNet extends Algorithm 2 with the model transfer time: the
+// strong client cannot start the offloaded feature training before the
+// frozen model arrives, so its chain becomes
+//
+//	max(rb*t_b, d*t_a + transfer) + (ra-d)*x_b
+//
+// while the weak chain is unchanged.
+func OffloadPointNet(weak, strong Perf, transfer time.Duration) (time.Duration, int) {
+	ra, rb := weak.Remaining, strong.Remaining
+	if ra <= 0 || rb < 0 {
+		return 0, 0
+	}
+	ta := weak.Full()
+	tb := strong.Full()
+	xb := strong.T4
+	best := time.Duration(math.MaxInt64)
+	bestD := 0
+	for d := 1; d <= ra; d++ {
+		weakChain := time.Duration(d)*ta + time.Duration(ra-d)*weak.T123
+		arrival := time.Duration(d)*ta + transfer
+		strongStart := time.Duration(rb) * tb
+		if arrival > strongStart {
+			strongStart = arrival
+		}
+		strongChain := strongStart + time.Duration(ra-d)*xb
+		ct := weakChain
+		if strongChain > ct {
+			ct = strongChain
+		}
+		if ct > best {
+			return best, bestD
+		}
+		best = ct
+		bestD = d
+	}
+	return best, bestD
+}
+
+// ComputeNet runs Algorithm 1 with the network extension. With a nil
+// Network it behaves exactly like Compute.
+func ComputeNet(round int, perfs []Perf, cfg NetConfig) (Schedule, error) {
+	if cfg.Network == nil {
+		return Compute(round, perfs, cfg.Config)
+	}
+	if len(perfs) == 0 {
+		return Schedule{}, ErrNoClients
+	}
+	for _, p := range perfs {
+		if p.Remaining < 0 || p.T123 < 0 || p.T4 < 0 {
+			return Schedule{}, errInvalidPerf(p)
+		}
+	}
+	var total time.Duration
+	for _, p := range perfs {
+		total += p.Expected()
+	}
+	mct := total / time.Duration(len(perfs))
+
+	var sending, receiving []Perf
+	for _, p := range perfs {
+		if p.Expected() > mct {
+			sending = append(sending, p)
+		} else {
+			receiving = append(receiving, p)
+		}
+	}
+	sortSendingDesc(sending)
+	sortReceivingAsc(receiving)
+
+	out := Schedule{Round: round, MeanComputeTime: mct}
+	for _, weak := range sending {
+		if len(receiving) == 0 {
+			break
+		}
+		bestIdx := -1
+		var bestPair Pair
+		bestCost := math.Inf(1)
+		for i, strong := range receiving {
+			transfer := cfg.Network(weak.ID, strong.ID).TransferTime(cfg.ModelBytes)
+			ct, d := OffloadPointNet(weak, strong, transfer)
+			if d <= 0 {
+				continue
+			}
+			s := cfg.simBetween(weak.ID, strong.ID)
+			cost := float64(ct) * (1 + math.Log(s*cfg.SimilarityFactor+1))
+			if cost < bestCost {
+				bestCost = cost
+				bestIdx = i
+				bestPair = Pair{
+					Weak:             weak.ID,
+					Strong:           strong.ID,
+					OffloadAfter:     d,
+					OffloadedUpdates: weak.Remaining - d,
+					Estimate:         ct,
+				}
+			}
+		}
+		if bestIdx < 0 || bestPair.Estimate >= weak.Expected() {
+			continue
+		}
+		out.Pairs = append(out.Pairs, bestPair)
+		receiving = append(receiving[:bestIdx], receiving[bestIdx+1:]...)
+	}
+	return out, nil
+}

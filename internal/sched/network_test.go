@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"aergia/internal/comm"
+)
+
+func TestLinkCostTransferTime(t *testing.T) {
+	l := LinkCost{Latency: 100 * time.Millisecond, BandwidthBps: 1000}
+	if got := l.TransferTime(500); got != 600*time.Millisecond {
+		t.Fatalf("transfer = %v, want 600ms", got)
+	}
+	inf := LinkCost{Latency: 50 * time.Millisecond}
+	if got := inf.TransferTime(1 << 30); got != 50*time.Millisecond {
+		t.Fatalf("infinite-bandwidth transfer = %v", got)
+	}
+}
+
+func TestOffloadPointNetZeroTransferMatchesBase(t *testing.T) {
+	weak := perfFromSpeed(0, 0.1, 40)
+	strong := perfFromSpeed(1, 1.0, 40)
+	baseCT, baseD := OffloadPoint(weak, strong)
+	netCT, netD := OffloadPointNet(weak, strong, 0)
+	if baseCT != netCT || baseD != netD {
+		t.Fatalf("zero-transfer mismatch: (%v,%d) vs (%v,%d)", baseCT, baseD, netCT, netD)
+	}
+}
+
+func TestOffloadPointNetSlowLinkWorsensEstimate(t *testing.T) {
+	weak := perfFromSpeed(0, 0.1, 40)
+	strong := perfFromSpeed(1, 1.0, 40)
+	fastCT, _ := OffloadPointNet(weak, strong, 0)
+	slowCT, slowD := OffloadPointNet(weak, strong, 30*time.Second)
+	if slowD <= 0 {
+		t.Fatalf("slow link d = %d", slowD)
+	}
+	if slowCT <= fastCT {
+		t.Fatalf("slow-link estimate %v not worse than fast %v", slowCT, fastCT)
+	}
+}
+
+func TestComputeNetNilNetworkDelegates(t *testing.T) {
+	perfs := []Perf{
+		perfFromSpeed(0, 0.1, 40),
+		perfFromSpeed(1, 1.0, 40),
+	}
+	base, err := Compute(3, perfs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := ComputeNet(3, perfs, NetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Pairs) != len(net.Pairs) {
+		t.Fatalf("pair counts differ: %d vs %d", len(base.Pairs), len(net.Pairs))
+	}
+	for i := range base.Pairs {
+		if base.Pairs[i] != net.Pairs[i] {
+			t.Fatalf("pair %d differs: %+v vs %+v", i, base.Pairs[i], net.Pairs[i])
+		}
+	}
+}
+
+func TestComputeNetPrefersWellConnectedStrong(t *testing.T) {
+	// Two equally strong candidates; client 2 is behind a terrible link.
+	perfs := []Perf{
+		perfFromSpeed(0, 0.1, 40),
+		perfFromSpeed(1, 1.0, 40),
+		perfFromSpeed(2, 1.0, 40),
+	}
+	network := func(from, to comm.NodeID) LinkCost {
+		if to == 2 {
+			return LinkCost{Latency: time.Hour}
+		}
+		return LinkCost{Latency: time.Millisecond}
+	}
+	s, err := ComputeNet(0, perfs, NetConfig{
+		Network:    network,
+		ModelBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Pairs) != 1 || s.Pairs[0].Strong != 1 {
+		t.Fatalf("pairs = %+v, want strong client 1 (good link)", s.Pairs)
+	}
+}
+
+func TestComputeNetSkipsOffloadWhenLinksTooSlow(t *testing.T) {
+	// If every link is so slow that offloading never helps, the schedule
+	// must be empty rather than harmful.
+	perfs := []Perf{
+		perfFromSpeed(0, 0.2, 40),
+		perfFromSpeed(1, 1.0, 40),
+	}
+	s, err := ComputeNet(0, perfs, NetConfig{
+		Network:    UniformNetwork(24*time.Hour, 1),
+		ModelBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Pairs) != 0 {
+		t.Fatalf("pairs = %+v, want none over a dead network", s.Pairs)
+	}
+}
+
+func TestComputeNetEmpty(t *testing.T) {
+	if _, err := ComputeNet(0, nil, NetConfig{Network: UniformNetwork(0, 0)}); err != ErrNoClients {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestComputeNetInvalidPerf(t *testing.T) {
+	bad := []Perf{{ID: 0, T123: -1, Remaining: 5}}
+	if _, err := ComputeNet(0, bad, NetConfig{Network: UniformNetwork(0, 0)}); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"aergia/internal/comm"
+)
+
+// LinkModel yields the latency and bandwidth of the directed link between
+// two nodes. Bandwidth is in bytes per second; zero means infinite.
+type LinkModel func(from, to comm.NodeID) (latency time.Duration, bandwidth float64)
+
+// UniformLink returns a LinkModel with identical parameters on every link.
+func UniformLink(latency time.Duration, bandwidth float64) LinkModel {
+	return func(comm.NodeID, comm.NodeID) (time.Duration, float64) {
+		return latency, bandwidth
+	}
+}
+
+// Network is a simulated fully connected, reliable, asynchronous network
+// over a Kernel (the paper's §3.1 network assumptions). Message delay is
+// latency + size/bandwidth.
+type Network struct {
+	kernel *Kernel
+	link   LinkModel
+	nodes  map[comm.NodeID]comm.Handler
+}
+
+// NewNetwork builds a network on the given kernel and link model.
+func NewNetwork(kernel *Kernel, link LinkModel) *Network {
+	if link == nil {
+		link = UniformLink(0, 0)
+	}
+	return &Network{
+		kernel: kernel,
+		link:   link,
+		nodes:  make(map[comm.NodeID]comm.Handler),
+	}
+}
+
+// Register attaches a handler to a node ID.
+func (n *Network) Register(id comm.NodeID, h comm.Handler) {
+	n.nodes[id] = h
+}
+
+// Env returns the execution environment of a node.
+func (n *Network) Env(id comm.NodeID) comm.Env {
+	return &env{net: n, id: id}
+}
+
+// Kernel exposes the underlying kernel.
+func (n *Network) Kernel() *Kernel { return n.kernel }
+
+// deliver routes a message to its destination handler after the link delay.
+func (n *Network) deliver(msg comm.Message) {
+	dst, ok := n.nodes[msg.To]
+	if !ok {
+		panic(fmt.Sprintf("sim: message %s to unregistered node %d", msg.Kind, msg.To))
+	}
+	lat, bw := n.link(msg.From, msg.To)
+	delay := lat
+	if bw > 0 && msg.Size > 0 {
+		delay += time.Duration(float64(msg.Size) / bw * float64(time.Second))
+	}
+	n.kernel.Schedule(delay, func() {
+		dst.OnMessage(n.Env(msg.To), msg)
+	})
+}
+
+// env implements comm.Env for one node on the simulated network.
+type env struct {
+	net *Network
+	id  comm.NodeID
+}
+
+var _ comm.Env = (*env)(nil)
+
+func (e *env) Now() time.Duration { return e.net.kernel.Now() }
+
+func (e *env) Send(msg comm.Message) {
+	msg.From = e.id
+	e.net.deliver(msg)
+}
+
+func (e *env) After(d time.Duration, fn func()) comm.Timer {
+	return e.net.kernel.Schedule(d, fn)
+}

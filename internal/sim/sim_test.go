@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"aergia/internal/comm"
+)
+
+func TestKernelOrdersEventsByTime(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.Schedule(3*time.Second, func() { order = append(order, 3) })
+	k.Schedule(1*time.Second, func() { order = append(order, 1) })
+	k.Schedule(2*time.Second, func() { order = append(order, 2) })
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if k.Now() != 3*time.Second {
+		t.Fatalf("Now = %v", k.Now())
+	}
+}
+
+func TestKernelFIFOForSimultaneousEvents(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events reordered: %v", order)
+		}
+	}
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	var fired []time.Duration
+	k.Schedule(time.Second, func() {
+		fired = append(fired, k.Now())
+		k.Schedule(2*time.Second, func() {
+			fired = append(fired, k.Now())
+		})
+	})
+	k.Run()
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 3*time.Second {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	h := k.Schedule(time.Second, func() { ran = true })
+	h.Cancel()
+	k.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestKernelNegativeDelayClamped(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(time.Second, func() {})
+	k.Run()
+	ran := false
+	k.Schedule(-time.Second, func() { ran = true })
+	k.Run()
+	if !ran {
+		t.Fatal("negative-delay event did not run")
+	}
+	if k.Now() != time.Second {
+		t.Fatalf("clock moved backward: %v", k.Now())
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel()
+	var fired []int
+	k.Schedule(1*time.Second, func() { fired = append(fired, 1) })
+	k.Schedule(5*time.Second, func() { fired = append(fired, 5) })
+	k.RunUntil(3 * time.Second)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if k.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want 3s", k.Now())
+	}
+	k.Run()
+	if len(fired) != 2 {
+		t.Fatalf("remaining event lost: %v", fired)
+	}
+}
+
+type recorder struct {
+	got []comm.Message
+	at  []time.Duration
+	env comm.Env
+}
+
+func (r *recorder) OnMessage(env comm.Env, msg comm.Message) {
+	r.got = append(r.got, msg)
+	r.at = append(r.at, env.Now())
+	r.env = env
+}
+
+func TestNetworkDelivery(t *testing.T) {
+	k := NewKernel()
+	n := NewNetwork(k, UniformLink(100*time.Millisecond, 1000)) // 1000 B/s
+	a, b := &recorder{}, &recorder{}
+	n.Register(1, a)
+	n.Register(2, b)
+	env := n.Env(1)
+	env.Send(comm.Message{To: 2, Kind: comm.KindTrain, Size: 500})
+	k.Run()
+	if len(b.got) != 1 {
+		t.Fatalf("b received %d messages", len(b.got))
+	}
+	// 100ms latency + 500B/1000Bps = 600ms total.
+	if b.at[0] != 600*time.Millisecond {
+		t.Fatalf("delivery at %v, want 600ms", b.at[0])
+	}
+	if b.got[0].From != 1 {
+		t.Fatalf("From = %d, want 1 (stamped by env)", b.got[0].From)
+	}
+}
+
+func TestNetworkZeroBandwidthMeansInstantTransfer(t *testing.T) {
+	k := NewKernel()
+	n := NewNetwork(k, UniformLink(50*time.Millisecond, 0))
+	r := &recorder{}
+	n.Register(2, r)
+	n.Env(1).Send(comm.Message{To: 2, Size: 1 << 30})
+	// Registering sender not required for sending.
+	k.Run()
+	if len(r.got) != 1 || r.at[0] != 50*time.Millisecond {
+		t.Fatalf("at = %v", r.at)
+	}
+}
+
+func TestNetworkUnregisteredDestinationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unregistered destination")
+		}
+	}()
+	k := NewKernel()
+	n := NewNetwork(k, nil)
+	n.Env(1).Send(comm.Message{To: 9})
+	k.Run()
+}
+
+func TestEnvAfterTimerCancel(t *testing.T) {
+	k := NewKernel()
+	n := NewNetwork(k, nil)
+	env := n.Env(1)
+	ran := false
+	timer := env.After(time.Second, func() { ran = true })
+	timer.Cancel()
+	k.Run()
+	if ran {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []time.Duration {
+		k := NewKernel()
+		n := NewNetwork(k, UniformLink(10*time.Millisecond, 1e6))
+		r := &recorder{}
+		n.Register(2, r)
+		env := n.Env(1)
+		for i := 0; i < 20; i++ {
+			env.Send(comm.Message{To: 2, Size: i * 100})
+		}
+		k.Run()
+		return r.at
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("replay lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("replay diverged")
+		}
+	}
+}

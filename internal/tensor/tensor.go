@@ -1,0 +1,290 @@
+// Package tensor provides a small dense float64 tensor library that backs
+// the neural-network substrate. It supports the shapes and operations needed
+// to train the convolutional classifiers evaluated in the Aergia paper:
+// element-wise arithmetic, matrix multiplication, 2D convolution (forward
+// and backward), max pooling, and deterministic random initialization.
+//
+// Tensors store data in row-major order. The package is deliberately free of
+// external dependencies and unsafe tricks; clarity and determinism matter
+// more than peak throughput for a simulation-driven reproduction.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major float64 tensor.
+type Tensor struct {
+	shape []int
+	data  []float64
+}
+
+var (
+	// ErrShapeMismatch is returned when two tensors with incompatible
+	// shapes are combined.
+	ErrShapeMismatch = errors.New("tensor: shape mismatch")
+	// ErrBadShape is returned when a shape with non-positive dimensions
+	// is supplied.
+	ErrBadShape = errors.New("tensor: invalid shape")
+)
+
+// New returns a zero-filled tensor with the given shape.
+func New(shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("%w: %v", ErrBadShape, shape)
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: make([]float64, n)}, nil
+}
+
+// MustNew is New but panics on an invalid shape. It is intended for
+// statically known shapes (e.g. layer construction with validated configs).
+func MustNew(shape ...int) *Tensor {
+	t, err := New(shape...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is copied.
+func FromSlice(data []float64, shape ...int) (*Tensor, error) {
+	t, err := New(shape...)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) != len(t.data) {
+		return nil, fmt.Errorf("%w: data length %d, shape %v needs %d",
+			ErrShapeMismatch, len(data), shape, len(t.data))
+	}
+	copy(t.data, data)
+	return t, nil
+}
+
+// Shape returns a copy of the tensor's shape.
+func (t *Tensor) Shape() []int {
+	s := make([]int, len(t.shape))
+	copy(s, t.shape)
+	return s
+}
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.data) }
+
+// Data returns the underlying storage. Mutating it mutates the tensor;
+// callers inside the nn package use this for performance-critical loops.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{shape: make([]int, len(t.shape)), data: make([]float64, len(t.data))}
+	copy(c.shape, t.shape)
+	copy(c.data, t.data)
+	return c
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i, d := range t.shape {
+		if o.shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// Reshape returns a view-copy with the new shape; the element count must
+// be preserved.
+func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("%w: %v", ErrBadShape, shape)
+		}
+		n *= d
+	}
+	if n != len(t.data) {
+		return nil, fmt.Errorf("%w: cannot reshape %v to %v", ErrShapeMismatch, t.shape, shape)
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: t.data}, nil
+}
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float64 {
+	return t.data[t.offset(idx)]
+}
+
+// Set assigns the element at the given multi-dimensional index.
+func (t *Tensor) Set(v float64, idx ...int) {
+	t.data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.shape))
+	}
+	off := 0
+	for i, ix := range idx {
+		if ix < 0 || ix >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + ix
+	}
+	return off
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// AddInPlace adds o element-wise into t.
+func (t *Tensor) AddInPlace(o *Tensor) error {
+	if !t.SameShape(o) {
+		return fmt.Errorf("%w: %v vs %v", ErrShapeMismatch, t.shape, o.shape)
+	}
+	for i, v := range o.data {
+		t.data[i] += v
+	}
+	return nil
+}
+
+// SubInPlace subtracts o element-wise from t.
+func (t *Tensor) SubInPlace(o *Tensor) error {
+	if !t.SameShape(o) {
+		return fmt.Errorf("%w: %v vs %v", ErrShapeMismatch, t.shape, o.shape)
+	}
+	for i, v := range o.data {
+		t.data[i] -= v
+	}
+	return nil
+}
+
+// ScaleInPlace multiplies every element by a.
+func (t *Tensor) ScaleInPlace(a float64) {
+	for i := range t.data {
+		t.data[i] *= a
+	}
+}
+
+// AxpyInPlace computes t += a*o (BLAS axpy).
+func (t *Tensor) AxpyInPlace(a float64, o *Tensor) error {
+	if !t.SameShape(o) {
+		return fmt.Errorf("%w: %v vs %v", ErrShapeMismatch, t.shape, o.shape)
+	}
+	for i, v := range o.data {
+		t.data[i] += a * v
+	}
+	return nil
+}
+
+// Add returns t + o as a new tensor.
+func Add(t, o *Tensor) (*Tensor, error) {
+	c := t.Clone()
+	if err := c.AddInPlace(o); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Sub returns t - o as a new tensor.
+func Sub(t, o *Tensor) (*Tensor, error) {
+	c := t.Clone()
+	if err := c.SubInPlace(o); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Scale returns a*t as a new tensor.
+func Scale(a float64, t *Tensor) *Tensor {
+	c := t.Clone()
+	c.ScaleInPlace(a)
+	return c
+}
+
+// Dot returns the inner product of two equally shaped tensors.
+func Dot(a, b *Tensor) (float64, error) {
+	if !a.SameShape(b) {
+		return 0, fmt.Errorf("%w: %v vs %v", ErrShapeMismatch, a.shape, b.shape)
+	}
+	var s float64
+	for i, v := range a.data {
+		s += v * b.data[i]
+	}
+	return s, nil
+}
+
+// Norm2 returns the Euclidean norm of the tensor.
+func (t *Tensor) Norm2() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// MaxIndex returns the index of the maximum element in a flat view.
+func (t *Tensor) MaxIndex() int {
+	best := 0
+	for i, v := range t.data {
+		if v > t.data[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Equal reports element-wise equality within tolerance eps.
+func Equal(a, b *Tensor, eps float64) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i, v := range a.data {
+		if math.Abs(v-b.data[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description (shape plus a few leading values).
+func (t *Tensor) String() string {
+	n := len(t.data)
+	if n > 4 {
+		n = 4
+	}
+	return fmt.Sprintf("Tensor%v%v…", t.shape, t.data[:n])
+}

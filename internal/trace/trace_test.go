@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"aergia/internal/comm"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Record(time.Second, 1, 0, TrainStart, "x")
+	if l.Len() != 0 || l.Events() != nil {
+		t.Fatal("nil log should be inert")
+	}
+}
+
+func TestEventsOrderedByTime(t *testing.T) {
+	l := NewLog()
+	l.Record(3*time.Second, 1, 0, UpdateSent, "")
+	l.Record(1*time.Second, 2, 0, TrainStart, "")
+	l.Record(2*time.Second, 1, 0, ProfileSent, "")
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Kind != TrainStart || evs[2].Kind != UpdateSent {
+		t.Fatalf("order = %v, %v, %v", evs[0].Kind, evs[1].Kind, evs[2].Kind)
+	}
+}
+
+func TestRenderAndLanes(t *testing.T) {
+	l := NewLog()
+	l.Record(0, comm.FederatorID, 0, RoundStart, "2 clients")
+	l.Record(time.Second, 1, 0, TrainStart, "")
+	l.Record(2*time.Second, 1, 0, ModelFrozen, "after 3 batches")
+	l.Record(2*time.Second, 1, 0, OffloadSent, "to client 2")
+	l.Record(3*time.Second, 2, 0, HelperStart, "")
+	l.Record(4*time.Second, 2, 0, HelperDone, "")
+	l.Record(5*time.Second, comm.FederatorID, 0, RoundEnd, "")
+
+	var render strings.Builder
+	if err := l.Render(&render); err != nil {
+		t.Fatal(err)
+	}
+	out := render.String()
+	for _, want := range []string{"federator", "client 1", "model-frozen", "round-end"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	var lanes strings.Builder
+	if err := l.Lanes(&lanes, 40); err != nil {
+		t.Fatal(err)
+	}
+	lo := lanes.String()
+	lines := strings.Split(strings.TrimSpace(lo), "\n")
+	// Legend + 3 lanes (federator, client 1, client 2).
+	if len(lines) != 4 {
+		t.Fatalf("lanes lines = %d:\n%s", len(lines), lo)
+	}
+	if !strings.Contains(lo, "f") || !strings.Contains(lo, "#") {
+		t.Fatalf("lane glyphs missing:\n%s", lo)
+	}
+}
+
+func TestLanesEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := NewLog().Lanes(&b, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no events") {
+		t.Fatalf("empty lanes = %q", b.String())
+	}
+}
+
+func TestFilterRoundAndCounts(t *testing.T) {
+	l := NewLog()
+	l.Record(1, 1, 0, TrainStart, "")
+	l.Record(2, 1, 1, TrainStart, "")
+	l.Record(3, 1, 1, UpdateSent, "")
+	r1 := l.FilterRound(1)
+	if len(r1) != 2 {
+		t.Fatalf("round-1 events = %d", len(r1))
+	}
+	counts := KindCounts(r1)
+	if counts[TrainStart] != 1 || counts[UpdateSent] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{
+		RoundStart, TrainStart, ProfileSent, ScheduleSent, ModelFrozen,
+		OffloadSent, HelperStart, HelperDone, UpdateSent, RoundEnd,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "unknown" || seen[s] {
+			t.Fatalf("kind %d renders %q", k, s)
+		}
+		seen[s] = true
+	}
+	if Kind(99).String() != "unknown" {
+		t.Fatal("unknown kind should render 'unknown'")
+	}
+}
