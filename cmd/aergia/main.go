@@ -2,9 +2,15 @@
 //
 // Usage:
 //
-//	aergia -experiment fig6          # full-scale run of one experiment
-//	aergia -experiment all -quick    # quick pass over every experiment
-//	aergia -list                     # list experiment IDs
+//	aergia -experiment fig6                       # full-scale run of one experiment
+//	aergia -experiment all -quick                 # quick pass over every experiment
+//	aergia -experiment fig6 -backend parallel     # same numbers, all cores
+//	aergia -experiment fig6 -backend parallel -workers 4
+//	aergia -list                                  # list experiment IDs
+//
+// The -backend flag selects the compute backend for all model math; serial
+// and parallel produce bit-identical results under the same -seed, so the
+// choice only affects wall-clock time.
 package main
 
 import (
@@ -31,6 +37,8 @@ func run(args []string, out io.Writer) error {
 		experiment = fs.String("experiment", "", "experiment ID (see -list) or 'all'")
 		quick      = fs.Bool("quick", false, "use the reduced benchmark-scale configuration")
 		seed       = fs.Uint64("seed", 1, "experiment seed")
+		backend    = fs.String("backend", "serial", "compute backend: serial or parallel")
+		workers    = fs.Int("workers", 0, "parallel backend worker count (0 = GOMAXPROCS)")
 		list       = fs.Bool("list", false, "list available experiments")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -47,7 +55,9 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("missing -experiment (or -list); available: %s",
 			strings.Join(experiments.Names(), ", "))
 	}
-	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	// Runners validate the options themselves (experiments.validated), so a
+	// bad -backend fails on the first experiment before any work starts.
+	opt := experiments.Options{Quick: *quick, Seed: *seed, Backend: *backend, Workers: *workers}
 	names := []string{*experiment}
 	if *experiment == "all" {
 		names = experiments.Names()

@@ -7,7 +7,6 @@
 package main
 
 import (
-	"crypto/rand"
 	"fmt"
 	"log"
 	"time"
@@ -64,7 +63,9 @@ func run() error {
 		return err
 	}
 
-	signer, err := sched.NewSigner(rand.Reader)
+	// Deterministic key material: the example is a reproducible demo, so the
+	// signer derives from a fixed seed like the simulator does.
+	signer, err := sched.NewSigner(tensor.NewRNG(3 ^ 0x5ea1ed))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,3 @@
+module aergia
+
+go 1.24

@@ -56,6 +56,7 @@ func AsyncStudy(opt Options) ([]AsyncComparison, error) {
 		NoiseStd:      s.noiseStd,
 		SpeedJitter:   s.speedJitter,
 		Seed:          opt.seed(),
+		Backend:       opt.backend(),
 	}
 	asyncRes, err := fl.RunAsync(asyncCfg)
 	if err != nil {

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestQuickRunBackendParity renders a full quick experiment through the
+// public runner path with the serial backend and with the parallel backend
+// at two worker counts; the reports must be byte-identical. This is the
+// end-to-end guarantee behind `aergia -backend parallel`: the flag changes
+// wall-clock time, never the figures.
+func TestQuickRunBackendParity(t *testing.T) {
+	run := func(opt Options) string {
+		var buf bytes.Buffer
+		if err := Registry["fig1a"](opt, &buf); err != nil {
+			t.Fatalf("fig1a %+v: %v", opt, err)
+		}
+		return buf.String()
+	}
+	ref := run(Options{Quick: true, Seed: 3})
+	for _, workers := range []int{2, 4} {
+		got := run(Options{Quick: true, Seed: 3, Backend: "parallel", Workers: workers})
+		if got != ref {
+			t.Fatalf("fig1a output diverged with parallel workers=%d:\nserial:\n%s\nparallel:\n%s",
+				workers, ref, got)
+		}
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{}).Validate(); err != nil {
+		t.Fatalf("default options invalid: %v", err)
+	}
+	if err := (Options{Backend: "parallel", Workers: 2}).Validate(); err != nil {
+		t.Fatalf("parallel options invalid: %v", err)
+	}
+	if err := (Options{Backend: "quantum"}).Validate(); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	// Runners must reject bad options themselves, not just the CLI.
+	if err := Registry["table1"](Options{Backend: "quantum"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("runner accepted unknown backend")
+	}
+}

@@ -27,6 +27,14 @@ type Options struct {
 	Quick bool
 	// Seed drives all randomness; 0 selects the default (1).
 	Seed uint64
+	// Backend selects the compute backend for all model math: "" or
+	// "serial" for the single-threaded reference, "parallel" for the
+	// worker-pool backend. Results are bit-identical either way; only
+	// wall-clock time changes.
+	Backend string
+	// Workers sizes the parallel backend's worker pool; 0 means GOMAXPROCS.
+	// Ignored by the serial backend.
+	Workers int
 }
 
 func (o Options) seed() uint64 {
@@ -34,6 +42,22 @@ func (o Options) seed() uint64 {
 		return 1
 	}
 	return o.Seed
+}
+
+// Validate rejects unknown backend names early, before any runner starts.
+func (o Options) Validate() error {
+	_, err := tensor.NewBackend(o.Backend, o.Workers)
+	return err
+}
+
+// backend materializes the configured compute backend. Unknown names fall
+// back to serial; Validate catches them at the CLI boundary.
+func (o Options) backend() tensor.Backend {
+	be, err := tensor.NewBackend(o.Backend, o.Workers)
+	if err != nil {
+		return tensor.Serial{}
+	}
+	return be
 }
 
 // scale bundles the per-mode experiment sizes.
@@ -108,8 +132,9 @@ func (o Options) baseConfig(kind dataset.Kind, strat fl.Strategy) fl.Config {
 		EvalEvery:    s.evalEvery,
 		// Edge-grade links: 10ms latency, ~1 MB/s; model transfers (global
 		// distribution, offloads, updates) pay their wire cost.
-		Link: sim.UniformLink(10*time.Millisecond, 1e6),
-		Seed: o.seed(),
+		Link:    sim.UniformLink(10*time.Millisecond, 1e6),
+		Seed:    o.seed(),
+		Backend: o.backend(),
 	}
 }
 
@@ -127,22 +152,33 @@ func strategies(participants int) []fl.Strategy {
 // Runner executes one experiment and writes its report.
 type Runner func(opt Options, w io.Writer) error
 
+// validated wraps a runner with option validation so a mistyped backend
+// name fails loudly instead of silently running on the serial fallback.
+func validated(r Runner) Runner {
+	return func(opt Options, w io.Writer) error {
+		if err := opt.Validate(); err != nil {
+			return err
+		}
+		return r(opt, w)
+	}
+}
+
 // Registry maps experiment IDs (paper figure/table numbers) to runners.
 var Registry = map[string]Runner{
-	"fig1a":           runFig1a,
-	"fig1b":           runFig1b,
-	"fig1c":           runFig1c,
-	"fig4":            runFig4,
-	"fig6":            runFig6,
-	"fig7":            runFig7,
-	"fig8":            runFig8,
-	"fig9":            runFig9,
-	"fig10":           runFig10,
-	"table1":          runTable1,
-	"profiler":        runProfiler,
-	"ablation-freeze": runAblationFreeze,
-	"ablation-sched":  runAblationSched,
-	"async":           runAsyncStudy,
+	"fig1a":           validated(runFig1a),
+	"fig1b":           validated(runFig1b),
+	"fig1c":           validated(runFig1c),
+	"fig4":            validated(runFig4),
+	"fig6":            validated(runFig6),
+	"fig7":            validated(runFig7),
+	"fig8":            validated(runFig8),
+	"fig9":            validated(runFig9),
+	"fig10":           validated(runFig10),
+	"table1":          validated(runTable1),
+	"profiler":        validated(runProfiler),
+	"ablation-freeze": validated(runAblationFreeze),
+	"ablation-sched":  validated(runAblationSched),
+	"async":           validated(runAsyncStudy),
 }
 
 // Names returns the registered experiment IDs in sorted order.

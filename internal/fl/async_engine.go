@@ -33,6 +33,9 @@ type AsyncConfig struct {
 	Link          sim.LinkModel
 	EvalEvery     int
 	Seed          uint64
+	// Backend selects the compute backend shared by every client and the
+	// evaluator; nil means the serial reference.
+	Backend tensor.Backend
 }
 
 func (c *AsyncConfig) fillDefaults() {
@@ -118,6 +121,7 @@ func RunAsync(cfg AsyncConfig) (*AsyncResults, error) {
 			Jitter:           cfg.SpeedJitter,
 			JitterSeed:       cfg.Seed,
 			Cost:             cfg.Cost,
+			Backend:          cfg.Backend,
 			ProfilerOverhead: -1,
 		}
 		if err := client.Init(); err != nil {
@@ -127,7 +131,7 @@ func RunAsync(cfg AsyncConfig) (*AsyncResults, error) {
 	}
 
 	testXs, testYs := test.Inputs(), test.Labels()
-	evalNet, err := nn.Build(cfg.Arch, 1)
+	evaluate, err := newEvaluator(cfg.Arch, cfg.Backend, testXs, testYs)
 	if err != nil {
 		return nil, err
 	}
@@ -142,12 +146,7 @@ func RunAsync(cfg AsyncConfig) (*AsyncResults, error) {
 		Alpha:        cfg.Alpha,
 		TotalUpdates: cfg.TotalUpdates,
 		EvalEvery:    cfg.EvalEvery,
-		Evaluate: func(w nn.Weights) (float64, error) {
-			if err := evalNet.LoadWeights(w); err != nil {
-				return 0, err
-			}
-			return evalNet.Evaluate(testXs, testYs)
-		},
+		Evaluate:     evaluate,
 	}
 	if err := fed.Init(); err != nil {
 		return nil, err

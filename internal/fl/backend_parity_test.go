@@ -1,0 +1,130 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"aergia/internal/dataset"
+	"aergia/internal/nn"
+	"aergia/internal/tensor"
+)
+
+// archForParity is the experiment-scale architecture used by the parity
+// runs; it contains conv, pooling, and dense layers.
+const archForParity = nn.ArchMNISTSmall
+
+// parityConfig is a small but complete experiment: Aergia exercises the
+// profiler, signer, enclave, offloading, and recombination paths on top of
+// the plain training loop.
+func parityConfig(strat Strategy) Config {
+	return Config{
+		Strategy:     strat,
+		Arch:         archForParity,
+		Dataset:      dataset.MNIST,
+		SmallImages:  true,
+		Clients:      5,
+		Rounds:       2,
+		LocalEpochs:  1,
+		BatchSize:    4,
+		TrainSamples: 50,
+		TestSamples:  40,
+		EvalEvery:    1,
+		SpeedJitter:  0.15,
+		Seed:         7,
+	}
+}
+
+// assertResultsIdentical requires two runs to agree bit-for-bit on every
+// quantity the experiments report.
+func assertResultsIdentical(t *testing.T, label string, ref, got *Results) {
+	t.Helper()
+	if math.Float64bits(ref.FinalAccuracy) != math.Float64bits(got.FinalAccuracy) {
+		t.Fatalf("%s: final accuracy %v vs %v", label, ref.FinalAccuracy, got.FinalAccuracy)
+	}
+	if ref.TotalTime != got.TotalTime {
+		t.Fatalf("%s: total time %v vs %v", label, ref.TotalTime, got.TotalTime)
+	}
+	if len(ref.Rounds) != len(got.Rounds) {
+		t.Fatalf("%s: %d rounds vs %d", label, len(ref.Rounds), len(got.Rounds))
+	}
+	for i := range ref.Rounds {
+		r, g := ref.Rounds[i], got.Rounds[i]
+		if r.Duration != g.Duration || r.Completed != g.Completed || r.Offloads != g.Offloads ||
+			math.Float64bits(r.Accuracy) != math.Float64bits(g.Accuracy) {
+			t.Fatalf("%s: round %d stats %+v vs %+v", label, i, r, g)
+		}
+	}
+}
+
+// TestBackendEndToEndParity runs the same fixed-seed experiment on the
+// serial backend and on parallel backends with several worker counts; every
+// reported number must match bit-for-bit.
+func TestBackendEndToEndParity(t *testing.T) {
+	for _, mk := range []struct {
+		name  string
+		strat func() Strategy
+	}{
+		{"fedavg", func() Strategy { return NewFedAvg(0) }},
+		{"aergia", func() Strategy { return NewAergia(0, 1) }},
+	} {
+		cfg := parityConfig(mk.strat())
+		ref, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s serial: %v", mk.name, err)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			cfg := parityConfig(mk.strat())
+			cfg.Backend = tensor.NewParallel(workers)
+			got, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s parallel-%d: %v", mk.name, workers, err)
+			}
+			assertResultsIdentical(t, mk.name+"/parallel-"+string(rune('0'+workers)), ref, got)
+		}
+	}
+}
+
+// TestBackendSeedReproducibility guards the crypto/rand removal: two serial
+// Aergia runs with the same seed must now be bit-identical end to end.
+func TestBackendSeedReproducibility(t *testing.T) {
+	a, err := Run(parityConfig(NewAergia(0, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(parityConfig(NewAergia(0, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, "aergia repeat", a, b)
+}
+
+// TestAsyncBackendParity covers the asynchronous engine's backend path.
+func TestAsyncBackendParity(t *testing.T) {
+	mk := func(be tensor.Backend) AsyncConfig {
+		return AsyncConfig{
+			Arch:         archForParity,
+			Dataset:      dataset.MNIST,
+			SmallImages:  true,
+			Clients:      4,
+			TotalUpdates: 8,
+			BatchSize:    4,
+			TrainSamples: 40,
+			TestSamples:  40,
+			Seed:         7,
+			Backend:      be,
+		}
+	}
+	ref, err := RunAsync(mk(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunAsync(mk(tensor.NewParallel(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(ref.FinalAccuracy) != math.Float64bits(got.FinalAccuracy) ||
+		ref.TotalTime != got.TotalTime {
+		t.Fatalf("async parity: accuracy %v vs %v, time %v vs %v",
+			ref.FinalAccuracy, got.FinalAccuracy, ref.TotalTime, got.TotalTime)
+	}
+}

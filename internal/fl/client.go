@@ -34,6 +34,9 @@ type Client struct {
 	JitterSeed uint64
 	// Cost converts FLOPs into durations.
 	Cost cluster.CostModel
+	// Backend executes the client's model math; all clients of a run share
+	// the same backend (and thus the same worker pool). Nil means serial.
+	Backend tensor.Backend
 	// Verifier checks the federator's signed schedule envelopes.
 	Verifier *sched.Verifier
 	// ProfilerOverhead is the profiler's per-batch overhead fraction;
@@ -77,7 +80,7 @@ var _ comm.Handler = (*Client)(nil)
 // Init builds the client's local network replica. It must be called once
 // before the client receives messages.
 func (c *Client) Init() error {
-	net, err := nn.Build(c.Arch, 1) // weights are overwritten by the global model
+	net, err := nn.BuildWith(c.Arch, 1, c.Backend) // weights are overwritten by the global model
 	if err != nil {
 		return fmt.Errorf("client %d: build network: %w", c.ID, err)
 	}
@@ -167,6 +170,7 @@ func (c *Client) startRound(env comm.Env, p TrainPayload) {
 		return
 	}
 	c.opt = nn.NewSGD(p.Config.LR)
+	c.opt.Backend = c.Backend
 	if p.Config.Mu > 0 {
 		c.opt.Mu = p.Config.Mu
 		c.opt.SetGlobalReference(p.Global)
@@ -475,7 +479,7 @@ func (c *Client) maybeRunHelper(env comm.Env) {
 // runHelperTraining trains the offloaded model's feature section on the
 // strong client's own data and returns it to the federator.
 func (c *Client) runHelperTraining(env comm.Env, job OffloadPayload, updates int) {
-	scratch, err := nn.Build(c.Arch, 1)
+	scratch, err := nn.BuildWith(c.Arch, 1, c.Backend)
 	if err != nil {
 		c.logf("client %d: helper network: %v", c.ID, err)
 		return
@@ -485,6 +489,7 @@ func (c *Client) runHelperTraining(env comm.Env, job OffloadPayload, updates int
 		return
 	}
 	opt := nn.NewSGD(c.cfg.LR)
+	opt.Backend = c.Backend
 	for i := 0; i < updates; i++ {
 		b := i % len(c.batchXs)
 		if _, err := scratch.TrainBatch(c.batchXs[b], c.batchYs[b], opt); err != nil {

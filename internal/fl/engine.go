@@ -1,7 +1,6 @@
 package fl
 
 import (
-	"crypto/rand"
 	"fmt"
 	"time"
 
@@ -66,6 +65,10 @@ type Config struct {
 	EvalEvery int
 	// Seed drives all randomness (data, speeds, selection, init).
 	Seed uint64
+	// Backend selects the compute backend shared by every client and the
+	// evaluator; nil means the serial reference. Results are bit-identical
+	// across backends and worker counts (see DESIGN.md).
+	Backend tensor.Backend
 	// Trace, when set, records the full event timeline of the run.
 	Trace *trace.Log
 }
@@ -160,20 +163,23 @@ func Run(cfg Config) (*Results, error) {
 	var preTraining time.Duration
 	aergiaStrat, isAergia := cfg.Strategy.(*Aergia)
 	if cfg.Strategy.Offloading() {
-		signer, err = sched.NewSigner(rand.Reader)
+		// All simulated key material and nonces derive from the experiment
+		// seed so that runs are reproducible bit-for-bit.
+		simRand := tensor.NewRNG(cfg.Seed ^ 0x5ea1ed)
+		signer, err = sched.NewSigner(simRand)
 		if err != nil {
 			return nil, err
 		}
 		// Pre-training phase: remote attestation plus sealed submission of
 		// every client's class distribution; the enclave computes the EMD
 		// matrix. This happens once, before round 0 (§4.4).
-		encl, err := enclave.New(rand.Reader)
+		encl, err := enclave.New(simRand)
 		if err != nil {
 			return nil, fmt.Errorf("fl: enclave: %w", err)
 		}
 		report := encl.AttestationReport()
 		for i, shard := range shards {
-			sub, err := enclave.Seal(report, i, shard.ClassDistribution(), rand.Reader)
+			sub, err := enclave.Seal(report, i, shard.ClassDistribution(), simRand)
 			if err != nil {
 				return nil, fmt.Errorf("fl: seal client %d: %w", i, err)
 			}
@@ -236,6 +242,7 @@ func Run(cfg Config) (*Results, error) {
 			Jitter:           cfg.SpeedJitter,
 			JitterSeed:       cfg.Seed,
 			Cost:             cfg.Cost,
+			Backend:          cfg.Backend,
 			Verifier:         verifier,
 			ProfilerOverhead: -1,
 			Trace:            cfg.Trace,
@@ -248,7 +255,7 @@ func Run(cfg Config) (*Results, error) {
 
 	// Federator.
 	testXs, testYs := test.Inputs(), test.Labels()
-	evalNet, err := nn.Build(cfg.Arch, cfg.Seed)
+	evaluate, err := newEvaluator(cfg.Arch, cfg.Backend, testXs, testYs)
 	if err != nil {
 		return nil, err
 	}
@@ -268,14 +275,9 @@ func Run(cfg Config) (*Results, error) {
 			LR:             cfg.LR,
 			ProfileBatches: profileBatches,
 		},
-		Rounds:    cfg.Rounds,
-		EvalEvery: cfg.EvalEvery,
-		Evaluate: func(w nn.Weights) (float64, error) {
-			if err := evalNet.LoadWeights(w); err != nil {
-				return 0, err
-			}
-			return evalNet.Evaluate(testXs, testYs)
-		},
+		Rounds:           cfg.Rounds,
+		EvalEvery:        cfg.EvalEvery,
+		Evaluate:         evaluate,
 		Signer:           signer,
 		Similarity:       simMatrix,
 		SimilarityIndex:  simIndex,

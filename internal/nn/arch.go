@@ -83,6 +83,22 @@ func (a Arch) Classes() int {
 	}
 }
 
+// BuildWith constructs a freshly initialized network for the architecture
+// and installs the given compute backend (nil = serial). Initialization is
+// backend-independent: weights are drawn from the seeded RNG on the calling
+// goroutine, so networks built with the same seed are bit-identical across
+// backends.
+func BuildWith(a Arch, seed uint64, be tensor.Backend) (*Network, error) {
+	n, err := Build(a, seed)
+	if err != nil {
+		return nil, err
+	}
+	if be != nil {
+		n.SetBackend(be)
+	}
+	return n, nil
+}
+
 // Build constructs a freshly initialized network for the architecture.
 // Networks built with the same seed are bit-identical, which the federator
 // relies on to distribute a common initial model.

@@ -20,6 +20,7 @@ type Conv2DLayer struct {
 	gw     *tensor.Tensor
 	gb     *tensor.Tensor
 
+	be        tensor.Backend
 	lastInput *tensor.Tensor
 }
 
@@ -48,10 +49,13 @@ func (l *Conv2DLayer) Name() string {
 	return fmt.Sprintf("conv%dx%d(%d->%d)", l.Kernel, l.Kernel, l.InChannels, l.OutChannels)
 }
 
+// SetBackend implements Layer.
+func (l *Conv2DLayer) SetBackend(be tensor.Backend) { l.be = be }
+
 // Forward implements Layer.
 func (l *Conv2DLayer) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	l.lastInput = x
-	return tensor.Conv2D(x, l.weight, l.bias, l.Pad, l.Stride)
+	return backendOr(l.be).Conv2D(x, l.weight, l.bias, l.Pad, l.Stride)
 }
 
 // Backward implements Layer.
@@ -59,7 +63,7 @@ func (l *Conv2DLayer) Backward(gy *tensor.Tensor) (*tensor.Tensor, error) {
 	if l.lastInput == nil {
 		return nil, ErrNoForward
 	}
-	gx, gw, gb, err := tensor.Conv2DGrads(l.lastInput, l.weight, gy, l.Pad, l.Stride)
+	gx, gw, gb, err := backendOr(l.be).Conv2DGrads(l.lastInput, l.weight, gy, l.Pad, l.Stride)
 	if err != nil {
 		return nil, err
 	}

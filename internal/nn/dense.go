@@ -17,6 +17,7 @@ type DenseLayer struct {
 	gw     *tensor.Tensor
 	gb     *tensor.Tensor
 
+	be        tensor.Backend
 	lastInput *tensor.Tensor
 }
 
@@ -39,23 +40,16 @@ func NewDense(in, out int, rng *tensor.RNG) *DenseLayer {
 // Name implements Layer.
 func (l *DenseLayer) Name() string { return fmt.Sprintf("dense(%d->%d)", l.In, l.Out) }
 
+// SetBackend implements Layer.
+func (l *DenseLayer) SetBackend(be tensor.Backend) { l.be = be }
+
 // Forward implements Layer.
 func (l *DenseLayer) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if x.Dims() != 1 || x.Size() != l.In {
 		return nil, fmt.Errorf("nn: dense expects vector of %d, got %v", l.In, x.Shape())
 	}
 	l.lastInput = x
-	y := tensor.MustNew(l.Out)
-	wd, xd, yd, bd := l.weight.Data(), x.Data(), y.Data(), l.bias.Data()
-	for o := 0; o < l.Out; o++ {
-		row := wd[o*l.In : (o+1)*l.In]
-		s := bd[o]
-		for i, v := range xd {
-			s += row[i] * v
-		}
-		yd[o] = s
-	}
-	return y, nil
+	return backendOr(l.be).DenseForward(l.weight, l.bias, x)
 }
 
 // Backward implements Layer.
@@ -66,23 +60,7 @@ func (l *DenseLayer) Backward(gy *tensor.Tensor) (*tensor.Tensor, error) {
 	if gy.Size() != l.Out {
 		return nil, fmt.Errorf("nn: dense grad size %d, want %d", gy.Size(), l.Out)
 	}
-	gx := tensor.MustNew(l.In)
-	wd, xd := l.weight.Data(), l.lastInput.Data()
-	gyd, gxd, gwd, gbd := gy.Data(), gx.Data(), l.gw.Data(), l.gb.Data()
-	for o := 0; o < l.Out; o++ {
-		g := gyd[o]
-		gbd[o] += g
-		if g == 0 {
-			continue
-		}
-		row := wd[o*l.In : (o+1)*l.In]
-		grow := gwd[o*l.In : (o+1)*l.In]
-		for i, v := range xd {
-			grow[i] += g * v
-			gxd[i] += g * row[i]
-		}
-	}
-	return gx, nil
+	return backendOr(l.be).DenseBackward(l.weight, l.lastInput, gy, l.gw, l.gb)
 }
 
 // Params implements Layer.

@@ -17,9 +17,16 @@ import (
 // Backward must be called after Forward with the gradient of the loss with
 // respect to the layer output; it accumulates parameter gradients internally
 // and returns the gradient with respect to the layer input.
+//
+// Every layer carries a tensor.Backend that executes its compute kernels;
+// layers never call package-level tensor ops directly. A nil (unset) backend
+// means the serial reference backend.
 type Layer interface {
 	// Name identifies the layer kind for diagnostics.
 	Name() string
+	// SetBackend installs the compute backend used by Forward/Backward.
+	// Composite layers propagate it to their children.
+	SetBackend(be tensor.Backend)
 	// Forward computes the layer output for one sample.
 	Forward(x *tensor.Tensor) (*tensor.Tensor, error)
 	// Backward propagates the upstream gradient and accumulates parameter
@@ -38,6 +45,14 @@ type Layer interface {
 	BackwardFLOPs(in []int) float64
 }
 
+// backendOr returns be, or the serial reference backend when be is nil.
+func backendOr(be tensor.Backend) tensor.Backend {
+	if be == nil {
+		return tensor.Serial{}
+	}
+	return be
+}
+
 // ErrNoForward is returned when Backward is invoked before Forward.
 var ErrNoForward = errors.New("nn: Backward called before Forward")
 
@@ -53,6 +68,10 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Name implements Layer.
 func (l *ReLU) Name() string { return "relu" }
+
+// SetBackend implements Layer. ReLU is memory-bound; its element-wise pass
+// always runs on the calling goroutine.
+func (l *ReLU) SetBackend(tensor.Backend) {}
 
 // Forward implements Layer.
 func (l *ReLU) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
@@ -119,6 +138,9 @@ func NewFlatten() *Flatten { return &Flatten{} }
 
 // Name implements Layer.
 func (l *Flatten) Name() string { return "flatten" }
+
+// SetBackend implements Layer. Flatten performs no compute.
+func (l *Flatten) SetBackend(tensor.Backend) {}
 
 // Forward implements Layer.
 func (l *Flatten) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {

@@ -24,6 +24,7 @@ type Network struct {
 	Features   []Layer
 	Classifier []Layer
 
+	backend        tensor.Backend
 	featuresFrozen bool
 }
 
@@ -61,6 +62,25 @@ func (n *Network) OutShape() ([]int, error) {
 		}
 	}
 	return shape, nil
+}
+
+// SetBackend installs the compute backend on the network and every layer.
+// A nil backend selects the serial reference. Networks are single-sample
+// sequential machines; the backend only parallelizes within operations, so
+// switching backends never changes results (see tensor.Backend).
+func (n *Network) SetBackend(be tensor.Backend) {
+	n.backend = be
+	for _, l := range n.Features {
+		l.SetBackend(be)
+	}
+	for _, l := range n.Classifier {
+		l.SetBackend(be)
+	}
+}
+
+// Backend returns the network's compute backend (never nil).
+func (n *Network) Backend() tensor.Backend {
+	return backendOr(n.backend)
 }
 
 // SetFeaturesFrozen toggles freezing of the feature section.
@@ -171,9 +191,13 @@ func (n *Network) TrainBatch(xs []*tensor.Tensor, ys []int, opt *SGD) (float64, 
 		}
 	}
 	inv := 1 / float64(len(xs))
-	scaleGrads(n.classifierGrads(), inv)
+	be := n.Backend()
+	scaleGrads(be, n.classifierGrads(), inv)
 	if !n.featuresFrozen {
-		scaleGrads(n.featureGrads(), inv)
+		scaleGrads(be, n.featureGrads(), inv)
+	}
+	if opt.Backend == nil {
+		opt.Backend = n.backend
 	}
 	if err := opt.Step(n.classifierParams(), n.classifierGrads()); err != nil {
 		return 0, err
@@ -245,9 +269,9 @@ func (n *Network) classifierGrads() []*tensor.Tensor {
 	return gs
 }
 
-func scaleGrads(gs []*tensor.Tensor, a float64) {
+func scaleGrads(be tensor.Backend, gs []*tensor.Tensor, a float64) {
 	for _, g := range gs {
-		g.ScaleInPlace(a)
+		be.Scale(a, g.Data())
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 type MaxPoolLayer struct {
 	Size int
 
+	be        tensor.Backend
 	lastArg   []int
 	lastShape []int
 }
@@ -22,9 +23,12 @@ func NewMaxPool(size int) *MaxPoolLayer { return &MaxPoolLayer{Size: size} }
 // Name implements Layer.
 func (l *MaxPoolLayer) Name() string { return fmt.Sprintf("maxpool%d", l.Size) }
 
+// SetBackend implements Layer.
+func (l *MaxPoolLayer) SetBackend(be tensor.Backend) { l.be = be }
+
 // Forward implements Layer.
 func (l *MaxPoolLayer) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
-	y, arg, err := tensor.MaxPool2D(x, l.Size)
+	y, arg, err := backendOr(l.be).MaxPool2D(x, l.Size)
 	if err != nil {
 		return nil, err
 	}
@@ -38,7 +42,7 @@ func (l *MaxPoolLayer) Backward(gy *tensor.Tensor) (*tensor.Tensor, error) {
 	if l.lastArg == nil {
 		return nil, ErrNoForward
 	}
-	return tensor.MaxPool2DGrad(gy, l.lastArg, l.lastShape)
+	return backendOr(l.be).MaxPool2DGrad(gy, l.lastArg, l.lastShape)
 }
 
 // Params implements Layer.

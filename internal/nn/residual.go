@@ -36,6 +36,15 @@ func (l *ResidualBlock) Name() string {
 	return fmt.Sprintf("resblock(%d)", l.conv1.InChannels)
 }
 
+// SetBackend implements Layer, propagating the backend to the block's
+// child layers.
+func (l *ResidualBlock) SetBackend(be tensor.Backend) {
+	l.conv1.SetBackend(be)
+	l.relu1.SetBackend(be)
+	l.conv2.SetBackend(be)
+	l.relu2.SetBackend(be)
+}
+
 // Forward implements Layer.
 func (l *ResidualBlock) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	h, err := l.conv1.Forward(x)

@@ -17,6 +17,9 @@ type SGD struct {
 	// WeightDecay is the L2 regularization coefficient; 0 disables it.
 	WeightDecay float64
 	Mu          float64 // FedProx proximal coefficient; 0 disables it.
+	// Backend executes the fused update kernels; nil selects the serial
+	// reference. Network.TrainBatch fills it in from the network when unset.
+	Backend tensor.Backend
 
 	global   []float64 // flattened reference weights for the proximal term
 	refs     map[*tensor.Tensor]refAssign
@@ -47,6 +50,17 @@ func (o *SGD) Step(params, grads []*tensor.Tensor) error {
 			return fmt.Errorf("nn: param %d size %d vs grad %d", i, p.Size(), g.Size())
 		}
 		pd, gd := p.Data(), g.Data()
+		if o.WeightDecay == 0 && o.Mu == 0 && o.Momentum == 0 {
+			// Plain SGD reduces to one fused axpy: p += (-LR)·g. IEEE-754
+			// negation and subtraction commute exactly (a - b == a + (-b)),
+			// so this is bit-identical to the general loop below.
+			if o.Backend != nil {
+				o.Backend.Axpy(-o.LR, gd, pd)
+			} else {
+				tensor.Serial{}.Axpy(-o.LR, gd, pd)
+			}
+			continue
+		}
 		var prox []float64
 		if o.Mu > 0 {
 			ref, err := o.referenceFor(p)

@@ -1,0 +1,196 @@
+package tensor
+
+import "fmt"
+
+// Backend is the pluggable compute substrate behind every tensor operation
+// the neural-network layers perform. Two implementations exist:
+//
+//   - Serial: the original single-threaded kernels (the correctness
+//     reference); and
+//   - Parallel: a worker-pool implementation with row-blocked matrix
+//     multiplication and im2col-based convolution.
+//
+// Both implementations are guaranteed to produce bit-identical results for
+// identical inputs: every output element is accumulated in exactly the same
+// floating-point order by both backends (see DESIGN.md, "Determinism").
+// Parallelism only partitions *independent* output elements across workers;
+// it never splits a single reduction.
+type Backend interface {
+	// Name identifies the backend ("serial" or "parallel").
+	Name() string
+	// Workers reports the parallel width (1 for the serial backend).
+	Workers() int
+
+	// MatMul computes C = A × B for A (m×k) and B (k×n).
+	MatMul(a, b *Tensor) (*Tensor, error)
+	// MatMulTransA computes C = Aᵀ × B for A (k×m) and B (k×n).
+	MatMulTransA(a, b *Tensor) (*Tensor, error)
+	// MatMulTransB computes C = A × Bᵀ for A (m×k) and B (n×k).
+	MatMulTransB(a, b *Tensor) (*Tensor, error)
+
+	// DenseForward computes y = Wx + bias for W (out×in), x (in), bias
+	// (out). A nil bias means zero bias.
+	DenseForward(w, bias, x *Tensor) (*Tensor, error)
+	// DenseBackward computes the gradients of DenseForward: it accumulates
+	// gw += gy ⊗ x and gb += gy, and returns gx = Wᵀ gy.
+	DenseBackward(w, x, gy, gw, gb *Tensor) (*Tensor, error)
+
+	// Conv2D computes a 2-D convolution of x (C,H,W) with kernels
+	// w (F,C,KH,KW) and optional bias b (F).
+	Conv2D(x, w, b *Tensor, pad, stride int) (*Tensor, error)
+	// Conv2DGrads computes the gradients of Conv2D with respect to the
+	// input, kernels, and bias.
+	Conv2DGrads(x, w, gy *Tensor, pad, stride int) (gx, gw, gb *Tensor, err error)
+
+	// MaxPool2D applies non-overlapping max pooling and returns the pooled
+	// tensor plus the flat argmax indices.
+	MaxPool2D(x *Tensor, size int) (*Tensor, []int, error)
+	// MaxPool2DGrad routes gy back through the argmax indices.
+	MaxPool2DGrad(gy *Tensor, arg []int, inShape []int) (*Tensor, error)
+
+	// Axpy computes y += a*x element-wise over raw slices (BLAS axpy). The
+	// slices must have equal length.
+	Axpy(a float64, x, y []float64)
+	// Scale computes x *= a element-wise over a raw slice.
+	Scale(a float64, x []float64)
+}
+
+// Serial is the single-threaded reference backend. Its methods delegate to
+// the original package-level kernels, so it is byte-for-byte the seed
+// implementation.
+type Serial struct{}
+
+var _ Backend = Serial{}
+
+// Name implements Backend.
+func (Serial) Name() string { return "serial" }
+
+// Workers implements Backend.
+func (Serial) Workers() int { return 1 }
+
+// MatMul implements Backend.
+func (Serial) MatMul(a, b *Tensor) (*Tensor, error) { return MatMul(a, b) }
+
+// MatMulTransA implements Backend.
+func (Serial) MatMulTransA(a, b *Tensor) (*Tensor, error) { return MatMulTransA(a, b) }
+
+// MatMulTransB implements Backend.
+func (Serial) MatMulTransB(a, b *Tensor) (*Tensor, error) { return MatMulTransB(a, b) }
+
+// DenseForward implements Backend.
+func (Serial) DenseForward(w, bias, x *Tensor) (*Tensor, error) {
+	return DenseForward(w, bias, x)
+}
+
+// DenseBackward implements Backend.
+func (Serial) DenseBackward(w, x, gy, gw, gb *Tensor) (*Tensor, error) {
+	return DenseBackward(w, x, gy, gw, gb)
+}
+
+// Conv2D implements Backend.
+func (Serial) Conv2D(x, w, b *Tensor, pad, stride int) (*Tensor, error) {
+	return Conv2D(x, w, b, pad, stride)
+}
+
+// Conv2DGrads implements Backend.
+func (Serial) Conv2DGrads(x, w, gy *Tensor, pad, stride int) (*Tensor, *Tensor, *Tensor, error) {
+	return Conv2DGrads(x, w, gy, pad, stride)
+}
+
+// MaxPool2D implements Backend.
+func (Serial) MaxPool2D(x *Tensor, size int) (*Tensor, []int, error) {
+	return MaxPool2D(x, size)
+}
+
+// MaxPool2DGrad implements Backend.
+func (Serial) MaxPool2DGrad(gy *Tensor, arg []int, inShape []int) (*Tensor, error) {
+	return MaxPool2DGrad(gy, arg, inShape)
+}
+
+// Axpy implements Backend.
+func (Serial) Axpy(a float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// Scale implements Backend.
+func (Serial) Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// NewBackend constructs a backend by name: "" or "serial" select the serial
+// reference, "parallel" selects the worker-pool backend with the given
+// worker count (0 = GOMAXPROCS).
+func NewBackend(name string, workers int) (Backend, error) {
+	switch name {
+	case "", "serial":
+		return Serial{}, nil
+	case "parallel":
+		return NewParallel(workers), nil
+	default:
+		return nil, fmt.Errorf("tensor: unknown backend %q (want serial or parallel)", name)
+	}
+}
+
+// DenseForward computes y = Wx + bias for W (out×in), x (in) and bias (out);
+// bias may be nil. This is the serial reference kernel for dense layers.
+func DenseForward(w, bias, x *Tensor) (*Tensor, error) {
+	if w.Dims() != 2 {
+		return nil, fmt.Errorf("%w: DenseForward wants 2-D weights, got %v", ErrShapeMismatch, w.shape)
+	}
+	out, in := w.shape[0], w.shape[1]
+	if x.Size() != in {
+		return nil, fmt.Errorf("%w: DenseForward input %d, want %d", ErrShapeMismatch, x.Size(), in)
+	}
+	if bias != nil && bias.Size() != out {
+		return nil, fmt.Errorf("%w: DenseForward bias %d, want %d", ErrShapeMismatch, bias.Size(), out)
+	}
+	y := MustNew(out)
+	wd, xd, yd := w.data, x.data, y.data
+	for o := 0; o < out; o++ {
+		row := wd[o*in : (o+1)*in]
+		var s float64
+		if bias != nil {
+			s = bias.data[o]
+		}
+		for i, v := range xd {
+			s += row[i] * v
+		}
+		yd[o] = s
+	}
+	return y, nil
+}
+
+// DenseBackward computes the gradients of DenseForward: it accumulates
+// gw += gy ⊗ x and gb += gy in place, and returns gx = Wᵀ gy. This is the
+// serial reference kernel for dense layers.
+func DenseBackward(w, x, gy, gw, gb *Tensor) (*Tensor, error) {
+	if w.Dims() != 2 {
+		return nil, fmt.Errorf("%w: DenseBackward wants 2-D weights, got %v", ErrShapeMismatch, w.shape)
+	}
+	out, in := w.shape[0], w.shape[1]
+	if x.Size() != in || gy.Size() != out || gw.Size() != out*in || gb.Size() != out {
+		return nil, fmt.Errorf("%w: DenseBackward sizes x=%d gy=%d gw=%d gb=%d for (%d×%d)",
+			ErrShapeMismatch, x.Size(), gy.Size(), gw.Size(), gb.Size(), out, in)
+	}
+	gx := MustNew(in)
+	wd, xd := w.data, x.data
+	gyd, gxd, gwd, gbd := gy.data, gx.data, gw.data, gb.data
+	for o := 0; o < out; o++ {
+		g := gyd[o]
+		gbd[o] += g
+		if g == 0 {
+			continue
+		}
+		row := wd[o*in : (o+1)*in]
+		grow := gwd[o*in : (o+1)*in]
+		for i, v := range xd {
+			grow[i] += g * v
+			gxd[i] += g * row[i]
+		}
+	}
+	return gx, nil
+}

@@ -1,0 +1,119 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workerPool is a fixed set of goroutines executing submitted closures. One
+// pool is shared by every Parallel backend of the same width, so concurrent
+// clients in a federated simulation draw from the same bounded set of
+// workers instead of spawning goroutines per operation.
+type workerPool struct {
+	tasks chan func()
+	size  int
+}
+
+var (
+	poolMu sync.Mutex
+	pools  = map[int]*workerPool{}
+)
+
+// getPool returns the shared pool with the given worker count, creating it
+// on first use. workers <= 0 selects GOMAXPROCS. Pools live for the process
+// lifetime; their goroutines are idle (blocked on a channel) when no
+// parallel work is in flight.
+func getPool(workers int) *workerPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if p, ok := pools[workers]; ok {
+		return p
+	}
+	p := &workerPool{tasks: make(chan func(), 4*workers), size: workers}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	pools[workers] = p
+	return p
+}
+
+// parallelFor partitions [0,n) into contiguous blocks and runs fn on each,
+// using the pool for all blocks but the first (which runs on the calling
+// goroutine). It returns when every block has completed. Two mechanisms make
+// it deadlock-free even when a task itself calls parallelFor: a saturated
+// task queue degrades submissions to inline execution, and a waiting caller
+// drains other queued tasks instead of sleeping, so blocked parents always
+// make progress on behalf of their children.
+func (p *workerPool) parallelFor(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.size
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		lo, hi := lo, hi
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}
+		select {
+		case p.tasks <- task:
+		default:
+			task()
+		}
+	}
+	fn(0, chunk)
+	// Drain the queue before blocking: every block of this call was either
+	// enqueued above or ran inline, so once the queue reads empty they have
+	// all been picked up, and waiting only depends on tasks already running.
+	// Waiting relationships follow the call tree (parents wait on children),
+	// which is acyclic, so wg.Wait cannot deadlock even under nesting.
+	for {
+		select {
+		case task := <-p.tasks:
+			task()
+		default:
+			wg.Wait()
+			return
+		}
+	}
+}
+
+// scratch is a process-wide arena of float64 buffers backed by sync.Pool.
+// The parallel backend stages im2col matrices here so steady-state training
+// performs no per-operation allocations for scratch space.
+var scratch = sync.Pool{New: func() any { b := make([]float64, 0, 1024); return &b }}
+
+// getScratch returns a buffer with length n (contents unspecified).
+func getScratch(n int) *[]float64 {
+	bp, ok := scratch.Get().(*[]float64)
+	if !ok || cap(*bp) < n {
+		b := make([]float64, n)
+		return &b
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// putScratch returns a buffer to the arena.
+func putScratch(bp *[]float64) { scratch.Put(bp) }

@@ -1,0 +1,35 @@
+package tensor
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestParallelForNesting locks in the deadlock-freedom guarantee: tasks that
+// themselves call parallelFor on the same pool must complete even when every
+// worker is occupied by a parent task, because waiting parents drain the
+// queue on behalf of their children.
+func TestParallelForNesting(t *testing.T) {
+	p := getPool(4)
+	var leaves atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.parallelFor(16, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				p.parallelFor(16, func(lo, hi int) {
+					leaves.Add(int64(hi - lo))
+				})
+			}
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested parallelFor deadlocked")
+	}
+	if got := leaves.Load(); got != 16*16 {
+		t.Fatalf("ran %d leaf iterations, want %d", got, 16*16)
+	}
+}

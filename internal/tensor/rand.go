@@ -1,6 +1,9 @@
 package tensor
 
-import "math"
+import (
+	"encoding/binary"
+	"math"
+)
 
 // RNG is a small deterministic pseudo-random generator (SplitMix64 core with
 // a xorshift* scramble). Every stochastic component in the repository draws
@@ -50,6 +53,20 @@ func (r *RNG) NormFloat64() float64 {
 		}
 		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
 	}
+}
+
+// Read fills p with pseudo-random bytes and never fails, making *RNG an
+// io.Reader. The simulation uses this to derive signing keys, enclave keys,
+// and nonces deterministically from the experiment seed; these protect
+// nothing outside the simulation, where crypto/rand would break
+// reproducibility.
+func (r *RNG) Read(p []byte) (int, error) {
+	var buf [8]byte
+	for i := 0; i < len(p); i += 8 {
+		binary.LittleEndian.PutUint64(buf[:], r.Uint64())
+		copy(p[i:], buf[:])
+	}
+	return len(p), nil
 }
 
 // Perm returns a pseudo-random permutation of [0,n).
