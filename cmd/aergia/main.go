@@ -5,15 +5,28 @@
 //	aergia -experiment fig6                       # full-scale run of one experiment
 //	aergia -experiment all -quick                 # quick pass over every experiment
 //	aergia -experiment fig6 -backend parallel     # same numbers, all cores
-//	aergia -experiment fig6 -backend parallel -workers 4
+//	aergia -experiment fig6 -json                 # machine-readable result record
 //	aergia -list                                  # list experiment IDs
+//	aergia -sweep '{"experiments":["fig6"],"seeds":[1,2,3]}' -store out.jsonl
+//	aergia -sweep @grid.json -store out.jsonl -jobs 4
 //
 // The -backend flag selects the compute backend for all model math; serial
 // and parallel produce bit-identical results under the same -seed, so the
 // choice only affects wall-clock time.
+//
+// -json swaps the text report for one canonical JSON record per experiment
+// — the same bytes the result store and the aergiad daemon persist, so
+// outputs are diffable across entry points.
+//
+// -sweep runs a parameter grid through the in-process job runner (the same
+// engine behind aergiad): the spec is inline JSON or @file, -jobs bounds
+// the concurrent jobs, and -store makes the run resumable — re-running a
+// sweep against an existing store computes only the missing cells.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +34,8 @@ import (
 	"strings"
 
 	"aergia/internal/experiments"
+	"aergia/internal/metrics"
+	"aergia/internal/runner"
 )
 
 func main() {
@@ -39,6 +54,10 @@ func run(args []string, out io.Writer) error {
 		seed       = fs.Uint64("seed", 1, "experiment seed")
 		backend    = fs.String("backend", "serial", "compute backend: serial or parallel")
 		workers    = fs.Int("workers", 0, "parallel backend worker count (0 = GOMAXPROCS)")
+		jsonOut    = fs.Bool("json", false, "emit canonical JSON result records instead of text reports")
+		sweepSpec  = fs.String("sweep", "", "run a sweep grid: inline JSON spec or @file")
+		storePath  = fs.String("store", "", "result store for -sweep (JSONL, append-only, resumable)")
+		jobs       = fs.Int("jobs", 0, "concurrent jobs for -sweep (0 = GOMAXPROCS)")
 		list       = fs.Bool("list", false, "list available experiments")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -51,29 +70,128 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	}
+	if *sweepSpec != "" {
+		// The sweep spec defines its own quick/seed/backend/workers axes;
+		// silently ignoring the single-run flags would run the wrong grid.
+		var conflicts []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "experiment", "quick", "seed", "backend", "workers":
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			return fmt.Errorf("-sweep defines its own grid; drop %s and put the axes in the spec",
+				strings.Join(conflicts, ", "))
+		}
+		return runSweep(*sweepSpec, *storePath, *jobs, *jsonOut, out)
+	}
+	if *storePath != "" || *jobs != 0 {
+		// Persistence and job slots belong to sweep mode; silently ignoring
+		// them would tell the user their result was stored when it wasn't.
+		return fmt.Errorf("-store and -jobs require -sweep")
+	}
 	if *experiment == "" {
-		return fmt.Errorf("missing -experiment (or -list); available: %s",
+		return fmt.Errorf("missing -experiment (or -list / -sweep); available: %s",
 			strings.Join(experiments.Names(), ", "))
 	}
-	// Runners validate the options themselves (experiments.validated), so a
-	// bad -backend fails on the first experiment before any work starts.
 	opt := experiments.Options{Quick: *quick, Seed: *seed, Backend: *backend, Workers: *workers}
 	names := []string{*experiment}
 	if *experiment == "all" {
 		names = experiments.Names()
 	}
 	for i, name := range names {
-		runner, ok := experiments.Registry[name]
-		if !ok {
-			return fmt.Errorf("unknown experiment %q; available: %s",
-				name, strings.Join(experiments.Names(), ", "))
+		// experiments.Run validates the options, so a bad -backend fails on
+		// the first experiment before any work starts.
+		rec, err := experiments.Run(name, opt)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", name, err)
+		}
+		if *jsonOut {
+			line, err := rec.Marshal()
+			if err != nil {
+				return fmt.Errorf("experiment %s: %w", name, err)
+			}
+			fmt.Fprintln(out, string(line))
+			continue
 		}
 		if i > 0 {
 			fmt.Fprintln(out)
 		}
-		if err := runner(opt, out); err != nil {
+		if err := rec.Render(out); err != nil {
 			return fmt.Errorf("experiment %s: %w", name, err)
 		}
+	}
+	return nil
+}
+
+// runSweep drives a parameter grid through the in-process runner — the
+// same engine aergiad serves over HTTP.
+func runSweep(spec, storePath string, jobs int, jsonOut bool, out io.Writer) error {
+	raw := []byte(spec)
+	if strings.HasPrefix(spec, "@") {
+		data, err := os.ReadFile(spec[1:])
+		if err != nil {
+			return fmt.Errorf("read sweep spec: %w", err)
+		}
+		raw = data
+	}
+	var sweep runner.Sweep
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sweep); err != nil {
+		return fmt.Errorf("parse sweep spec: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("parse sweep spec: trailing content after the grid object")
+	}
+	expanded, err := sweep.Expand()
+	if err != nil {
+		return err
+	}
+
+	var store *runner.Store
+	if storePath != "" {
+		store, err = runner.Open(storePath)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+	}
+	r := runner.New(store, jobs)
+	defer r.Close()
+	if _, err := r.SubmitAll(expanded); err != nil {
+		return err
+	}
+	r.Wait()
+
+	var failed int
+	if jsonOut {
+		for _, job := range expanded {
+			st, _ := r.Result(job.ID())
+			line, err := json.Marshal(st)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, string(line))
+			if st.Status != runner.StatusDone {
+				failed++
+			}
+		}
+	} else {
+		tbl := metrics.NewTable("job", "experiment", "seed", "backend", "status", "wall-clock")
+		for _, job := range expanded {
+			st, _ := r.Get(job.ID())
+			tbl.AddRow(st.ID, st.Experiment, st.Options.Seed, st.Options.Backend, string(st.Status), st.Elapsed)
+			if st.Status != runner.StatusDone {
+				failed++
+			}
+		}
+		fmt.Fprintf(out, "sweep: %d jobs, %d slots\n", len(expanded), r.Slots())
+		fmt.Fprint(out, tbl.String())
+	}
+	if failed > 0 {
+		return fmt.Errorf("sweep: %d of %d jobs failed", failed, len(expanded))
 	}
 	return nil
 }

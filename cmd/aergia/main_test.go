@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"aergia/internal/experiments"
+	"aergia/internal/runner"
 )
 
 func TestRunList(t *testing.T) {
@@ -58,5 +63,122 @@ func TestRunBadFlag(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-no-such-flag"}, &buf); err == nil {
 		t.Fatal("expected flag parse error")
+	}
+}
+
+func TestRunBadBackendFailsLoudly(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-experiment", "fig4", "-quick", "-backend", "quantum"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Fatalf("err = %v, want unknown-backend error", err)
+	}
+}
+
+// TestRunJSONEmitsCanonicalRecords checks that -json prints exactly the
+// record bytes the result store persists for the same options.
+func TestRunJSONEmitsCanonicalRecords(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "fig4", "-quick", "-seed", "3", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSuffix(buf.String(), "\n")
+	if strings.Contains(got, "\n") {
+		t.Fatalf("want one JSONL line, got:\n%s", got)
+	}
+	rec, err := experiments.Run("fig4", experiments.Options{Quick: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("-json output diverged from canonical record:\ncli:    %s\ndirect: %s", got, want)
+	}
+	var decoded struct {
+		Experiment string              `json:"experiment"`
+		Options    experiments.Options `json:"options"`
+		Data       json.RawMessage     `json:"data"`
+	}
+	if err := json.Unmarshal([]byte(got), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Experiment != "fig4" || decoded.Options.Seed != 3 || !decoded.Options.Quick {
+		t.Fatalf("decoded record = %+v", decoded)
+	}
+	if len(decoded.Data) == 0 {
+		t.Fatal("record has no data payload")
+	}
+}
+
+func TestRunSweepInProcessAndResume(t *testing.T) {
+	storePath := filepath.Join(t.TempDir(), "sweep.jsonl")
+	spec := `{"experiments":["fig4","table1"],"seeds":[1,2],"quick":[true]}`
+
+	var buf bytes.Buffer
+	if err := run([]string{"-sweep", spec, "-store", storePath, "-jobs", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sweep: 4 jobs") || strings.Count(out, "done") != 4 {
+		t.Fatalf("sweep output:\n%s", out)
+	}
+
+	// Re-running the same sweep resumes from the store: all four jobs come
+	// back done without recomputation (their persisted records survive).
+	st, err := runner.Open(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := st.List()
+	st.Close()
+	if len(before) != 4 {
+		t.Fatalf("store has %d records, want 4", len(before))
+	}
+
+	buf.Reset()
+	if err := run([]string{"-sweep", spec, "-store", storePath, "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("-json sweep printed %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		var rec runner.Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if rec.Status != runner.StatusDone || len(rec.Result) == 0 {
+			t.Fatalf("resumed record = %+v", rec)
+		}
+	}
+	st, err = runner.Open(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Len() != 4 || st.Skipped() != 0 {
+		t.Fatalf("after resume: %d records, %d skipped — the rerun recomputed", st.Len(), st.Skipped())
+	}
+}
+
+func TestRunSweepBadSpecs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-sweep", `{"experiments":}`},
+		{"-sweep", `{"experiments":["fig99"]}`},
+		{"-sweep", `{"unknown_field":1}`},
+		{"-sweep", `@/does/not/exist.json`},
+		{"-sweep", `{"experiments":["fig4"]}`, "-experiment", "fig4"},
+		{"-sweep", `{"experiments":["fig4"]}`, "-quick"},
+		{"-sweep", `{"experiments":["fig4"]}`, "-seed", "5"},
+		{"-sweep", `{"experiments":["fig4"]} {"experiments":["table1"]}`},
+		{"-experiment", "fig4", "-quick", "-store", "x.jsonl"},
+		{"-experiment", "fig4", "-quick", "-jobs", "2"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Fatalf("args %v: expected error", args)
+		}
 	}
 }

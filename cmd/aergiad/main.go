@@ -1,0 +1,244 @@
+// Command aergiad is the experiment service daemon: it accepts experiment
+// jobs and parameter sweeps over HTTP, schedules them on a bounded set of
+// worker slots (all compute shares the global tensor worker pool), and
+// persists every result to an append-only JSONL store. Restarting the
+// daemon on the same store resumes interrupted sweeps without recomputing
+// completed jobs.
+//
+// Usage:
+//
+//	aergiad -addr :8080 -store aergiad.jsonl -jobs 2
+//
+// API:
+//
+//	POST /jobs        {"experiment":"fig6","options":{"quick":true,"seed":2}}
+//	POST /jobs        {"sweep":{"experiments":["fig6","fig7"],"seeds":[1,2,3]}}
+//	GET  /jobs        list jobs; ?status=done&experiment=fig6 filters
+//	GET  /jobs/{id}   one job with its result record
+//	GET  /healthz     liveness + queue counters
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aergia/internal/experiments"
+	"aergia/internal/runner"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		store = flag.String("store", "aergiad.jsonl", "append-only JSONL result store path")
+		jobs  = flag.Int("jobs", 0, "concurrent job slots (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if err := serve(*addr, *store, *jobs); err != nil {
+		fmt.Fprintln(os.Stderr, "aergiad:", err)
+		os.Exit(1)
+	}
+}
+
+func serve(addr, storePath string, jobs int) error {
+	st, err := runner.Open(storePath)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	r := runner.New(st, jobs)
+	// Bounded shutdown: give in-flight jobs a grace period, then exit
+	// anyway — unfinished work was never persisted, so the next daemon
+	// life resumes it from the store. Waiting out a full-scale experiment
+	// here would hold SIGTERM hostage for minutes (and get the process
+	// SIGKILLed by a supervisor regardless).
+	defer func() {
+		closed := make(chan struct{})
+		go func() { r.Close(); close(closed) }()
+		select {
+		case <-closed:
+		case <-time.After(30 * time.Second):
+			log.Printf("aergiad: abandoning in-flight jobs after 30s grace")
+		}
+	}()
+	log.Printf("aergiad: store %s (%d records, %d lines skipped), %d job slots",
+		st.Path(), st.Len(), st.Skipped(), r.Slots())
+
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: newServer(r, st),
+		// Requests and responses are small JSON; generous deadlines still
+		// stop a slow or stalled client from pinning a connection forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("aergiad: listening on %s", addr)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Printf("aergiad: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+// server is the HTTP facade over a runner and its store.
+type server struct {
+	runner *runner.Runner
+	store  *runner.Store
+	start  time.Time
+}
+
+// newServer builds the daemon's HTTP handler; split from serve so tests
+// can mount it on httptest servers.
+func newServer(r *runner.Runner, st *runner.Store) http.Handler {
+	s := &server{runner: r, store: st, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	counts := map[runner.Status]int{}
+	for _, st := range s.runner.List() {
+		counts[st.Status]++
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ns": time.Since(s.start),
+		"slots":     s.runner.Slots(),
+		"jobs":      counts,
+		"store":     s.store.Path(),
+		"records":   s.store.Len(),
+	})
+}
+
+// submitRequest is the POST /jobs body: exactly one of a single job
+// (experiment + options) or a sweep grid.
+type submitRequest struct {
+	Experiment string              `json:"experiment,omitempty"`
+	Options    experiments.Options `json:"options,omitzero"`
+	Sweep      *runner.Sweep       `json:"sweep,omitempty"`
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	var body submitRequest
+	// A submission is a job spec or a sweep grid — kilobytes at most;
+	// bound the untrusted body so a streamed giant one cannot balloon the
+	// daemon's memory.
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, errors.New("trailing content after the request object"))
+		return
+	}
+	var jobs []runner.Job
+	switch {
+	case body.Sweep != nil && body.Experiment != "":
+		writeError(w, http.StatusBadRequest, errors.New("give either experiment or sweep, not both"))
+		return
+	case body.Sweep != nil && body.Options != (experiments.Options{}):
+		// Same contract as the CLI's -sweep flag conflict: silently
+		// dropping the options would run the wrong grid.
+		writeError(w, http.StatusBadRequest, errors.New("a sweep defines its own options axes; drop the options field"))
+		return
+	case body.Sweep != nil:
+		expanded, err := body.Sweep.Expand()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		jobs = expanded
+	case body.Experiment != "":
+		job, err := runner.NewJob(body.Experiment, body.Options)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		jobs = []runner.Job{job}
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("missing experiment or sweep"))
+		return
+	}
+	states, err := s.runner.SubmitAll(jobs)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	for i := range states {
+		states[i].Result = nil // fetch results via GET /jobs/{id}
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"jobs": states})
+}
+
+func (s *server) handleList(w http.ResponseWriter, req *http.Request) {
+	status := req.URL.Query().Get("status")
+	experiment := req.URL.Query().Get("experiment")
+	var out []runner.JobState
+	for _, st := range s.runner.List() {
+		if status != "" && string(st.Status) != status {
+			continue
+		}
+		if experiment != "" && st.Experiment != experiment {
+			continue
+		}
+		st.Result = nil // list view stays light; results via GET /jobs/{id}
+		out = append(out, st)
+	}
+	if out == nil {
+		out = []runner.JobState{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *server) handleGet(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	if st, ok := s.runner.Result(id); ok {
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	// Jobs completed in an earlier daemon life live in the store only.
+	if rec, ok := s.store.Get(id); ok {
+		writeJSON(w, http.StatusOK, rec)
+		return
+	}
+	writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+}

@@ -1,0 +1,259 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aergia/internal/experiments"
+	"aergia/internal/runner"
+)
+
+type jobsResponse struct {
+	Jobs []runner.JobState `json:"jobs"`
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// waitDone polls the list endpoint until want jobs are done or the
+// deadline passes.
+func waitDone(t *testing.T, base string, want int) []runner.JobState {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var list jobsResponse
+		getJSON(t, base+"/jobs?status=done", &list)
+		if len(list.Jobs) >= want {
+			return list.Jobs
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %d done jobs", want)
+	return nil
+}
+
+// newTestServer starts a daemon instance; the returned stop function
+// releases the store's file lock so a successor can open the same path
+// (it is also registered as cleanup and safe to call twice).
+func newTestServer(t *testing.T, storePath string, opts ...runner.Option) (*httptest.Server, *runner.Store, func()) {
+	t.Helper()
+	st, err := runner.Open(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := runner.New(st, 4, opts...)
+	ts := httptest.NewServer(newServer(r, st))
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			ts.Close()
+			r.Close()
+			st.Close()
+		})
+	}
+	t.Cleanup(stop)
+	return ts, st, stop
+}
+
+// TestDaemonSweepEndToEnd is the acceptance path: a sweep of four quick
+// jobs is accepted, runs concurrently, and every persisted result is
+// byte-identical to a direct in-process run with the same options.
+func TestDaemonSweepEndToEnd(t *testing.T) {
+	ts, st, _ := newTestServer(t, filepath.Join(t.TempDir(), "store.jsonl"))
+
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/jobs",
+		`{"sweep":{"experiments":["fig4","table1","profiler","ablation-freeze"],"seeds":[5],"quick":[true]}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var submitted jobsResponse
+	if err := json.Unmarshal(body, &submitted); err != nil {
+		t.Fatal(err)
+	}
+	if len(submitted.Jobs) != 4 {
+		t.Fatalf("submitted %d jobs, want 4", len(submitted.Jobs))
+	}
+
+	waitDone(t, ts.URL, 4)
+
+	for _, sub := range submitted.Jobs {
+		var st runner.JobState
+		if code := getJSON(t, ts.URL+"/jobs/"+sub.ID, &st); code != http.StatusOK {
+			t.Fatalf("get %s = %d", sub.ID, code)
+		}
+		if st.Status != runner.StatusDone || len(st.Result) == 0 {
+			t.Fatalf("job %s = %+v", sub.ID, st)
+		}
+		direct, err := experiments.Run(st.Experiment, st.Options)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := direct.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(st.Result) != string(want) {
+			t.Fatalf("job %s result diverged from direct run:\ndaemon: %s\ndirect: %s",
+				sub.ID, st.Result, want)
+		}
+	}
+	if st.Len() != 4 {
+		t.Fatalf("store has %d records, want 4", st.Len())
+	}
+}
+
+// TestDaemonRestartResumesSweep restarts the daemon on the same store
+// mid-sweep; resubmitting the full sweep only computes the missing half.
+func TestDaemonRestartResumesSweep(t *testing.T) {
+	storePath := filepath.Join(t.TempDir(), "store.jsonl")
+	counting := func(count *atomic.Int64) runner.Option {
+		return runner.WithExecutor(func(j runner.Job) (json.RawMessage, error) {
+			count.Add(1)
+			return json.RawMessage(fmt.Sprintf(`{"job":%q}`, j.ID())), nil
+		})
+	}
+	sweep := `{"sweep":{"experiments":["fig6","fig7"],"seeds":[1,2],"quick":[true]}}`
+	half := `{"sweep":{"experiments":["fig6"],"seeds":[1,2],"quick":[true]}}`
+
+	// First life: only half the grid completes before the "crash".
+	var firstCount atomic.Int64
+	ts1, _, stop1 := newTestServer(t, storePath, counting(&firstCount))
+	if resp, body := postJSON(t, ts1.URL+"/jobs", half); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d: %s", resp.StatusCode, body)
+	}
+	done := waitDone(t, ts1.URL, 2)
+	firstID := done[0].ID
+	stop1()
+
+	// Second life: same store, full sweep.
+	var secondCount atomic.Int64
+	ts2, st2, _ := newTestServer(t, storePath, counting(&secondCount))
+	if st2.Len() != 2 {
+		t.Fatalf("restarted store has %d records, want 2", st2.Len())
+	}
+	resp, body := postJSON(t, ts2.URL+"/jobs", sweep)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit = %d: %s", resp.StatusCode, body)
+	}
+	var submitted jobsResponse
+	if err := json.Unmarshal(body, &submitted); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ts2.URL, 4)
+	if got := secondCount.Load(); got != 2 {
+		t.Fatalf("restart recomputed %d jobs, want only the missing 2", got)
+	}
+	// A job from the first life is still fetchable, result included.
+	var rec runner.JobState
+	if code := getJSON(t, ts2.URL+"/jobs/"+firstID, &rec); code != http.StatusOK {
+		t.Fatalf("get resumed job = %d", code)
+	}
+	if rec.Status != runner.StatusDone || len(rec.Result) == 0 {
+		t.Fatalf("resumed job = %+v", rec)
+	}
+}
+
+// TestDaemonServesStoreOnlyJobs covers fetching a job that completed in a
+// previous daemon life and was never resubmitted.
+func TestDaemonServesStoreOnlyJobs(t *testing.T) {
+	storePath := filepath.Join(t.TempDir(), "store.jsonl")
+	job, err := runner.NewJob("fig4", experiments.Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := runner.Open(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = st.Append(runner.Record{
+		ID: job.ID(), Experiment: job.Experiment, Options: job.Options,
+		Status: runner.StatusDone, Elapsed: 1, Result: json.RawMessage(`{"x":1}`),
+	})
+	st.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts, _, _ := newTestServer(t, storePath)
+	var got runner.JobState
+	if code := getJSON(t, ts.URL+"/jobs/"+job.ID(), &got); code != http.StatusOK {
+		t.Fatalf("get = %d", code)
+	}
+	if got.Status != runner.StatusDone || string(got.Result) != `{"x":1}` {
+		t.Fatalf("store-only job = %+v", got)
+	}
+}
+
+func TestDaemonRejectsBadRequests(t *testing.T) {
+	ts, _, _ := newTestServer(t, filepath.Join(t.TempDir(), "store.jsonl"))
+	cases := []string{
+		`{`,
+		`{}`,
+		`{"experiment":"fig99"}`,
+		`{"experiment":"fig4","options":{"backend":"quantum"}}`,
+		`{"experiment":"fig4","sweep":{"experiments":["fig6"]}}`,
+		`{"options":{"quick":true},"sweep":{"experiments":["fig6"]}}`,
+		`{"sweep":{"experiments":[]}}`,
+		`{"experiment":"fig4"}{"experiment":"table1"}`,
+		`{"experiment":"fig4","options":{"quick":true,"backend":"parallel","workers":100000000}}`,
+	}
+	for _, body := range cases {
+		if resp, _ := postJSON(t, ts.URL+"/jobs", body); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %s: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if code := getJSON(t, ts.URL+"/jobs/nope", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job = %d, want 404", code)
+	}
+}
+
+func TestDaemonListFilters(t *testing.T) {
+	ts, _, _ := newTestServer(t, filepath.Join(t.TempDir(), "store.jsonl"))
+	postJSON(t, ts.URL+"/jobs", `{"sweep":{"experiments":["fig4","table1"],"quick":[true]}}`)
+	waitDone(t, ts.URL, 2)
+	var list jobsResponse
+	getJSON(t, ts.URL+"/jobs?experiment=fig4", &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].Experiment != "fig4" {
+		t.Fatalf("filtered list = %+v", list.Jobs)
+	}
+	if len(list.Jobs[0].Result) != 0 {
+		t.Fatal("list view leaked result payloads")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 
 	"aergia/internal/tensor"
 )
@@ -43,6 +44,12 @@ func (k Kind) String() string {
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
+}
+
+// MarshalJSON encodes the kind as its name, so experiment result records
+// stay readable without the Kind numbering.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.Quote(k.String())), nil
 }
 
 // Shape returns the image shape (C,H,W) of the dataset kind.

@@ -58,17 +58,13 @@ func ProfilerOverhead(Options) ([]ProfilerOverheadResult, error) {
 	return out, nil
 }
 
-func runProfiler(opt Options, w io.Writer) error {
-	results, err := ProfilerOverhead(opt)
-	if err != nil {
-		return err
-	}
+func renderProfiler(results []ProfilerOverheadResult, w io.Writer) error {
 	tbl := metrics.NewTable("network", "profiled-batches", "overhead-%")
 	for _, r := range results {
 		tbl.AddRow(r.Arch.String(), r.Batches, 100*r.Overhead)
 	}
 	fmt.Fprintln(w, "Profiler overhead (paper: 0.22% ± 0.09)")
-	_, err = fmt.Fprint(w, tbl.String())
+	_, err := fmt.Fprint(w, tbl.String())
 	return err
 }
 
@@ -119,17 +115,13 @@ func AblationFreeze(Options) ([]FreezeGain, error) {
 	return out, nil
 }
 
-func runAblationFreeze(opt Options, w io.Writer) error {
-	gains, err := AblationFreeze(opt)
-	if err != nil {
-		return err
-	}
+func renderAblationFreeze(gains []FreezeGain, w io.Writer) error {
 	tbl := metrics.NewTable("network", "full-batch", "frozen-batch", "saving-%")
 	for _, g := range gains {
 		tbl.AddRow(g.Arch.String(), g.Full, g.Frozen, 100*g.Saving)
 	}
 	fmt.Fprintln(w, "Ablation: training-cycle saving from freezing the feature layers")
-	_, err = fmt.Fprint(w, tbl.String())
+	_, err := fmt.Fprint(w, tbl.String())
 	return err
 }
 
@@ -204,14 +196,10 @@ func AblationSched(opt Options) (SchedGain, error) {
 	return gain, nil
 }
 
-func runAblationSched(opt Options, w io.Writer) error {
-	gain, err := AblationSched(opt)
-	if err != nil {
-		return err
-	}
+func renderAblationSched(gain SchedGain, w io.Writer) error {
 	fmt.Fprintln(w, "Ablation: Algorithm 1 makespan reduction over random clusters")
 	tbl := metrics.NewTable("trials", "mean-reduction-%", "max-reduction-%", "never-worse")
 	tbl.AddRow(gain.Trials, 100*gain.MeanReduction, 100*gain.MaxReduction, gain.NeverWorse)
-	_, err = fmt.Fprint(w, tbl.String())
+	_, err := fmt.Fprint(w, tbl.String())
 	return err
 }

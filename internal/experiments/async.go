@@ -8,6 +8,7 @@ import (
 	"aergia/internal/dataset"
 	"aergia/internal/fl"
 	"aergia/internal/metrics"
+	"aergia/internal/tensor"
 )
 
 // AsyncComparison contrasts synchronous FedAvg, Aergia, and asynchronous
@@ -29,7 +30,10 @@ func AsyncStudy(opt Options) ([]AsyncComparison, error) {
 	var out []AsyncComparison
 
 	for _, strat := range []fl.Strategy{fl.NewFedAvg(0), fl.NewAergia(0, 1)} {
-		cfg := opt.baseConfig(dataset.FMNIST, strat)
+		cfg, err := opt.baseConfig(dataset.FMNIST, strat)
+		if err != nil {
+			return nil, err
+		}
 		cfg.NonIIDClasses = 3
 		res, err := fl.Run(cfg)
 		if err != nil {
@@ -42,6 +46,10 @@ func AsyncStudy(opt Options) ([]AsyncComparison, error) {
 		})
 	}
 
+	be, err := tensor.NewBackend(opt.Backend, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
 	asyncCfg := fl.AsyncConfig{
 		Arch:          archFor(dataset.FMNIST),
 		Dataset:       dataset.FMNIST,
@@ -56,7 +64,7 @@ func AsyncStudy(opt Options) ([]AsyncComparison, error) {
 		NoiseStd:      s.noiseStd,
 		SpeedJitter:   s.speedJitter,
 		Seed:          opt.seed(),
-		Backend:       opt.backend(),
+		Backend:       be,
 	}
 	asyncRes, err := fl.RunAsync(asyncCfg)
 	if err != nil {
@@ -71,16 +79,12 @@ func AsyncStudy(opt Options) ([]AsyncComparison, error) {
 	return out, nil
 }
 
-func runAsyncStudy(opt Options, w io.Writer) error {
-	rows, err := AsyncStudy(opt)
-	if err != nil {
-		return err
-	}
+func renderAsyncStudy(rows []AsyncComparison, w io.Writer) error {
 	fmt.Fprintln(w, "Async study (§2.3): equal local-update budgets, non-IID FMNIST")
 	tbl := metrics.NewTable("approach", "accuracy", "total-time", "mean-staleness")
 	for _, r := range rows {
 		tbl.AddRow(r.Name, r.Accuracy, r.TotalTime, r.MeanStaleness)
 	}
-	_, err = fmt.Fprint(w, tbl.String())
+	_, err := fmt.Fprint(w, tbl.String())
 	return err
 }

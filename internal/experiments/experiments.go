@@ -8,7 +8,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sort"
 	"time"
 
 	"aergia/internal/cluster"
@@ -20,21 +19,22 @@ import (
 	"aergia/internal/tensor"
 )
 
-// Options tunes the experiment scale.
+// Options tunes the experiment scale. The JSON encoding is part of the
+// result-record schema (see Record), so field tags are stable.
 type Options struct {
 	// Quick shrinks cluster size, rounds, and dataset so the whole suite
 	// runs in benchmark time.
-	Quick bool
+	Quick bool `json:"quick"`
 	// Seed drives all randomness; 0 selects the default (1).
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// Backend selects the compute backend for all model math: "" or
 	// "serial" for the single-threaded reference, "parallel" for the
 	// worker-pool backend. Results are bit-identical either way; only
 	// wall-clock time changes.
-	Backend string
+	Backend string `json:"backend"`
 	// Workers sizes the parallel backend's worker pool; 0 means GOMAXPROCS.
 	// Ignored by the serial backend.
-	Workers int
+	Workers int `json:"workers"`
 }
 
 func (o Options) seed() uint64 {
@@ -44,20 +44,34 @@ func (o Options) seed() uint64 {
 	return o.Seed
 }
 
-// Validate rejects unknown backend names early, before any runner starts.
-func (o Options) Validate() error {
-	_, err := tensor.NewBackend(o.Backend, o.Workers)
-	return err
+// Normalize resolves the defaults (seed 1, backend "serial") into explicit
+// values and rejects unknown backend names and absurd worker counts. Two
+// option values that normalize equally configure identical runs, so
+// normalized options are the dedup key of the result store. Normalize
+// never constructs a backend — it is safe on untrusted daemon input.
+func (o Options) Normalize() (Options, error) {
+	name, err := tensor.CanonicalBackend(o.Backend)
+	if err != nil {
+		return Options{}, err
+	}
+	if o.Workers > tensor.MaxWorkers {
+		return Options{}, fmt.Errorf("experiments: %d workers exceeds the pool limit %d",
+			o.Workers, tensor.MaxWorkers)
+	}
+	o.Seed = o.seed()
+	o.Backend = name
+	if o.Backend == "serial" || o.Workers < 0 {
+		// Workers are ignored on serial, and any non-positive count means
+		// GOMAXPROCS; collapse both so they cannot split the dedup key.
+		o.Workers = 0
+	}
+	return o, nil
 }
 
-// backend materializes the configured compute backend. Unknown names fall
-// back to serial; Validate catches them at the CLI boundary.
-func (o Options) backend() tensor.Backend {
-	be, err := tensor.NewBackend(o.Backend, o.Workers)
-	if err != nil {
-		return tensor.Serial{}
-	}
-	return be
+// Validate rejects unknown backend names early, before any runner starts.
+func (o Options) Validate() error {
+	_, err := o.Normalize()
+	return err
 }
 
 // scale bundles the per-mode experiment sizes.
@@ -113,8 +127,14 @@ func archFor(kind dataset.Kind) nn.Arch {
 	}
 }
 
-// baseConfig builds the shared fl.Config for a dataset and strategy.
-func (o Options) baseConfig(kind dataset.Kind, strat fl.Strategy) fl.Config {
+// baseConfig builds the shared fl.Config for a dataset and strategy. An
+// unknown backend name is an error here — the config never silently falls
+// back to the serial backend.
+func (o Options) baseConfig(kind dataset.Kind, strat fl.Strategy) (fl.Config, error) {
+	be, err := tensor.NewBackend(o.Backend, o.Workers)
+	if err != nil {
+		return fl.Config{}, err
+	}
 	s := o.scale()
 	return fl.Config{
 		Strategy:     strat,
@@ -134,8 +154,8 @@ func (o Options) baseConfig(kind dataset.Kind, strat fl.Strategy) fl.Config {
 		// distribution, offloads, updates) pay their wire cost.
 		Link:    sim.UniformLink(10*time.Millisecond, 1e6),
 		Seed:    o.seed(),
-		Backend: o.backend(),
-	}
+		Backend: be,
+	}, nil
 }
 
 // strategies returns the five algorithms of the main evaluation grid.
@@ -147,48 +167,6 @@ func strategies(participants int) []fl.Strategy {
 		fl.NewTiFL(participants, 3),
 		fl.NewAergia(participants, 1),
 	}
-}
-
-// Runner executes one experiment and writes its report.
-type Runner func(opt Options, w io.Writer) error
-
-// validated wraps a runner with option validation so a mistyped backend
-// name fails loudly instead of silently running on the serial fallback.
-func validated(r Runner) Runner {
-	return func(opt Options, w io.Writer) error {
-		if err := opt.Validate(); err != nil {
-			return err
-		}
-		return r(opt, w)
-	}
-}
-
-// Registry maps experiment IDs (paper figure/table numbers) to runners.
-var Registry = map[string]Runner{
-	"fig1a":           validated(runFig1a),
-	"fig1b":           validated(runFig1b),
-	"fig1c":           validated(runFig1c),
-	"fig4":            validated(runFig4),
-	"fig6":            validated(runFig6),
-	"fig7":            validated(runFig7),
-	"fig8":            validated(runFig8),
-	"fig9":            validated(runFig9),
-	"fig10":           validated(runFig10),
-	"table1":          validated(runTable1),
-	"profiler":        validated(runProfiler),
-	"ablation-freeze": validated(runAblationFreeze),
-	"ablation-sched":  validated(runAblationSched),
-	"async":           validated(runAsyncStudy),
-}
-
-// Names returns the registered experiment IDs in sorted order.
-func Names() []string {
-	names := make([]string, 0, len(Registry))
-	for name := range Registry {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
 }
 
 // ---------------------------------------------------------------------------
@@ -216,7 +194,10 @@ func Fig1a(opt Options) ([]Fig1aPoint, error) {
 		for _, v := range variances {
 			rng := tensor.NewRNG(opt.seed()*1000 + uint64(n))
 			speeds := cluster.SpeedsWithVariance(n, 0.5, v, rng)
-			cfg := opt.baseConfig(dataset.MNIST, fl.NewFedAvg(0))
+			cfg, err := opt.baseConfig(dataset.MNIST, fl.NewFedAvg(0))
+			if err != nil {
+				return nil, err
+			}
 			cfg.Clients = n
 			cfg.Rounds = 2
 			cfg.TrainSamples = 40 * n
@@ -241,17 +222,13 @@ func Fig1a(opt Options) ([]Fig1aPoint, error) {
 	return out, nil
 }
 
-func runFig1a(opt Options, w io.Writer) error {
-	points, err := Fig1a(opt)
-	if err != nil {
-		return err
-	}
+func renderFig1a(points []Fig1aPoint, w io.Writer) error {
 	tbl := metrics.NewTable("clients", "cpu-variance", "round-duration-multiplier")
 	for _, p := range points {
 		tbl.AddRow(p.Clients, p.Variance, p.Multiplier)
 	}
 	fmt.Fprintln(w, "Figure 1(a): impact of CPU heterogeneity on round duration")
-	_, err = fmt.Fprint(w, tbl.String())
+	_, err := fmt.Fprint(w, tbl.String())
 	return err
 }
 
@@ -271,7 +248,10 @@ type DeadlinePoint struct {
 // per-round deadlines at fractions of the unbounded round duration, on
 // non-IID data when nonIID is true.
 func DeadlineSweep(opt Options, nonIID bool) ([]DeadlinePoint, error) {
-	cfg := opt.baseConfig(dataset.MNIST, fl.NewFedAvg(0))
+	cfg, err := opt.baseConfig(dataset.MNIST, fl.NewFedAvg(0))
+	if err != nil {
+		return nil, err
+	}
 	if nonIID {
 		cfg.NonIIDClasses = 3
 	}
@@ -318,31 +298,27 @@ func DeadlineSweep(opt Options, nonIID bool) ([]DeadlinePoint, error) {
 	return points, nil
 }
 
-func runFig1b(opt Options, w io.Writer) error {
-	points, err := DeadlineSweep(opt, false)
-	if err != nil {
-		return err
-	}
+func collectFig1b(opt Options) ([]DeadlinePoint, error) { return DeadlineSweep(opt, false) }
+
+func renderFig1b(points []DeadlinePoint, w io.Writer) error {
 	tbl := metrics.NewTable("deadline", "total-time", "dropped/round")
 	for _, p := range points {
 		tbl.AddRow(p.Label, p.TotalTime, p.MeanDrops)
 	}
 	fmt.Fprintln(w, "Figure 1(b): total training duration with per-round deadlines")
-	_, err = fmt.Fprint(w, tbl.String())
+	_, err := fmt.Fprint(w, tbl.String())
 	return err
 }
 
-func runFig1c(opt Options, w io.Writer) error {
-	points, err := DeadlineSweep(opt, true)
-	if err != nil {
-		return err
-	}
+func collectFig1c(opt Options) ([]DeadlinePoint, error) { return DeadlineSweep(opt, true) }
+
+func renderFig1c(points []DeadlinePoint, w io.Writer) error {
 	tbl := metrics.NewTable("deadline", "test-accuracy", "dropped/round")
 	for _, p := range points {
 		tbl.AddRow(p.Label, p.Accuracy, p.MeanDrops)
 	}
 	fmt.Fprintln(w, "Figure 1(c): accuracy under deadlines (non-IID)")
-	_, err = fmt.Fprint(w, tbl.String())
+	_, err := fmt.Fprint(w, tbl.String())
 	return err
 }
 
@@ -381,17 +357,13 @@ func Fig4(Options) ([]PhaseShare, error) {
 	return out, nil
 }
 
-func runFig4(opt Options, w io.Writer) error {
-	shares, err := Fig4(opt)
-	if err != nil {
-		return err
-	}
+func renderFig4(shares []PhaseShare, w io.Writer) error {
 	tbl := metrics.NewTable("network", "ff%", "fc%", "bc%", "bf%")
 	for _, s := range shares {
 		tbl.AddRow(s.Arch.String(), 100*s.FF, 100*s.FC, 100*s.BC, 100*s.BF)
 	}
 	fmt.Fprintln(w, "Figure 4: share of each update phase (bf dominates, 52-75% in the paper)")
-	_, err = fmt.Fprint(w, tbl.String())
+	_, err := fmt.Fprint(w, tbl.String())
 	return err
 }
 
@@ -417,7 +389,10 @@ func MainGrid(opt Options, nonIID bool) ([]GridCell, error) {
 	var out []GridCell
 	for _, kind := range kinds {
 		for _, strat := range strategies(0) {
-			cfg := opt.baseConfig(kind, strat)
+			cfg, err := opt.baseConfig(kind, strat)
+			if err != nil {
+				return nil, err
+			}
 			if nonIID {
 				cfg.NonIIDClasses = 3
 			}
@@ -447,19 +422,15 @@ func printGrid(w io.Writer, title string, cells []GridCell) error {
 	return err
 }
 
-func runFig6(opt Options, w io.Writer) error {
-	cells, err := MainGrid(opt, false)
-	if err != nil {
-		return err
-	}
+func collectFig6(opt Options) ([]GridCell, error) { return MainGrid(opt, false) }
+
+func renderFig6(cells []GridCell, w io.Writer) error {
 	return printGrid(w, "Figure 6: IID accuracy and training time (5 strategies)", cells)
 }
 
-func runFig7(opt Options, w io.Writer) error {
-	cells, err := MainGrid(opt, true)
-	if err != nil {
-		return err
-	}
+func collectFig7(opt Options) ([]GridCell, error) { return MainGrid(opt, true) }
+
+func renderFig7(cells []GridCell, w io.Writer) error {
 	return printGrid(w, "Figure 7: non-IID accuracy and training time (5 strategies)", cells)
 }
 
@@ -479,7 +450,10 @@ type DensitySeries struct {
 func Fig8(opt Options) ([]DensitySeries, error) {
 	var out []DensitySeries
 	for _, strat := range strategies(0) {
-		cfg := opt.baseConfig(dataset.FMNIST, strat)
+		cfg, err := opt.baseConfig(dataset.FMNIST, strat)
+		if err != nil {
+			return nil, err
+		}
 		cfg.NonIIDClasses = 3
 		cfg.EvalEvery = 1000 // timing-only experiment
 		if !opt.Quick {
@@ -504,17 +478,13 @@ func Fig8(opt Options) ([]DensitySeries, error) {
 	return out, nil
 }
 
-func runFig8(opt Options, w io.Writer) error {
-	series, err := Fig8(opt)
-	if err != nil {
-		return err
-	}
+func renderFig8(series []DensitySeries, w io.Writer) error {
 	fmt.Fprintln(w, "Figure 8: density of round durations (FMNIST, non-IID)")
 	tbl := metrics.NewTable("strategy", "mean-round", "density-peak(s)", "density")
 	for _, s := range series {
 		tbl.AddRow(s.Strategy, s.Mean, s.Peak, metrics.Sparkline(s.Density.Ys))
 	}
-	_, err = fmt.Fprint(w, tbl.String())
+	_, err := fmt.Fprint(w, tbl.String())
 	return err
 }
 
@@ -544,7 +514,10 @@ func Fig9(opt Options) ([]SimilarityPoint, error) {
 	}
 	var out []SimilarityPoint
 	for _, f := range factors {
-		cfg := opt.baseConfig(dataset.FMNIST, fl.NewAergia(participants, f))
+		cfg, err := opt.baseConfig(dataset.FMNIST, fl.NewAergia(participants, f))
+		if err != nil {
+			return nil, err
+		}
 		cfg.NonIIDClasses = 3
 		res, err := fl.Run(cfg)
 		if err != nil {
@@ -559,17 +532,13 @@ func Fig9(opt Options) ([]SimilarityPoint, error) {
 	return out, nil
 }
 
-func runFig9(opt Options, w io.Writer) error {
-	points, err := Fig9(opt)
-	if err != nil {
-		return err
-	}
+func renderFig9(points []SimilarityPoint, w io.Writer) error {
 	tbl := metrics.NewTable("similarity-factor", "test-accuracy", "mean-round-time")
 	for _, p := range points {
 		tbl.AddRow(p.Factor, p.Accuracy, p.MeanRoundTime)
 	}
 	fmt.Fprintln(w, "Figure 9: impact of the similarity factor f on accuracy (a) and round time (b)")
-	_, err = fmt.Fprint(w, tbl.String())
+	_, err := fmt.Fprint(w, tbl.String())
 	return err
 }
 
@@ -599,7 +568,10 @@ func Fig10(opt Options) ([]NonIIDSeries, error) {
 	}
 	var out []NonIIDSeries
 	for _, lvl := range levels {
-		cfg := opt.baseConfig(dataset.FMNIST, fl.NewAergia(0, 1))
+		cfg, err := opt.baseConfig(dataset.FMNIST, fl.NewAergia(0, 1))
+		if err != nil {
+			return nil, err
+		}
 		cfg.NonIIDClasses = lvl.classes
 		cfg.EvalEvery = 1
 		res, err := fl.Run(cfg)
@@ -618,26 +590,27 @@ func Fig10(opt Options) ([]NonIIDSeries, error) {
 	return out, nil
 }
 
-func runFig10(opt Options, w io.Writer) error {
-	series, err := Fig10(opt)
-	if err != nil {
-		return err
-	}
+func renderFig10(series []NonIIDSeries, w io.Writer) error {
 	fmt.Fprintln(w, "Figure 10: accuracy over time by degree of non-IIDness (Aergia)")
 	tbl := metrics.NewTable("level", "final-accuracy", "total-time", "accuracy-curve")
 	for _, s := range series {
 		tbl.AddRow(s.Label, s.Final, s.Total, metrics.Sparkline(s.Accuracy))
 	}
-	_, err = fmt.Fprint(w, tbl.String())
+	_, err := fmt.Fprint(w, tbl.String())
 	return err
 }
 
 // ---------------------------------------------------------------------------
 // Table 1: qualitative comparison.
 
-func runTable1(_ Options, w io.Writer) error {
+// Table1Rows returns the qualitative comparison rows of Table 1.
+func Table1Rows(Options) ([]string, error) {
+	return fl.Table1(strategies(0)), nil
+}
+
+func renderTable1(rows []string, w io.Writer) error {
 	fmt.Fprintln(w, "Table 1: FL solutions for heterogeneous settings")
-	for _, row := range fl.Table1(strategies(0)) {
+	for _, row := range rows {
 		fmt.Fprintln(w, row)
 	}
 	return nil

@@ -164,6 +164,90 @@ func TestTable1Output(t *testing.T) {
 	}
 }
 
+func TestOptionsNormalize(t *testing.T) {
+	norm, err := (Options{}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Seed != 1 || norm.Backend != "serial" || norm.Workers != 0 {
+		t.Fatalf("normalized defaults = %+v", norm)
+	}
+	// Workers are ignored on the serial backend and must not split the
+	// dedup key.
+	norm, err = (Options{Backend: "serial", Workers: 8}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Workers != 0 {
+		t.Fatalf("serial workers = %d, want 0", norm.Workers)
+	}
+	norm, err = (Options{Backend: "parallel", Workers: 2}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Backend != "parallel" || norm.Workers != 2 {
+		t.Fatalf("parallel normalized = %+v", norm)
+	}
+	// Any non-positive worker count means GOMAXPROCS, so -1 and 0 must
+	// normalize equally or dedup keys would split.
+	norm, err = (Options{Backend: "parallel", Workers: -1}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Workers != 0 {
+		t.Fatalf("parallel workers -1 normalized to %d, want 0", norm.Workers)
+	}
+	if _, err := (Options{Backend: "quantum"}).Normalize(); err == nil {
+		t.Fatal("unknown backend normalized")
+	}
+	// Validation must reject absurd worker counts instead of letting a
+	// request spawn an arbitrary-width pool.
+	if _, err := (Options{Backend: "parallel", Workers: 100_000_000}).Normalize(); err == nil {
+		t.Fatal("unbounded workers normalized")
+	}
+}
+
+// TestRunRecordDeterministic pins the property the result store's dedup
+// and the -json byte-identity check rely on: the same (experiment,
+// options) pair always marshals to the same bytes, and the record's
+// renderer reproduces the legacy text report exactly.
+func TestRunRecordDeterministic(t *testing.T) {
+	for _, name := range []string{"fig4", "table1"} {
+		a, err := Run(name, quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(name, quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, err := a.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := b.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ab, bb) {
+			t.Fatalf("%s records diverged:\n%s\n%s", name, ab, bb)
+		}
+		var rendered, legacy bytes.Buffer
+		if err := a.Render(&rendered); err != nil {
+			t.Fatal(err)
+		}
+		if err := Registry[name](quick, &legacy); err != nil {
+			t.Fatal(err)
+		}
+		if rendered.String() != legacy.String() {
+			t.Fatalf("%s render diverged from registry runner", name)
+		}
+	}
+	if _, err := Run("fig99", quick); err == nil {
+		t.Fatal("unknown experiment ran")
+	}
+}
+
 func TestArchForCoversKinds(t *testing.T) {
 	tests := map[dataset.Kind]nn.Arch{
 		dataset.MNIST:   nn.ArchMNISTSmall,

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Experiment couples a structured collector with the renderer that turns
+// its output into the paper's text table. The collector is the
+// machine-readable path (the CLI's -json mode, the runner service's result
+// store); the renderer reproduces the human report from the same data, so
+// the two views can never drift apart.
+type Experiment struct {
+	collect func(Options) (any, error)
+	render  func(any, io.Writer) error
+}
+
+// entry adapts a typed collector/renderer pair to the untyped Experiment
+// slots, keeping the per-figure functions strongly typed.
+func entry[T any](collect func(Options) (T, error), render func(T, io.Writer) error) Experiment {
+	return Experiment{
+		collect: func(opt Options) (any, error) { return collect(opt) },
+		render:  func(data any, w io.Writer) error { return render(data.(T), w) },
+	}
+}
+
+// Index maps experiment IDs (paper figure/table numbers) to their
+// collector/renderer pairs.
+var Index = map[string]Experiment{
+	"fig1a":           entry(Fig1a, renderFig1a),
+	"fig1b":           entry(collectFig1b, renderFig1b),
+	"fig1c":           entry(collectFig1c, renderFig1c),
+	"fig4":            entry(Fig4, renderFig4),
+	"fig6":            entry(collectFig6, renderFig6),
+	"fig7":            entry(collectFig7, renderFig7),
+	"fig8":            entry(Fig8, renderFig8),
+	"fig9":            entry(Fig9, renderFig9),
+	"fig10":           entry(Fig10, renderFig10),
+	"table1":          entry(Table1Rows, renderTable1),
+	"profiler":        entry(ProfilerOverhead, renderProfiler),
+	"ablation-freeze": entry(AblationFreeze, renderAblationFreeze),
+	"ablation-sched":  entry(AblationSched, renderAblationSched),
+	"async":           entry(AsyncStudy, renderAsyncStudy),
+}
+
+// Runner executes one experiment and writes its text report. It is the
+// legacy view over Index kept for the CLI's default mode and the benchmark
+// harness.
+type Runner func(opt Options, w io.Writer) error
+
+// Registry maps experiment IDs to text runners. Each runner validates its
+// options (a mistyped backend fails loudly), collects the structured
+// results, and renders the paper table.
+var Registry = map[string]Runner{}
+
+func init() {
+	for name := range Index {
+		Registry[name] = runnerFor(name)
+	}
+}
+
+func runnerFor(name string) Runner {
+	return func(opt Options, w io.Writer) error {
+		rec, err := Run(name, opt)
+		if err != nil {
+			return err
+		}
+		return rec.Render(w)
+	}
+}
+
+// Names returns the registered experiment IDs in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(Index))
+	for name := range Index {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Record is the machine-readable result of one experiment run: the
+// experiment ID, the normalized options that produced it, and the
+// experiment's structured data. Records marshal deterministically — the
+// same (experiment, options) pair always yields byte-identical JSON — so
+// they double as the dedup/resume unit of the result store.
+type Record struct {
+	Experiment string  `json:"experiment"`
+	Options    Options `json:"options"`
+	Data       any     `json:"data"`
+
+	render func(io.Writer) error
+}
+
+// Run executes one experiment by ID and returns its record. Options are
+// normalized first, so an unknown backend name is an error here — never a
+// silent serial fallback.
+func Run(name string, opt Options) (*Record, error) {
+	exp, ok := Index[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q; available: %s",
+			name, strings.Join(Names(), ", "))
+	}
+	norm, err := opt.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	data, err := exp.collect(norm)
+	if err != nil {
+		return nil, err
+	}
+	return &Record{
+		Experiment: name,
+		Options:    norm,
+		Data:       data,
+		render:     func(w io.Writer) error { return exp.render(data, w) },
+	}, nil
+}
+
+// Render writes the paper-style text report for the record's data. It is
+// only available on records produced by Run in this process; a record
+// decoded from JSON has lost its concrete data types.
+func (r *Record) Render(w io.Writer) error {
+	if r.render == nil {
+		return fmt.Errorf("experiments: record %s has no renderer (decoded from JSON?)", r.Experiment)
+	}
+	return r.render(w)
+}
+
+// Marshal returns the canonical JSON encoding of the record. Everything
+// that persists or transports records (the -json flag, the result store,
+// the daemon API) goes through this one function, so their bytes are
+// comparable.
+func (r *Record) Marshal() ([]byte, error) {
+	return json.Marshal(r)
+}

@@ -92,8 +92,8 @@ func DurationsToSeconds(ds []time.Duration) []float64 {
 // Density is a Gaussian kernel density estimate over a fixed grid, the
 // tool behind the paper's Figure 8 (density of round durations).
 type Density struct {
-	Xs []float64
-	Ys []float64
+	Xs []float64 `json:"xs"`
+	Ys []float64 `json:"ys"`
 }
 
 // EstimateDensity computes a Gaussian KDE over `points` grid positions

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"fmt"
+	"strconv"
 
 	"aergia/internal/tensor"
 )
@@ -56,6 +57,12 @@ func (a Arch) String() string {
 	default:
 		return fmt.Sprintf("arch(%d)", int(a))
 	}
+}
+
+// MarshalJSON encodes the architecture as its name, so experiment result
+// records stay readable without the Arch numbering.
+func (a Arch) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.Quote(a.String())), nil
 }
 
 // InShape returns the input image shape (C,H,W) expected by the

@@ -1,0 +1,68 @@
+// Package runner is the experiment service layer: a bounded-concurrency
+// job queue over the experiment registry, a parameter-grid sweep expander,
+// and an append-only JSONL result store (see DESIGN.md §5).
+//
+// Jobs are identified by their content — the experiment ID plus the
+// normalized options — so the same work submitted twice (by a retried
+// sweep, a restarted daemon, or an impatient client) is computed once and
+// answered from the store afterwards.
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"aergia/internal/experiments"
+)
+
+// Job is one unit of work: a single experiment run at fixed options.
+type Job struct {
+	Experiment string              `json:"experiment"`
+	Options    experiments.Options `json:"options"`
+}
+
+// NewJob validates the experiment ID and normalizes the options, so every
+// job in the system carries the canonical form and equal work gets equal
+// IDs.
+func NewJob(experiment string, opt experiments.Options) (Job, error) {
+	if _, ok := experiments.Index[experiment]; !ok {
+		return Job{}, fmt.Errorf("runner: unknown experiment %q", experiment)
+	}
+	norm, err := opt.Normalize()
+	if err != nil {
+		return Job{}, err
+	}
+	return Job{Experiment: experiment, Options: norm}, nil
+}
+
+// ID returns the job's deterministic identifier: the experiment name plus
+// a digest of the normalized options' canonical JSON. IDs are stable
+// across processes, so they double as the dedup/resume key of the result
+// store and the job URL of the daemon; hashing the JSON (rather than a
+// hand-picked field list) keeps the key in lockstep with the Options
+// schema as it grows.
+func (j Job) ID() string {
+	opts, err := json.Marshal(j.Options)
+	if err != nil {
+		// Options is a struct of plain scalars; Marshal cannot fail.
+		panic(fmt.Sprintf("runner: marshal options: %v", err))
+	}
+	sum := sha256.Sum256(append([]byte(j.Experiment+"|"), opts...))
+	// 96 bits of digest: collisions stay negligible even for sweeps of
+	// billions of cells, where a shorter prefix's birthday bound would
+	// silently serve one job's stored result as another's.
+	return j.Experiment + "-" + hex.EncodeToString(sum[:12])
+}
+
+// Status is the lifecycle of a job inside the runner.
+type Status string
+
+// Job lifecycle states. Only StatusDone and StatusFailed are persisted.
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)

@@ -1,0 +1,294 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"aergia/internal/experiments"
+)
+
+// JobState is a point-in-time snapshot of one job in the runner — the
+// same shape as a store Record, shared so a field added to one can never
+// silently vanish from the other.
+type JobState = Record
+
+// Runner schedules jobs over a fixed number of worker slots and persists
+// every outcome to the result store.
+//
+// Concurrency budget: the slots bound how many experiments run at once,
+// while all compute inside them flows through the shared tensor worker
+// pool (one pool per width, process-global — see internal/tensor/pool.go).
+// N concurrent jobs on the parallel backend therefore contend for the same
+// GOMAXPROCS-bounded pool instead of oversubscribing cores N times.
+//
+// Dedup/resume: Submit answers repeats of completed work from the store
+// without recomputing — submitting the same sweep to a restarted runner
+// re-runs only the jobs that are missing or failed.
+type Runner struct {
+	store   *Store
+	execute func(Job) (json.RawMessage, error)
+	slots   int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Job
+	jobs   map[string]*JobState
+	order  []string
+	active int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithExecutor replaces the job executor (which runs the experiment and
+// marshals its record). Tests use it to count or stub executions.
+func WithExecutor(fn func(Job) (json.RawMessage, error)) Option {
+	return func(r *Runner) { r.execute = fn }
+}
+
+// New starts a runner with the given worker-slot count (0 = GOMAXPROCS)
+// writing to store (nil = no persistence). Close releases the slots.
+func New(store *Store, slots int, opts ...Option) *Runner {
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	r := &Runner{
+		store:   store,
+		slots:   slots,
+		execute: executeJob,
+		jobs:    make(map[string]*JobState),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	for _, opt := range opts {
+		opt(r)
+	}
+	r.wg.Add(slots)
+	for i := 0; i < slots; i++ {
+		go r.worker()
+	}
+	return r
+}
+
+// executeJob runs the experiment and returns its canonical record bytes —
+// the same bytes `aergia -experiment <id> -json` prints for these options.
+func executeJob(j Job) (json.RawMessage, error) {
+	rec, err := experiments.Run(j.Experiment, j.Options)
+	if err != nil {
+		return nil, err
+	}
+	return rec.Marshal()
+}
+
+// Slots reports the worker-slot count.
+func (r *Runner) Slots() int { return r.slots }
+
+// Submit enqueues one job and returns its current state. Completed work —
+// whether from this process or replayed from the store — is answered
+// immediately with status done; a queued or running duplicate is returned
+// as-is; failed jobs are re-enqueued.
+func (r *Runner) Submit(job Job) (JobState, error) {
+	id := job.ID()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return JobState{}, fmt.Errorf("runner: closed")
+	}
+	if st, ok := r.jobs[id]; ok {
+		switch st.Status {
+		case StatusQueued, StatusRunning, StatusDone:
+			return *st, nil
+		}
+		// Failed: fall through and requeue below.
+		st.Status = StatusQueued
+		st.Error = ""
+		st.Elapsed = 0
+		st.Result = nil
+		r.enqueue(job)
+		return *st, nil
+	}
+	st := &JobState{ID: id, Experiment: job.Experiment, Options: job.Options}
+	r.jobs[id] = st
+	r.order = append(r.order, id)
+	if rec, ok := r.store.Meta(id); ok && rec.Status == StatusDone {
+		// The store owns the result payload (on disk); job states carry
+		// only metadata so the daemon's footprint is bounded by job count.
+		st.Status = StatusDone
+		st.Elapsed = rec.Elapsed
+		return *st, nil
+	}
+	st.Status = StatusQueued
+	r.enqueue(job)
+	return *st, nil
+}
+
+// SubmitAll submits a batch (e.g. an expanded sweep) and returns the
+// per-job states in order.
+func (r *Runner) SubmitAll(jobs []Job) ([]JobState, error) {
+	out := make([]JobState, 0, len(jobs))
+	for _, job := range jobs {
+		st, err := r.Submit(job)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+func (r *Runner) enqueue(job Job) {
+	r.queue = append(r.queue, job)
+	// Broadcast, not Signal: Wait and the workers share the condition
+	// variable, so a single wakeup could land on a waiter that is not a
+	// worker and strand the queue.
+	r.cond.Broadcast()
+}
+
+func (r *Runner) worker() {
+	defer r.wg.Done()
+	for {
+		r.mu.Lock()
+		for len(r.queue) == 0 && !r.closed {
+			r.cond.Wait()
+		}
+		if r.closed && len(r.queue) == 0 {
+			r.mu.Unlock()
+			return
+		}
+		job := r.queue[0]
+		r.queue = r.queue[1:]
+		st := r.jobs[job.ID()]
+		st.Status = StatusRunning
+		r.active++
+		r.mu.Unlock()
+
+		start := time.Now()
+		result, err := r.runJob(job)
+		elapsed := time.Since(start)
+
+		rec := Record{
+			ID:         job.ID(),
+			Experiment: job.Experiment,
+			Options:    job.Options,
+			Status:     StatusDone,
+			Elapsed:    elapsed,
+			Result:     result,
+		}
+		if err != nil {
+			rec.Status = StatusFailed
+			rec.Error = err.Error()
+			rec.Result = nil
+		}
+		if perr := r.store.Append(rec); perr != nil {
+			if rec.Status == StatusDone {
+				// The result exists but did not persist; surface that
+				// loudly rather than pretending the store has it.
+				rec.Status = StatusFailed
+				rec.Error = perr.Error()
+				rec.Result = nil
+			} else {
+				// Keep the job's own failure primary, but don't swallow
+				// the signal that the store is unwritable.
+				rec.Error += "; persist: " + perr.Error()
+			}
+		}
+
+		r.mu.Lock()
+		st.Status = rec.Status
+		st.Elapsed = rec.Elapsed
+		st.Error = rec.Error
+		st.Result = rec.Result
+		if r.store != nil && rec.Status == StatusDone {
+			// The store now owns the payload; see Submit.
+			st.Result = nil
+		}
+		r.active--
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	}
+}
+
+// runJob shields the worker slot from a panicking executor: a panic
+// becomes a failed job, not a lost slot in a long-running daemon.
+func (r *Runner) runJob(job Job) (result json.RawMessage, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			result, err = nil, fmt.Errorf("job %s panicked: %v", job.ID(), p)
+		}
+	}()
+	return r.execute(job)
+}
+
+// Get returns the state snapshot for a job ID. Completed jobs carry their
+// result payload only when the runner has no store; with one, the store
+// is the single owner — use Result to fetch state and payload together.
+func (r *Runner) Get(id string) (JobState, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.jobs[id]
+	if !ok {
+		return JobState{}, false
+	}
+	return *st, true
+}
+
+// Result returns the state snapshot with the result payload attached,
+// reading it from the store for completed jobs when necessary. If the
+// store can no longer yield a payload it indexed (external truncation,
+// disk fault), the store's failed view wins over the in-memory "done".
+func (r *Runner) Result(id string) (JobState, bool) {
+	st, ok := r.Get(id)
+	if !ok {
+		return JobState{}, false
+	}
+	if st.Status == StatusDone && len(st.Result) == 0 {
+		if rec, ok := r.store.Get(id); ok {
+			if rec.Status == StatusDone {
+				st.Result = rec.Result
+			} else {
+				st.Status = rec.Status
+				st.Error = rec.Error
+			}
+		}
+	}
+	return st, true
+}
+
+// List returns snapshots of every known job in submission order.
+func (r *Runner) List() []JobState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]JobState, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, *r.jobs[id])
+	}
+	return out
+}
+
+// Wait blocks until the queue is drained and no job is running.
+func (r *Runner) Wait() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.queue) > 0 || r.active > 0 {
+		r.cond.Wait()
+	}
+}
+
+// Close abandons queued jobs, waits for in-flight jobs to finish, and
+// releases the worker slots. Submit fails afterwards. Abandoned jobs stay
+// in state "queued" and were never persisted, so resubmitting them to a
+// fresh runner over the same store resumes exactly where this one
+// stopped — that is the shutdown story of aergiad, where draining a long
+// sweep would hold the process alive for hours.
+func (r *Runner) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.queue = nil
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.wg.Wait()
+}

@@ -1,0 +1,449 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aergia/internal/experiments"
+)
+
+// countingExecutor returns an executor that counts executions and yields a
+// deterministic payload per job.
+func countingExecutor(count *atomic.Int64) func(Job) (json.RawMessage, error) {
+	return func(j Job) (json.RawMessage, error) {
+		count.Add(1)
+		return json.RawMessage(fmt.Sprintf(`{"job":%q}`, j.ID())), nil
+	}
+}
+
+func quickSweep() Sweep {
+	return Sweep{
+		Experiments: []string{"fig4", "table1"},
+		Seeds:       []uint64{1, 2},
+		Quick:       []bool{true},
+	}
+}
+
+func TestSweepExpandCartesian(t *testing.T) {
+	jobs, err := quickSweep().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 4 {
+		t.Fatalf("expanded %d jobs, want 2 experiments × 2 seeds = 4", len(jobs))
+	}
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if seen[j.ID()] {
+			t.Fatalf("duplicate job id %s", j.ID())
+		}
+		seen[j.ID()] = true
+		if j.Options.Backend != "serial" || !j.Options.Quick {
+			t.Fatalf("job options not normalized: %+v", j.Options)
+		}
+	}
+}
+
+func TestSweepExpandDedupsNormalizedCells(t *testing.T) {
+	// Workers are ignored on the serial backend, so the three cells
+	// collapse into one job.
+	jobs, err := Sweep{
+		Experiments: []string{"fig4"},
+		Backends:    []string{"serial"},
+		Workers:     []int{0, 2, 4},
+		Quick:       []bool{true},
+	}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("expanded %d jobs, want 1 after normalization dedup", len(jobs))
+	}
+}
+
+func TestSweepExpandRejectsBadCells(t *testing.T) {
+	if _, err := (Sweep{}).Expand(); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+	if _, err := (Sweep{Experiments: []string{"fig99"}}).Expand(); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if _, err := (Sweep{Experiments: []string{"fig4"}, Backends: []string{"quantum"}}).Expand(); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+func TestJobIDDeterministicAcrossSpellings(t *testing.T) {
+	a, err := NewJob("fig4", experiments.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed 0 means 1, "" means serial, workers are ignored on serial: all
+	// spellings of the default must map to one job.
+	b, err := NewJob("fig4", experiments.Options{Seed: 1, Backend: "serial", Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() != b.ID() {
+		t.Fatalf("equivalent options got different ids: %s vs %s", a.ID(), b.ID())
+	}
+	c, err := NewJob("fig4", experiments.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() == c.ID() {
+		t.Fatal("different seeds share an id")
+	}
+}
+
+func TestRunnerRunsSweepAndPersists(t *testing.T) {
+	store, err := Open(tempStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	var count atomic.Int64
+	r := New(store, 4, WithExecutor(countingExecutor(&count)))
+	defer r.Close()
+
+	jobs, err := quickSweep().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, err := r.SubmitAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 4 {
+		t.Fatalf("submitted %d, want 4", len(states))
+	}
+	r.Wait()
+	if got := count.Load(); got != 4 {
+		t.Fatalf("executed %d jobs, want 4", got)
+	}
+	for _, job := range jobs {
+		st, ok := r.Get(job.ID())
+		if !ok || st.Status != StatusDone {
+			t.Fatalf("job %s state = %+v", job.ID(), st)
+		}
+		if len(st.Result) != 0 {
+			t.Fatalf("job %s snapshot retains a result copy the store already owns", job.ID())
+		}
+		rec, ok := store.Get(job.ID())
+		if !ok || rec.Status != StatusDone || len(rec.Result) == 0 {
+			t.Fatalf("job %s not persisted: %+v", job.ID(), rec)
+		}
+		if rec.Elapsed <= 0 {
+			t.Fatalf("job %s has no wall-clock: %+v", job.ID(), rec)
+		}
+		if full, _ := r.Result(job.ID()); string(full.Result) != string(rec.Result) {
+			t.Fatalf("job %s Result lookup diverged from store", job.ID())
+		}
+	}
+}
+
+func TestRunnerDedupsInFlightDuplicates(t *testing.T) {
+	var count atomic.Int64
+	r := New(nil, 2, WithExecutor(countingExecutor(&count)))
+	defer r.Close()
+	job, err := NewJob("fig4", experiments.Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := r.Submit(job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Wait()
+	if got := count.Load(); got != 1 {
+		t.Fatalf("executed %d times, want 1", got)
+	}
+}
+
+func TestRunnerResumesHalfFinishedSweep(t *testing.T) {
+	path := tempStore(t)
+	jobs, err := quickSweep().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First life: the process crashes after completing half the sweep.
+	store, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, job := range jobs[:2] {
+		rec := Record{
+			ID:         job.ID(),
+			Experiment: job.Experiment,
+			Options:    job.Options,
+			Status:     StatusDone,
+			Elapsed:    1,
+			Result:     json.RawMessage(fmt.Sprintf(`{"job":%q}`, job.ID())),
+		}
+		if err := store.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store.Close()
+
+	// Second life: the full sweep is resubmitted; only the missing half
+	// may execute.
+	store, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	var count atomic.Int64
+	r := New(store, 2, WithExecutor(countingExecutor(&count)))
+	defer r.Close()
+	states, err := r.SubmitAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The completed half is answered synchronously from the store; the
+	// payload stays store-owned and is attached on Result lookups.
+	for i, st := range states[:2] {
+		if st.Status != StatusDone {
+			t.Fatalf("resumed job %d not served from store: %+v", i, st)
+		}
+		full, ok := r.Result(st.ID)
+		if !ok || len(full.Result) == 0 {
+			t.Fatalf("resumed job %d has no retrievable result: %+v", i, full)
+		}
+	}
+	r.Wait()
+	if got := count.Load(); got != 2 {
+		t.Fatalf("executed %d jobs on resume, want 2", got)
+	}
+	if store.Len() != 4 {
+		t.Fatalf("store has %d records, want 4", store.Len())
+	}
+}
+
+func TestRunnerRetriesFailedJobs(t *testing.T) {
+	var attempts atomic.Int64
+	exec := func(j Job) (json.RawMessage, error) {
+		if attempts.Add(1) == 1 {
+			return nil, fmt.Errorf("transient failure")
+		}
+		return json.RawMessage(`{"ok":true}`), nil
+	}
+	store, err := Open(tempStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	r := New(store, 1, WithExecutor(exec))
+	defer r.Close()
+	job, err := NewJob("fig4", experiments.Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Submit(job); err != nil {
+		t.Fatal(err)
+	}
+	r.Wait()
+	if st, _ := r.Get(job.ID()); st.Status != StatusFailed || st.Error == "" {
+		t.Fatalf("first attempt state = %+v, want failed", st)
+	}
+	// Resubmitting a failed job re-runs it.
+	if _, err := r.Submit(job); err != nil {
+		t.Fatal(err)
+	}
+	r.Wait()
+	if st, _ := r.Get(job.ID()); st.Status != StatusDone {
+		t.Fatalf("retry state = %+v, want done", st)
+	}
+	if rec, _ := store.Get(job.ID()); rec.Status != StatusDone {
+		t.Fatalf("store record = %+v, want the done record to win", rec)
+	}
+}
+
+// TestCloseAbandonsQueuedJobs pins the daemon's shutdown story: Close
+// lets the in-flight job finish but abandons the queue instead of
+// draining it (abandoned jobs were never persisted, so they resume on the
+// next submission against the same store).
+func TestCloseAbandonsQueuedJobs(t *testing.T) {
+	started := make(chan struct{}, 3)
+	release := make(chan struct{})
+	exec := func(j Job) (json.RawMessage, error) {
+		started <- struct{}{}
+		<-release
+		return json.RawMessage(`{}`), nil
+	}
+	r := New(nil, 1, WithExecutor(exec))
+	var jobs []Job
+	for seed := uint64(1); seed <= 3; seed++ {
+		job, err := NewJob("fig4", experiments.Options{Quick: true, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job)
+		if _, err := r.Submit(job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-started // first job is in flight, two are queued
+	closed := make(chan struct{})
+	go func() { r.Close(); close(closed) }()
+	// Release the in-flight job only once Close has marked the runner
+	// closed (and cleared the queue).
+	for {
+		r.mu.Lock()
+		c := r.closed
+		r.mu.Unlock()
+		if c {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	<-closed
+	var done, queued int
+	for _, job := range jobs {
+		switch st, _ := r.Get(job.ID()); st.Status {
+		case StatusDone:
+			done++
+		case StatusQueued:
+			queued++
+		}
+	}
+	if done != 1 || queued != 2 {
+		t.Fatalf("after Close: %d done, %d queued; want 1 and 2", done, queued)
+	}
+}
+
+func TestRunnerRecoversFromPanickingExecutor(t *testing.T) {
+	exec := func(j Job) (json.RawMessage, error) {
+		panic("collector bug")
+	}
+	r := New(nil, 1, WithExecutor(exec))
+	defer r.Close()
+	job, err := NewJob("fig4", experiments.Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Submit(job); err != nil {
+		t.Fatal(err)
+	}
+	r.Wait() // must not hang on a dead worker slot
+	st, _ := r.Get(job.ID())
+	if st.Status != StatusFailed || !strings.Contains(st.Error, "panicked") {
+		t.Fatalf("state after panic = %+v", st)
+	}
+	// The slot survived: the runner still executes new work.
+	var count atomic.Int64
+	r2 := New(nil, 1, WithExecutor(countingExecutor(&count)))
+	defer r2.Close()
+	other, err := NewJob("table1", experiments.Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Submit(job); err != nil { // retry the panicking job: fails again, still no hang
+		t.Fatal(err)
+	}
+	r.Wait()
+	if _, err := r2.Submit(other); err != nil {
+		t.Fatal(err)
+	}
+	r2.Wait()
+	if count.Load() != 1 {
+		t.Fatalf("fresh runner executed %d jobs, want 1", count.Load())
+	}
+}
+
+// TestRunnerSurfacesPersistFailures closes the store's file out from
+// under the runner so every Append fails, and checks that neither a
+// successful nor a failing job hides the persistence error.
+func TestRunnerSurfacesPersistFailures(t *testing.T) {
+	store, err := Open(tempStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Close() // subsequent Appends fail on the closed file
+
+	r := New(store, 1, WithExecutor(func(Job) (json.RawMessage, error) {
+		return json.RawMessage(`{}`), nil
+	}))
+	defer r.Close()
+	job, err := NewJob("fig4", experiments.Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Submit(job); err != nil {
+		t.Fatal(err)
+	}
+	r.Wait()
+	if st, _ := r.Get(job.ID()); st.Status != StatusFailed || !strings.Contains(st.Error, "append") {
+		t.Fatalf("computed-but-unpersisted job = %+v, want failed with append error", st)
+	}
+
+	r2 := New(store, 1, WithExecutor(func(Job) (json.RawMessage, error) {
+		return nil, fmt.Errorf("job broke")
+	}))
+	defer r2.Close()
+	other, err := NewJob("table1", experiments.Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Submit(other); err != nil {
+		t.Fatal(err)
+	}
+	r2.Wait()
+	st, _ := r2.Get(other.ID())
+	if st.Status != StatusFailed || !strings.Contains(st.Error, "job broke") || !strings.Contains(st.Error, "persist:") {
+		t.Fatalf("failed-and-unpersisted job = %+v, want both errors surfaced", st)
+	}
+}
+
+// TestRunnerResultBytesMatchDirectRun is the acceptance property of the
+// service layer: what the store persists for a job is byte-identical to
+// what a direct in-process run of the same experiment at the same options
+// produces (and hence to `aergia -experiment <id> -json`).
+func TestRunnerResultBytesMatchDirectRun(t *testing.T) {
+	store, err := Open(tempStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	r := New(store, 2)
+	defer r.Close()
+
+	sweep := Sweep{
+		Experiments: []string{"fig4", "table1", "profiler", "ablation-freeze"},
+		Seeds:       []uint64{3},
+		Quick:       []bool{true},
+	}
+	jobs, err := sweep.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SubmitAll(jobs); err != nil {
+		t.Fatal(err)
+	}
+	r.Wait()
+	for _, job := range jobs {
+		rec, ok := store.Get(job.ID())
+		if !ok || rec.Status != StatusDone {
+			t.Fatalf("job %s: %+v", job.ID(), rec)
+		}
+		direct, err := experiments.Run(job.Experiment, job.Options)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := direct.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(rec.Result) != string(want) {
+			t.Fatalf("job %s result diverged from direct run:\nstore:  %s\ndirect: %s",
+				job.ID(), rec.Result, want)
+		}
+	}
+}

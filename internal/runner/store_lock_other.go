@@ -1,0 +1,9 @@
+//go:build !unix
+
+package runner
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable; single-writer discipline
+// is then up to the operator.
+func lockFile(*os.File) error { return nil }

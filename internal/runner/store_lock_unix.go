@@ -1,0 +1,15 @@
+//go:build unix
+
+package runner
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes a non-blocking exclusive advisory lock on the store file;
+// the kernel releases it when the file is closed or the process dies, so a
+// crashed daemon never wedges its store.
+func lockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

@@ -1,0 +1,70 @@
+package runner
+
+import (
+	"fmt"
+
+	"aergia/internal/experiments"
+)
+
+// Sweep is a parameter grid over the experiment options. Expand takes the
+// cartesian product of every axis; an empty axis means "the default only"
+// (seed 1, serial backend, default workers, full scale), so the minimal
+// sweep {"experiments": ["fig6"]} is one job.
+type Sweep struct {
+	Experiments []string `json:"experiments"`
+	Seeds       []uint64 `json:"seeds,omitempty"`
+	Backends    []string `json:"backends,omitempty"`
+	Workers     []int    `json:"workers,omitempty"`
+	Quick       []bool   `json:"quick,omitempty"`
+}
+
+// Expand materializes the grid as jobs, validating every cell. Cells that
+// normalize to the same job (for example serial runs that differ only in
+// workers) are deduplicated, keeping the first.
+func (s Sweep) Expand() ([]Job, error) {
+	if len(s.Experiments) == 0 {
+		return nil, fmt.Errorf("runner: sweep has no experiments")
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	backends := s.Backends
+	if len(backends) == 0 {
+		backends = []string{""}
+	}
+	workers := s.Workers
+	if len(workers) == 0 {
+		workers = []int{0}
+	}
+	quicks := s.Quick
+	if len(quicks) == 0 {
+		quicks = []bool{false}
+	}
+	var jobs []Job
+	seen := make(map[string]bool)
+	for _, exp := range s.Experiments {
+		for _, quick := range quicks {
+			for _, seed := range seeds {
+				for _, backend := range backends {
+					for _, w := range workers {
+						job, err := NewJob(exp, experiments.Options{
+							Quick:   quick,
+							Seed:    seed,
+							Backend: backend,
+							Workers: w,
+						})
+						if err != nil {
+							return nil, err
+						}
+						if id := job.ID(); !seen[id] {
+							seen[id] = true
+							jobs = append(jobs, job)
+						}
+					}
+				}
+			}
+		}
+	}
+	return jobs, nil
+}

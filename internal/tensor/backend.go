@@ -121,18 +121,33 @@ func (Serial) Scale(a float64, x []float64) {
 	}
 }
 
-// NewBackend constructs a backend by name: "" or "serial" select the serial
-// reference, "parallel" selects the worker-pool backend with the given
-// worker count (0 = GOMAXPROCS).
-func NewBackend(name string, workers int) (Backend, error) {
+// CanonicalBackend validates a backend name and returns its canonical
+// form ("" maps to "serial") without constructing anything — in
+// particular without spawning a worker pool, so request-validation layers
+// can call it on untrusted input.
+func CanonicalBackend(name string) (string, error) {
 	switch name {
 	case "", "serial":
-		return Serial{}, nil
+		return "serial", nil
 	case "parallel":
-		return NewParallel(workers), nil
+		return "parallel", nil
 	default:
-		return nil, fmt.Errorf("tensor: unknown backend %q (want serial or parallel)", name)
+		return "", fmt.Errorf("tensor: unknown backend %q (want serial or parallel)", name)
 	}
+}
+
+// NewBackend constructs a backend by name: "" or "serial" select the serial
+// reference, "parallel" selects the worker-pool backend with the given
+// worker count (0 = GOMAXPROCS, capped at MaxWorkers).
+func NewBackend(name string, workers int) (Backend, error) {
+	canonical, err := CanonicalBackend(name)
+	if err != nil {
+		return nil, err
+	}
+	if canonical == "parallel" {
+		return NewParallel(workers), nil
+	}
+	return Serial{}, nil
 }
 
 // DenseForward computes y = Wx + bias for W (out×in), x (in) and bias (out);

@@ -14,6 +14,11 @@ type workerPool struct {
 	size  int
 }
 
+// MaxWorkers bounds the width of any worker pool; wider requests are
+// clamped. Pools live for the process lifetime, so an unbounded width
+// would let one absurd request pin millions of goroutines.
+const MaxWorkers = 1024
+
 var (
 	poolMu sync.Mutex
 	pools  = map[int]*workerPool{}
@@ -26,6 +31,9 @@ var (
 func getPool(workers int) *workerPool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > MaxWorkers {
+		workers = MaxWorkers
 	}
 	poolMu.Lock()
 	defer poolMu.Unlock()
