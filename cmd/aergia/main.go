@@ -6,6 +6,7 @@
 //	aergia -experiment all -quick                 # quick pass over every experiment
 //	aergia -experiment fig6 -backend parallel     # same numbers, all cores
 //	aergia -experiment fig6 -json                 # machine-readable result record
+//	aergia -experiment fig4 -transport tcp        # same actors over real loopback TCP
 //	aergia -list                                  # list experiment IDs
 //	aergia -sweep '{"experiments":["fig6"],"seeds":[1,2,3]}' -store out.jsonl
 //	aergia -sweep @grid.json -store out.jsonl -jobs 4
@@ -13,6 +14,14 @@
 // The -backend flag selects the compute backend for all model math; serial
 // and parallel produce bit-identical results under the same -seed, so the
 // choice only affects wall-clock time.
+//
+// The -transport flag selects the message transport the federator/client
+// actors run on (DESIGN.md §6): sim is the deterministic virtual-time
+// simulator, tcp binds the same cluster to real TCP peers on loopback.
+// Model math is identical either way, but tcp runs in wall-clock time —
+// a simulated hour takes an hour — so pair it with -quick and the
+// timing-light experiments when exercising the real-RPC path, and raise
+// -transport-timeout (default 2m per run) for anything longer.
 //
 // -json swaps the text report for one canonical JSON record per experiment
 // — the same bytes the result store and the aergiad daemon persist, so
@@ -49,16 +58,19 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("aergia", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		experiment = fs.String("experiment", "", "experiment ID (see -list) or 'all'")
-		quick      = fs.Bool("quick", false, "use the reduced benchmark-scale configuration")
-		seed       = fs.Uint64("seed", 1, "experiment seed")
-		backend    = fs.String("backend", "serial", "compute backend: serial or parallel")
-		workers    = fs.Int("workers", 0, "parallel backend worker count (0 = GOMAXPROCS)")
-		jsonOut    = fs.Bool("json", false, "emit canonical JSON result records instead of text reports")
-		sweepSpec  = fs.String("sweep", "", "run a sweep grid: inline JSON spec or @file")
-		storePath  = fs.String("store", "", "result store for -sweep (JSONL, append-only, resumable)")
-		jobs       = fs.Int("jobs", 0, "concurrent jobs for -sweep (0 = GOMAXPROCS)")
-		list       = fs.Bool("list", false, "list available experiments")
+		experiment       = fs.String("experiment", "", "experiment ID (see -list) or 'all'")
+		quick            = fs.Bool("quick", false, "use the reduced benchmark-scale configuration")
+		seed             = fs.Uint64("seed", 1, "experiment seed")
+		backend          = fs.String("backend", "serial", "compute backend: serial or parallel")
+		workers          = fs.Int("workers", 0, "parallel backend worker count (0 = GOMAXPROCS)")
+		transport        = fs.String("transport", "sim", "message transport: sim (virtual time) or tcp (real loopback TCP)")
+		transportTimeout = fs.Duration("transport-timeout", 0,
+			"wall-clock bound per tcp run (0 = 2m default); tcp runs take the real time they simulate")
+		jsonOut   = fs.Bool("json", false, "emit canonical JSON result records instead of text reports")
+		sweepSpec = fs.String("sweep", "", "run a sweep grid: inline JSON spec or @file")
+		storePath = fs.String("store", "", "result store for -sweep (JSONL, append-only, resumable)")
+		jobs      = fs.Int("jobs", 0, "concurrent jobs for -sweep (0 = GOMAXPROCS)")
+		list      = fs.Bool("list", false, "list available experiments")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,7 +88,7 @@ func run(args []string, out io.Writer) error {
 		var conflicts []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "experiment", "quick", "seed", "backend", "workers":
+			case "experiment", "quick", "seed", "backend", "workers", "transport", "transport-timeout":
 				conflicts = append(conflicts, "-"+f.Name)
 			}
 		})
@@ -95,7 +107,11 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("missing -experiment (or -list / -sweep); available: %s",
 			strings.Join(experiments.Names(), ", "))
 	}
-	opt := experiments.Options{Quick: *quick, Seed: *seed, Backend: *backend, Workers: *workers}
+	opt := experiments.Options{
+		Quick: *quick, Seed: *seed,
+		Backend: *backend, Workers: *workers,
+		Transport: *transport, TransportTimeout: *transportTimeout,
+	}
 	names := []string{*experiment}
 	if *experiment == "all" {
 		names = experiments.Names()

@@ -74,6 +74,29 @@ func TestRunBadBackendFailsLoudly(t *testing.T) {
 	}
 }
 
+func TestRunBadTransportFailsLoudly(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-experiment", "fig4", "-quick", "-transport", "carrier-pigeon"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "unknown transport") {
+		t.Fatalf("err = %v, want unknown-transport error", err)
+	}
+}
+
+// TestRunTCPTransport exercises the real-RPC binding end to end through the
+// CLI: fig4 is compute-only (no FL rounds), so table1 — which is pure
+// metadata — is the cheap smoke; the transport still has to normalize and
+// land in the record. The heavier tcp path is covered by the fl test suite
+// and the examples/distributed CI smoke.
+func TestRunTCPTransport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "table1", "-quick", "-transport", "tcp", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"transport":"tcp"`) {
+		t.Fatalf("record does not carry the transport:\n%s", buf.String())
+	}
+}
+
 // TestRunJSONEmitsCanonicalRecords checks that -json prints exactly the
 // record bytes the result store persists for the same options.
 func TestRunJSONEmitsCanonicalRecords(t *testing.T) {

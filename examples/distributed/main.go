@@ -3,160 +3,98 @@
 // middleware's message-driven design is transport-agnostic (the paper's
 // testbed is peer-to-peer RPC, §5.1).
 //
-// Run with: go run ./examples/distributed
+// The cluster is described once as an fl.Topology and materialized with
+// Build — the exact builder behind fl.Run and the experiment suite — then
+// bound to an rpc.Network instead of the simulator by an fl.Deployment.
+// See DESIGN.md §6 for the build/bind contract; no wiring (dataset
+// generation, sharding, signer setup, payload registration, peer address
+// books) lives in this example anymore.
+//
+// Run with: go run ./examples/distributed [-clients N] [-rounds R]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
 
 	"aergia/internal/cluster"
-	"aergia/internal/comm"
 	"aergia/internal/dataset"
 	"aergia/internal/fl"
 	"aergia/internal/nn"
 	"aergia/internal/rpc"
-	"aergia/internal/sched"
-	"aergia/internal/tensor"
 )
 
 func main() {
-	if err := run(); err != nil {
+	clients := flag.Int("clients", 6, "cluster size (>= 2)")
+	rounds := flag.Int("rounds", 3, "global communication rounds")
+	flag.Parse()
+	if err := run(*clients, *rounds); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func registerPayloads() {
-	rpc.RegisterPayload(fl.TrainPayload{})
-	rpc.RegisterPayload(fl.ProfilePayload{})
-	rpc.RegisterPayload(fl.SchedulePayload{})
-	rpc.RegisterPayload(fl.OffloadPayload{})
-	rpc.RegisterPayload(fl.UpdatePayload{})
-	rpc.RegisterPayload(fl.OffloadResultPayload{})
-}
-
-func run() error {
-	registerPayloads()
-
-	const clients = 6
-	const rounds = 3
-	// A fast cost model keeps the wall-clock sleeps short while still
-	// exercising the full offloading protocol.
-	cost := cluster.CostModel{FLOPSPerSecond: 2e9}
-	speeds := []float64{0.15, 0.9, 0.95, 1.0, 0.85, 0.9}
-
-	train, err := dataset.Generate(dataset.Config{
-		Kind: dataset.MNIST, N: 40 * clients, Seed: 3, Small: true,
-	})
-	if err != nil {
-		return err
+func run(clients, rounds int) error {
+	if clients < 2 {
+		return fmt.Errorf("need at least 2 clients, got %d", clients)
 	}
-	shards, err := dataset.PartitionIID(train, clients, tensor.NewRNG(3))
-	if err != nil {
-		return err
-	}
-	test, err := dataset.Generate(dataset.Config{
-		Kind: dataset.MNIST, N: 100, Seed: 3, Small: true, Variant: 1,
-	})
-	if err != nil {
-		return err
+	// One slow straggler plus fast peers triggers Aergia's freeze/offload
+	// protocol every round.
+	speeds := make([]float64, clients)
+	speeds[0] = 0.15
+	for i := 1; i < clients; i++ {
+		speeds[i] = 0.85 + 0.03*float64(i%5)
 	}
 
-	// Deterministic key material: the example is a reproducible demo, so the
-	// signer derives from a fixed seed like the simulator does.
-	signer, err := sched.NewSigner(tensor.NewRNG(3 ^ 0x5ea1ed))
+	// The whole cluster — synthetic data, shards, speeds, seed-derived
+	// signer and enclave material, initialized actors — in one declarative
+	// value. The same Topology runs bit-identically on the simulator.
+	top := fl.Topology{
+		Strategy:     fl.NewAergia(0, 1),
+		Arch:         nn.ArchMNISTSmall,
+		Dataset:      dataset.MNIST,
+		SmallImages:  true,
+		Clients:      clients,
+		Rounds:       rounds,
+		LocalEpochs:  2,
+		BatchSize:    8,
+		LR:           0.05,
+		TrainSamples: 40 * clients,
+		TestSamples:  100,
+		Speeds:       speeds,
+		// A fast cost model keeps the wall-clock sleeps short while still
+		// exercising the full offloading protocol.
+		Cost:           cluster.CostModel{FLOPSPerSecond: 2e9},
+		ProfileBatches: 1,
+		Seed:           3,
+	}
+	built, err := top.Build()
 	if err != nil {
 		return err
 	}
 
-	// Start one TCP peer per client plus one for the federator.
-	registry := make(map[comm.NodeID]string, clients+1)
-	peers := make([]*rpc.Peer, 0, clients+1)
+	// Bind the built cluster to real TCP peers on loopback. The Deployment
+	// registers every actor, distributes the address book, announces the
+	// payload types for gob, starts the federator, and waits for the run.
+	net := rpc.NewNetwork()
+	net.Timeout = 2 * time.Minute
 	defer func() {
-		for _, p := range peers {
-			if err := p.Close(); err != nil {
-				log.Printf("close peer %d: %v", p.ID(), err)
-			}
+		if err := net.Close(); err != nil {
+			log.Printf("close network: %v", err)
 		}
 	}()
-
-	infos := make([]fl.ClientInfo, clients)
-	for i := 0; i < clients; i++ {
-		id := comm.NodeID(i)
-		client := &fl.Client{
-			ID:               id,
-			Arch:             nn.ArchMNISTSmall,
-			Data:             shards[i],
-			Speed:            speeds[i],
-			Cost:             cost,
-			Verifier:         sched.NewVerifier(signer.PublicKey()),
-			ProfilerOverhead: -1,
-		}
-		if err := client.Init(); err != nil {
-			return err
-		}
-		peer, err := rpc.Listen(id, "127.0.0.1:0", client)
-		if err != nil {
-			return err
-		}
-		peers = append(peers, peer)
-		registry[id] = peer.Addr()
-		infos[i] = fl.ClientInfo{ID: id, Samples: shards[i].Len(), Speed: speeds[i]}
-	}
-
-	testXs, testYs := test.Inputs(), test.Labels()
-	evalNet, err := nn.Build(nn.ArchMNISTSmall, 3)
-	if err != nil {
-		return err
-	}
-	done := make(chan *fl.Results, 1)
-	fed := &fl.Federator{
-		Arch:     nn.ArchMNISTSmall,
-		Strategy: fl.NewAergia(0, 1),
-		Clients:  infos,
-		Local: fl.LocalConfig{
-			Epochs: 2, BatchSize: 8, LR: 0.05, ProfileBatches: 1,
-		},
-		Rounds: rounds,
-		Evaluate: func(w nn.Weights) (float64, error) {
-			if err := evalNet.LoadWeights(w); err != nil {
-				return 0, err
-			}
-			return evalNet.Evaluate(testXs, testYs)
-		},
-		Signer:   signer,
-		Seed:     3,
-		OnFinish: func(r *fl.Results) { done <- r },
-	}
-	if err := fed.Init(); err != nil {
-		return err
-	}
-	fedPeer, err := rpc.Listen(comm.FederatorID, "127.0.0.1:0", fed)
-	if err != nil {
-		return err
-	}
-	peers = append(peers, fedPeer)
-	registry[comm.FederatorID] = fedPeer.Addr()
-
-	epoch := time.Now()
-	for _, p := range peers {
-		p.SetRegistry(registry)
-		p.SetEpoch(epoch)
-	}
-
 	fmt.Printf("running %d rounds of Aergia over TCP with %d clients...\n", rounds, clients)
-	fed.Start(fedPeer.Env())
-	select {
-	case res := <-done:
-		fmt.Printf("finished: accuracy %.3f, wall time %.2fs, offloads %d\n",
-			res.FinalAccuracy, res.TotalTime.Seconds(), res.TotalOffloads())
-		for _, r := range res.Rounds {
-			fmt.Printf("  round %d: %.3fs, %d updates, %d offloads\n",
-				r.Round, r.Duration.Seconds(), r.Completed, r.Offloads)
-		}
-	case <-time.After(2 * time.Minute):
-		return fmt.Errorf("distributed run timed out")
+	res, err := (&fl.Deployment{Cluster: built, Transport: net}).Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("finished: accuracy %.3f, wall time %.2fs, offloads %d\n",
+		res.FinalAccuracy, res.TotalTime.Seconds(), res.TotalOffloads())
+	for _, r := range res.Rounds {
+		fmt.Printf("  round %d: %.3fs, %d updates, %d offloads\n",
+			r.Round, r.Duration.Seconds(), r.Completed, r.Offloads)
 	}
 	return nil
 }

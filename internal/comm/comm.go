@@ -97,3 +97,40 @@ type Handler interface {
 	// block; long work is represented by Env.After.
 	OnMessage(env Env, msg Message)
 }
+
+// Transport binds a set of actors into one communicating cluster. It is the
+// deployment-facing contract (see DESIGN.md §6): fl.Deployment registers
+// every node, seals membership, starts the federator via Invoke, and pumps
+// Drive until the run signals completion. Implementations: sim.Network
+// (virtual time, deterministic) and rpc.Network (real TCP on loopback).
+type Transport interface {
+	// Register attaches handler h as node id. Every node must be registered
+	// before Seal; registering after Seal is a programming error.
+	Register(id NodeID, h Handler)
+	// Seal finalizes membership: after Seal every registered node can reach
+	// every other, and Env, Invoke, and Drive become usable.
+	Seal() error
+	// Env returns the execution environment of a sealed node.
+	Env(id NodeID) Env
+	// Invoke schedules fn in id's actor context, serialized with its
+	// message handling: wall-clock transports run it immediately under the
+	// node's handler lock, virtual-time transports enqueue it at the
+	// current virtual time to run when Drive starts.
+	Invoke(id NodeID, fn func(Env))
+	// Drive delivers messages until done is closed or — for self-draining
+	// virtual-time transports — the event queue empties. A non-nil error
+	// means the run cannot complete (e.g. a wall-clock timeout); whether it
+	// did complete is the caller's check (done closed, results recorded).
+	Drive(done <-chan struct{}) error
+	// Close releases transport resources (listeners, connections). It is
+	// safe to call after a failed Seal or Drive.
+	Close() error
+}
+
+// PayloadRegistry is implemented by transports that serialize message
+// payloads (gob over TCP) and therefore must learn every concrete payload
+// type before the first send. fl.Deployment feeds fl.RegisterPayloads
+// through it, so callers never hand-enumerate the protocol types.
+type PayloadRegistry interface {
+	RegisterPayload(v any)
+}

@@ -51,20 +51,22 @@ func AsyncStudy(opt Options) ([]AsyncComparison, error) {
 		return nil, err
 	}
 	asyncCfg := fl.AsyncConfig{
-		Arch:          archFor(dataset.FMNIST),
-		Dataset:       dataset.FMNIST,
-		SmallImages:   true,
-		Clients:       s.clients,
-		TotalUpdates:  updatesBudget,
-		LocalEpochs:   s.localEpochs,
-		BatchSize:     s.batchSize,
-		TrainSamples:  s.trainPerCli * s.clients,
-		TestSamples:   s.testSamples,
-		NonIIDClasses: 3,
-		NoiseStd:      s.noiseStd,
-		SpeedJitter:   s.speedJitter,
-		Seed:          opt.seed(),
-		Backend:       be,
+		Arch:             archFor(dataset.FMNIST),
+		Dataset:          dataset.FMNIST,
+		SmallImages:      true,
+		Clients:          s.clients,
+		TotalUpdates:     updatesBudget,
+		LocalEpochs:      s.localEpochs,
+		BatchSize:        s.batchSize,
+		TrainSamples:     s.trainPerCli * s.clients,
+		TestSamples:      s.testSamples,
+		NonIIDClasses:    3,
+		NoiseStd:         s.noiseStd,
+		SpeedJitter:      s.speedJitter,
+		Seed:             opt.seed(),
+		Backend:          be,
+		Transport:        opt.Transport,
+		TransportTimeout: opt.TransportTimeout,
 	}
 	asyncRes, err := fl.RunAsync(asyncCfg)
 	if err != nil {

@@ -35,22 +35,37 @@ type Options struct {
 	// Workers sizes the parallel backend's worker pool; 0 means GOMAXPROCS.
 	// Ignored by the serial backend.
 	Workers int `json:"workers"`
+	// Transport selects the message transport for the FL runs: "" or "sim"
+	// for the deterministic virtual-time simulator, "tcp" for real TCP on
+	// loopback. Model math is transport-independent; timings over tcp are
+	// wall-clock, so only sim records are deterministic (DESIGN.md §6).
+	// Normalization collapses "sim" to "", so default-run records (and the
+	// content-hash job IDs derived from them) are byte-identical to the
+	// pre-transport schema and existing result stores keep resuming.
+	Transport string `json:"transport,omitempty"`
+	// TransportTimeout bounds each wall-clock (tcp) FL run in nanoseconds;
+	// 0 selects the transport default (2 minutes). A tcp run takes the real
+	// time it simulates, so full-scale experiments need a generous bound.
+	// Ignored (and normalized away) on the sim transport.
+	TransportTimeout time.Duration `json:"transport_timeout,omitempty"`
 }
 
-func (o Options) seed() uint64 {
-	if o.Seed == 0 {
-		return 1
-	}
-	return o.Seed
-}
+// seed resolves the default seed through the one normalization rule every
+// engine entry point shares (fl.NormalizeSeed): 0 means DefaultSeed.
+func (o Options) seed() uint64 { return fl.NormalizeSeed(o.Seed) }
 
-// Normalize resolves the defaults (seed 1, backend "serial") into explicit
-// values and rejects unknown backend names and absurd worker counts. Two
-// option values that normalize equally configure identical runs, so
-// normalized options are the dedup key of the result store. Normalize
-// never constructs a backend — it is safe on untrusted daemon input.
+// Normalize resolves the defaults (seed 1, backend "serial", transport
+// "sim") into explicit values and rejects unknown backend/transport names
+// and absurd worker counts. Two option values that normalize equally
+// configure identical runs, so normalized options are the dedup key of the
+// result store. Normalize never constructs a backend — it is safe on
+// untrusted daemon input.
 func (o Options) Normalize() (Options, error) {
 	name, err := tensor.CanonicalBackend(o.Backend)
+	if err != nil {
+		return Options{}, err
+	}
+	transport, err := fl.CanonicalTransport(o.Transport)
 	if err != nil {
 		return Options{}, err
 	}
@@ -58,12 +73,24 @@ func (o Options) Normalize() (Options, error) {
 		return Options{}, fmt.Errorf("experiments: %d workers exceeds the pool limit %d",
 			o.Workers, tensor.MaxWorkers)
 	}
+	if o.TransportTimeout < 0 {
+		return Options{}, fmt.Errorf("experiments: negative transport timeout %v", o.TransportTimeout)
+	}
 	o.Seed = o.seed()
 	o.Backend = name
+	o.Transport = transport
 	if o.Backend == "serial" || o.Workers < 0 {
 		// Workers are ignored on serial, and any non-positive count means
 		// GOMAXPROCS; collapse both so they cannot split the dedup key.
 		o.Workers = 0
+	}
+	if o.Transport == fl.TransportSim {
+		// Collapse the default transport to "" (and drop its unused
+		// timeout) so sim runs cannot split the dedup key — and so default
+		// records hash identically to the pre-transport schema, keeping
+		// old result stores resumable.
+		o.Transport = ""
+		o.TransportTimeout = 0
 	}
 	return o, nil
 }
@@ -151,10 +178,13 @@ func (o Options) baseConfig(kind dataset.Kind, strat fl.Strategy) (fl.Config, er
 		SpeedJitter:  s.speedJitter,
 		EvalEvery:    s.evalEvery,
 		// Edge-grade links: 10ms latency, ~1 MB/s; model transfers (global
-		// distribution, offloads, updates) pay their wire cost.
-		Link:    sim.UniformLink(10*time.Millisecond, 1e6),
-		Seed:    o.seed(),
-		Backend: be,
+		// distribution, offloads, updates) pay their wire cost. The link
+		// model applies to the sim transport; tcp links are physical.
+		Link:             sim.UniformLink(10*time.Millisecond, 1e6),
+		Seed:             o.seed(),
+		Backend:          be,
+		Transport:        o.Transport,
+		TransportTimeout: o.TransportTimeout,
 	}, nil
 }
 

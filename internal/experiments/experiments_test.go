@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"aergia/internal/dataset"
 	"aergia/internal/nn"
@@ -204,6 +205,47 @@ func TestOptionsNormalize(t *testing.T) {
 	// request spawn an arbitrary-width pool.
 	if _, err := (Options{Backend: "parallel", Workers: 100_000_000}).Normalize(); err == nil {
 		t.Fatal("unbounded workers normalized")
+	}
+}
+
+func TestOptionsNormalizeTransport(t *testing.T) {
+	norm, err := (Options{}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "" and "sim" collapse to "" so default records keep the
+	// pre-transport schema (and job IDs) byte-identical.
+	if norm.Transport != "" {
+		t.Fatalf("default transport = %q, want \"\"", norm.Transport)
+	}
+	norm, err = (Options{Transport: "sim"}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Transport != "" {
+		t.Fatalf("sim transport = %q, want \"\"", norm.Transport)
+	}
+	if _, err := (Options{Transport: "carrier-pigeon"}).Normalize(); err == nil {
+		t.Fatal("unknown transport normalized")
+	}
+	if _, err := (Options{Transport: "tcp", TransportTimeout: -time.Second}).Normalize(); err == nil {
+		t.Fatal("negative transport timeout normalized")
+	}
+	// The simulator ignores the timeout; it must not split the dedup key
+	// of otherwise-identical sim runs.
+	norm, err = (Options{Transport: "sim", TransportTimeout: 5 * time.Minute}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.TransportTimeout != 0 {
+		t.Fatalf("sim transport timeout = %v, want 0", norm.TransportTimeout)
+	}
+	norm, err = (Options{Transport: "tcp", TransportTimeout: 5 * time.Minute}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Transport != "tcp" || norm.TransportTimeout != 5*time.Minute {
+		t.Fatalf("tcp normalized = %+v", norm)
 	}
 }
 

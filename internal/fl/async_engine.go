@@ -1,10 +1,9 @@
 package fl
 
 import (
-	"fmt"
+	"time"
 
 	"aergia/internal/cluster"
-	"aergia/internal/comm"
 	"aergia/internal/dataset"
 	"aergia/internal/nn"
 	"aergia/internal/sim"
@@ -12,7 +11,8 @@ import (
 )
 
 // AsyncConfig describes an asynchronous FL experiment; the fields mirror
-// Config where they overlap.
+// Config where they overlap. Like Config it is a legacy flat form — RunAsync
+// converts it to an async Topology and drives a Deployment.
 type AsyncConfig struct {
 	Arch          nn.Arch
 	Dataset       dataset.Kind
@@ -32,133 +32,64 @@ type AsyncConfig struct {
 	Cost          cluster.CostModel
 	Link          sim.LinkModel
 	EvalEvery     int
-	Seed          uint64
+	// Seed drives all randomness; 0 selects DefaultSeed (see NormalizeSeed).
+	Seed uint64
 	// Backend selects the compute backend shared by every client and the
 	// evaluator; nil means the serial reference.
 	Backend tensor.Backend
+	// Transport selects the message transport: "" or "sim" for the
+	// virtual-time simulator, "tcp" for real TCP on loopback.
+	Transport string
+	// TransportTimeout bounds a wall-clock (tcp) run; 0 selects the
+	// transport default. Ignored by the simulator.
+	TransportTimeout time.Duration
 }
 
-func (c *AsyncConfig) fillDefaults() {
-	if c.Clients == 0 {
-		c.Clients = 24
-	}
-	if c.TotalUpdates == 0 {
-		c.TotalUpdates = 10 * c.Clients
-	}
-	if c.LocalEpochs == 0 {
-		c.LocalEpochs = 1
-	}
-	if c.BatchSize == 0 {
-		c.BatchSize = 8
-	}
-	if c.LR == 0 {
-		c.LR = 0.05
-	}
-	if c.Alpha == 0 {
-		c.Alpha = 0.6
-	}
-	if c.TrainSamples == 0 {
-		c.TrainSamples = 40 * c.Clients
-	}
-	if c.TestSamples == 0 {
-		c.TestSamples = 200
-	}
-	if c.Cost.FLOPSPerSecond == 0 {
-		c.Cost = cluster.DefaultCostModel()
-	}
-	if c.Seed == 0 {
-		c.Seed = 1
+// Topology converts the AsyncConfig into the async Topology it wraps.
+func (c AsyncConfig) Topology() Topology {
+	return Topology{
+		Async:         true,
+		Arch:          c.Arch,
+		Dataset:       c.Dataset,
+		SmallImages:   c.SmallImages,
+		Clients:       c.Clients,
+		TotalUpdates:  c.TotalUpdates,
+		LocalEpochs:   c.LocalEpochs,
+		BatchSize:     c.BatchSize,
+		LR:            c.LR,
+		Alpha:         c.Alpha,
+		TrainSamples:  c.TrainSamples,
+		TestSamples:   c.TestSamples,
+		NonIIDClasses: c.NonIIDClasses,
+		NoiseStd:      c.NoiseStd,
+		Speeds:        c.Speeds,
+		SpeedJitter:   c.SpeedJitter,
+		Cost:          c.Cost,
+		EvalEvery:     c.EvalEvery,
+		Seed:          c.Seed,
+		Backend:       c.Backend,
 	}
 }
 
-// RunAsync executes an asynchronous (FedAsync-style) experiment on the
-// virtual-time simulator.
+// RunAsync executes an asynchronous (FedAsync-style) experiment. Like Run
+// it is a thin wrapper over Topology.Build and a Deployment on the
+// configured transport.
 func RunAsync(cfg AsyncConfig) (*AsyncResults, error) {
-	cfg.fillDefaults()
-	train, err := dataset.Generate(dataset.Config{
-		Kind: cfg.Dataset, N: cfg.TrainSamples, Seed: cfg.Seed, Small: cfg.SmallImages,
-		NoiseStd: cfg.NoiseStd,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("fl: async train data: %w", err)
-	}
-	test, err := dataset.Generate(dataset.Config{
-		Kind: cfg.Dataset, N: cfg.TestSamples, Seed: cfg.Seed, Small: cfg.SmallImages,
-		NoiseStd: cfg.NoiseStd, Variant: 1,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("fl: async test data: %w", err)
-	}
-	dataRNG := tensor.NewRNG(cfg.Seed ^ 0xda7a)
-	var shards []*dataset.Dataset
-	if cfg.NonIIDClasses > 0 {
-		shards, err = dataset.PartitionNonIID(train, cfg.Clients, cfg.NonIIDClasses, dataRNG)
-	} else {
-		shards, err = dataset.PartitionIID(train, cfg.Clients, dataRNG)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("fl: async partition: %w", err)
-	}
-	speeds := cfg.Speeds
-	if speeds == nil {
-		speeds = cluster.UniformSpeeds(cfg.Clients, tensor.NewRNG(cfg.Seed^0x5eed))
-	}
-	if len(speeds) != cfg.Clients {
-		return nil, fmt.Errorf("fl: async %d speeds for %d clients", len(speeds), cfg.Clients)
-	}
-
-	kernel := sim.NewKernel()
-	network := sim.NewNetwork(kernel, cfg.Link)
-	infos := make([]ClientInfo, cfg.Clients)
-	for i := 0; i < cfg.Clients; i++ {
-		id := comm.NodeID(i)
-		infos[i] = ClientInfo{ID: id, Samples: shards[i].Len(), Speed: speeds[i]}
-		client := &Client{
-			ID:               id,
-			Arch:             cfg.Arch,
-			Data:             shards[i],
-			Speed:            speeds[i],
-			Jitter:           cfg.SpeedJitter,
-			JitterSeed:       cfg.Seed,
-			Cost:             cfg.Cost,
-			Backend:          cfg.Backend,
-			ProfilerOverhead: -1,
-		}
-		if err := client.Init(); err != nil {
-			return nil, err
-		}
-		network.Register(id, client)
-	}
-
-	testXs, testYs := test.Inputs(), test.Labels()
-	evaluate, err := newEvaluator(cfg.Arch, cfg.Backend, testXs, testYs)
+	cl, err := cfg.Topology().Build()
 	if err != nil {
 		return nil, err
 	}
-	fed := &AsyncFederator{
-		Arch:    cfg.Arch,
-		Clients: infos,
-		Local: LocalConfig{
-			Epochs:    cfg.LocalEpochs,
-			BatchSize: cfg.BatchSize,
-			LR:        cfg.LR,
-		},
-		Alpha:        cfg.Alpha,
-		TotalUpdates: cfg.TotalUpdates,
-		EvalEvery:    cfg.EvalEvery,
-		Evaluate:     evaluate,
-	}
-	if err := fed.Init(); err != nil {
+	transport, err := newRunTransport(cfg.Transport, cfg.Link, cfg.TransportTimeout)
+	if err != nil {
 		return nil, err
 	}
-	network.Register(comm.FederatorID, fed)
-
-	var out *AsyncResults
-	fed.OnFinish = func(r *AsyncResults) { out = r }
-	kernel.Schedule(0, func() { fed.Start(network.Env(comm.FederatorID)) })
-	kernel.Run()
-	if out == nil {
-		return nil, fmt.Errorf("fl: async experiment did not complete (%d updates absorbed)", fed.absorbed)
+	dep := &Deployment{Cluster: cl, Transport: transport}
+	res, err := dep.RunAsync()
+	if cerr := transport.Close(); err == nil {
+		err = cerr
 	}
-	return out, nil
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }

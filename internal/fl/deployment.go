@@ -1,0 +1,148 @@
+package fl
+
+import (
+	"fmt"
+	"time"
+
+	"aergia/internal/comm"
+	"aergia/internal/rpc"
+	"aergia/internal/sim"
+)
+
+// Transport names accepted by CanonicalTransport, NewTransport, and the
+// Config/AsyncConfig Transport fields.
+const (
+	// TransportSim is the deterministic virtual-time simulator (default).
+	TransportSim = "sim"
+	// TransportTCP runs the same actors over real TCP on loopback;
+	// model math is unchanged but timings are wall-clock.
+	TransportTCP = "tcp"
+)
+
+// CanonicalTransport resolves a transport name ("" means sim) and rejects
+// unknown ones. Two names that canonicalize equally select the same
+// transport, so normalized names are safe as dedup keys.
+func CanonicalTransport(name string) (string, error) {
+	switch name {
+	case "", TransportSim:
+		return TransportSim, nil
+	case TransportTCP:
+		return TransportTCP, nil
+	}
+	return "", fmt.Errorf("fl: unknown transport %q (want %q or %q)", name, TransportSim, TransportTCP)
+}
+
+// NewTransport constructs the named transport. The link model is honored by
+// the simulator only: a real TCP deployment's links are physical, so link
+// is ignored there (see DESIGN.md §6). The caller owns the transport and
+// must Close it after the run.
+func NewTransport(name string, link sim.LinkModel) (comm.Transport, error) {
+	return newRunTransport(name, link, 0)
+}
+
+// newRunTransport additionally applies the wall-clock run timeout the
+// Config/AsyncConfig wrappers carry (0 keeps the transport default; the
+// simulator needs none).
+func newRunTransport(name string, link sim.LinkModel, timeout time.Duration) (comm.Transport, error) {
+	canon, err := CanonicalTransport(name)
+	if err != nil {
+		return nil, err
+	}
+	if canon == TransportTCP {
+		net := rpc.NewNetwork()
+		net.Timeout = timeout
+		return net, nil
+	}
+	return sim.NewNetwork(sim.NewKernel(), link), nil
+}
+
+// Deployment binds a built Cluster to a Transport and drives the run: it
+// registers every actor, seals membership, feeds the payload types to
+// serializing transports, starts the federator in its actor context, and
+// pumps the transport until the run completes. The same Deployment code
+// path serves sync, async, simulated, and real-TCP runs (DESIGN.md §6).
+//
+// The Deployment does not own the Transport: callers Close it after Run
+// (the Run/RunAsync package-level wrappers do this for their callers).
+type Deployment struct {
+	Cluster   *Cluster
+	Transport comm.Transport
+}
+
+// bind registers the cluster's actors on the transport and seals it.
+func (d *Deployment) bind(fed comm.Handler) error {
+	if reg, ok := d.Transport.(comm.PayloadRegistry); ok {
+		RegisterPayloads(reg.RegisterPayload)
+	}
+	for _, c := range d.Cluster.Clients {
+		d.Transport.Register(c.ID, c)
+	}
+	d.Transport.Register(comm.FederatorID, fed)
+	return d.Transport.Seal()
+}
+
+// Run drives a synchronous cluster to completion and returns its results.
+func (d *Deployment) Run() (*Results, error) {
+	if d.Cluster == nil || d.Transport == nil {
+		return nil, fmt.Errorf("fl: deployment needs a cluster and a transport")
+	}
+	fed := d.Cluster.Federator
+	if fed == nil {
+		return nil, fmt.Errorf("fl: Run needs a sync cluster (the topology was built with Async set)")
+	}
+	if err := d.bind(fed); err != nil {
+		return nil, err
+	}
+	var out *Results
+	done := make(chan struct{})
+	prev := fed.OnFinish
+	fed.OnFinish = func(r *Results) {
+		out = r
+		if prev != nil {
+			prev(r)
+		}
+		close(done)
+	}
+	d.Transport.Invoke(comm.FederatorID, func(env comm.Env) { fed.Start(env) })
+	if err := d.Transport.Drive(done); err != nil {
+		return nil, err
+	}
+	if out == nil {
+		return nil, fmt.Errorf("fl: experiment did not complete")
+	}
+	out.TotalTime = out.PreTraining + sumDurations(out.Rounds)
+	return out, nil
+}
+
+// RunAsync drives an asynchronous cluster until its update budget is
+// exhausted and returns its results.
+func (d *Deployment) RunAsync() (*AsyncResults, error) {
+	if d.Cluster == nil || d.Transport == nil {
+		return nil, fmt.Errorf("fl: deployment needs a cluster and a transport")
+	}
+	fed := d.Cluster.AsyncFederator
+	if fed == nil {
+		return nil, fmt.Errorf("fl: RunAsync needs an async cluster (set Topology.Async)")
+	}
+	if err := d.bind(fed); err != nil {
+		return nil, err
+	}
+	var out *AsyncResults
+	done := make(chan struct{})
+	prev := fed.OnFinish
+	fed.OnFinish = func(r *AsyncResults) {
+		out = r
+		if prev != nil {
+			prev(r)
+		}
+		close(done)
+	}
+	d.Transport.Invoke(comm.FederatorID, func(env comm.Env) { fed.Start(env) })
+	if err := d.Transport.Drive(done); err != nil {
+		return nil, err
+	}
+	if out == nil {
+		return nil, fmt.Errorf("fl: async experiment did not complete")
+	}
+	return out, nil
+}

@@ -5,19 +5,17 @@ import (
 	"time"
 
 	"aergia/internal/cluster"
-	"aergia/internal/comm"
 	"aergia/internal/dataset"
-	"aergia/internal/enclave"
 	"aergia/internal/nn"
-	"aergia/internal/sched"
 	"aergia/internal/sim"
-	"aergia/internal/similarity"
 	"aergia/internal/tensor"
 	"aergia/internal/trace"
 )
 
-// Config describes one end-to-end federated experiment on the simulated
-// cluster.
+// Config describes one end-to-end federated experiment. It is the legacy
+// flat form of a synchronous Topology plus the run's transport selection;
+// Run converts it and drives a Deployment, so Config and Topology runs are
+// bit-identical under the same seed (see DESIGN.md §6).
 type Config struct {
 	// Strategy is the FL algorithm under test.
 	Strategy Strategy
@@ -58,247 +56,85 @@ type Config struct {
 	// Cost converts FLOPs to virtual durations.
 	Cost cluster.CostModel
 	// Link models the network links; nil means ideal (zero-delay) links.
+	// Link is honored by the sim transport only (real links are physical).
 	Link sim.LinkModel
 	// ProfileBatches is Aergia's online profiling window (per round).
 	ProfileBatches int
 	// EvalEvery evaluates accuracy every k rounds; 0 means every round.
 	EvalEvery int
-	// Seed drives all randomness (data, speeds, selection, init).
+	// Seed drives all randomness (data, speeds, selection, init); 0 selects
+	// DefaultSeed (see NormalizeSeed).
 	Seed uint64
 	// Backend selects the compute backend shared by every client and the
 	// evaluator; nil means the serial reference. Results are bit-identical
 	// across backends and worker counts (see DESIGN.md).
 	Backend tensor.Backend
+	// Transport selects the message transport: "" or "sim" for the
+	// deterministic virtual-time simulator, "tcp" for real TCP on loopback
+	// (same model math, wall-clock timings).
+	Transport string
+	// TransportTimeout bounds a wall-clock (tcp) run; 0 selects the
+	// transport default (rpc.DefaultDriveTimeout). Long tcp runs take real
+	// time — a simulated hour is an hour — so size this to the experiment.
+	// Ignored by the virtual-time simulator, which needs no timeout.
+	TransportTimeout time.Duration
 	// Trace, when set, records the full event timeline of the run.
 	Trace *trace.Log
 }
 
-func (c *Config) fillDefaults() {
-	if c.Clients == 0 {
-		c.Clients = 24
-	}
-	if c.Rounds == 0 {
-		c.Rounds = 10
-	}
-	if c.LocalEpochs == 0 {
-		c.LocalEpochs = 1
-	}
-	if c.BatchSize == 0 {
-		c.BatchSize = 8
-	}
-	if c.LR == 0 {
-		c.LR = 0.05
-	}
-	if c.TrainSamples == 0 {
-		c.TrainSamples = 40 * c.Clients
-	}
-	if c.TestSamples == 0 {
-		c.TestSamples = 200
-	}
-	if c.Cost.FLOPSPerSecond == 0 {
-		c.Cost = cluster.DefaultCostModel()
-	}
-	if c.ProfileBatches == 0 {
-		c.ProfileBatches = 1
-	}
-	if c.Seed == 0 {
-		c.Seed = 1
+// Topology converts the Config into the declarative Topology it wraps.
+// Link and Transport stay behind: they are deployment concerns, consumed by
+// NewTransport.
+func (c Config) Topology() Topology {
+	return Topology{
+		Strategy:       c.Strategy,
+		Arch:           c.Arch,
+		Dataset:        c.Dataset,
+		SmallImages:    c.SmallImages,
+		Clients:        c.Clients,
+		Rounds:         c.Rounds,
+		LocalEpochs:    c.LocalEpochs,
+		BatchSize:      c.BatchSize,
+		LR:             c.LR,
+		TrainSamples:   c.TrainSamples,
+		TestSamples:    c.TestSamples,
+		NonIIDClasses:  c.NonIIDClasses,
+		DirichletAlpha: c.DirichletAlpha,
+		Speeds:         c.Speeds,
+		SpeedJitter:    c.SpeedJitter,
+		NoiseStd:       c.NoiseStd,
+		Cost:           c.Cost,
+		ProfileBatches: c.ProfileBatches,
+		EvalEvery:      c.EvalEvery,
+		Seed:           c.Seed,
+		Backend:        c.Backend,
+		Trace:          c.Trace,
 	}
 }
 
-// Run executes the experiment on the virtual-time simulator and returns its
-// results.
+// Run executes the experiment and returns its results. It is a thin
+// compatibility wrapper: the cluster is materialized by Topology.Build and
+// driven by a Deployment over the configured transport (the virtual-time
+// simulator by default).
 func Run(cfg Config) (*Results, error) {
-	cfg.fillDefaults()
 	if cfg.Strategy == nil {
 		return nil, fmt.Errorf("fl: config needs a strategy")
 	}
-
-	// Data: disjoint client shards plus a held-out test set drawn from the
-	// same class prototypes but a different noise stream.
-	train, err := dataset.Generate(dataset.Config{
-		Kind: cfg.Dataset, N: cfg.TrainSamples, Seed: cfg.Seed, Small: cfg.SmallImages,
-		NoiseStd: cfg.NoiseStd,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("fl: train data: %w", err)
-	}
-	test, err := dataset.Generate(dataset.Config{
-		Kind: cfg.Dataset, N: cfg.TestSamples, Seed: cfg.Seed, Small: cfg.SmallImages,
-		NoiseStd: cfg.NoiseStd, Variant: 1,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("fl: test data: %w", err)
-	}
-	dataRNG := tensor.NewRNG(cfg.Seed ^ 0xda7a)
-	var shards []*dataset.Dataset
-	switch {
-	case cfg.DirichletAlpha > 0:
-		shards, err = dataset.PartitionDirichlet(train, cfg.Clients, cfg.DirichletAlpha, dataRNG)
-	case cfg.NonIIDClasses > 0:
-		shards, err = dataset.PartitionNonIID(train, cfg.Clients, cfg.NonIIDClasses, dataRNG)
-	default:
-		shards, err = dataset.PartitionIID(train, cfg.Clients, dataRNG)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("fl: partition: %w", err)
-	}
-
-	// Resources.
-	speeds := cfg.Speeds
-	if speeds == nil {
-		speeds = cluster.UniformSpeeds(cfg.Clients, tensor.NewRNG(cfg.Seed^0x5eed))
-	}
-	if len(speeds) != cfg.Clients {
-		return nil, fmt.Errorf("fl: %d speeds for %d clients", len(speeds), cfg.Clients)
-	}
-
-	// Simulated network.
-	kernel := sim.NewKernel()
-	network := sim.NewNetwork(kernel, cfg.Link)
-
-	// Schedule signing and enclave-based similarity (Aergia only).
-	var signer *sched.Signer
-	var simMatrix similarity.Matrix
-	var preTraining time.Duration
-	aergiaStrat, isAergia := cfg.Strategy.(*Aergia)
-	if cfg.Strategy.Offloading() {
-		// All simulated key material and nonces derive from the experiment
-		// seed so that runs are reproducible bit-for-bit.
-		simRand := tensor.NewRNG(cfg.Seed ^ 0x5ea1ed)
-		signer, err = sched.NewSigner(simRand)
-		if err != nil {
-			return nil, err
-		}
-		// Pre-training phase: remote attestation plus sealed submission of
-		// every client's class distribution; the enclave computes the EMD
-		// matrix. This happens once, before round 0 (§4.4).
-		encl, err := enclave.New(simRand)
-		if err != nil {
-			return nil, fmt.Errorf("fl: enclave: %w", err)
-		}
-		report := encl.AttestationReport()
-		for i, shard := range shards {
-			sub, err := enclave.Seal(report, i, shard.ClassDistribution(), simRand)
-			if err != nil {
-				return nil, fmt.Errorf("fl: seal client %d: %w", i, err)
-			}
-			if err := encl.Submit(sub); err != nil {
-				return nil, fmt.Errorf("fl: submit client %d: %w", i, err)
-			}
-		}
-		simMatrix, err = encl.SimilarityMatrix(cfg.Clients)
-		if err != nil {
-			return nil, fmt.Errorf("fl: similarity matrix: %w", err)
-		}
-		// Attestation round-trip plus one small message per client.
-		preTraining += 100 * time.Millisecond
-	}
-
-	// TiFL profiles clients offline before training; charge the profiling
-	// pass (clients run in parallel, so the slowest bounds it).
-	if tifl, ok := cfg.Strategy.(*TiFL); ok && tifl != nil {
-		probe, err := nn.Build(cfg.Arch, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		phase, err := probe.PhaseFLOPs()
-		if err != nil {
-			return nil, err
-		}
-		var slowest time.Duration
-		for _, s := range speeds {
-			d, err := cfg.Cost.BatchDuration(phase, cfg.BatchSize, s)
-			if err != nil {
-				return nil, err
-			}
-			const offlineProfilingBatches = 10
-			if d*offlineProfilingBatches > slowest {
-				slowest = d * offlineProfilingBatches
-			}
-		}
-		preTraining += slowest
-	}
-
-	// Clients.
-	infos := make([]ClientInfo, cfg.Clients)
-	simIndex := make(map[comm.NodeID]int, cfg.Clients)
-	for i := 0; i < cfg.Clients; i++ {
-		id := comm.NodeID(i)
-		infos[i] = ClientInfo{ID: id, Samples: shards[i].Len(), Speed: speeds[i]}
-		simIndex[id] = i
-		// Each client pins the federator's key with its own replay state:
-		// envelope sequence numbers are global, so a shared verifier would
-		// reject a sibling's later-signed directive as a replay.
-		var verifier *sched.Verifier
-		if signer != nil {
-			verifier = sched.NewVerifier(signer.PublicKey())
-		}
-		client := &Client{
-			ID:               id,
-			Arch:             cfg.Arch,
-			Data:             shards[i],
-			Speed:            speeds[i],
-			Jitter:           cfg.SpeedJitter,
-			JitterSeed:       cfg.Seed,
-			Cost:             cfg.Cost,
-			Backend:          cfg.Backend,
-			Verifier:         verifier,
-			ProfilerOverhead: -1,
-			Trace:            cfg.Trace,
-		}
-		if err := client.Init(); err != nil {
-			return nil, err
-		}
-		network.Register(id, client)
-	}
-
-	// Federator.
-	testXs, testYs := test.Inputs(), test.Labels()
-	evaluate, err := newEvaluator(cfg.Arch, cfg.Backend, testXs, testYs)
+	cl, err := cfg.Topology().Build()
 	if err != nil {
 		return nil, err
 	}
-	profileBatches := 0
-	simFactor := 0.0
-	if isAergia {
-		profileBatches = cfg.ProfileBatches
-		simFactor = aergiaStrat.SimilarityFactor
-	}
-	fed := &Federator{
-		Arch:     cfg.Arch,
-		Strategy: cfg.Strategy,
-		Clients:  infos,
-		Local: LocalConfig{
-			Epochs:         cfg.LocalEpochs,
-			BatchSize:      cfg.BatchSize,
-			LR:             cfg.LR,
-			ProfileBatches: profileBatches,
-		},
-		Rounds:           cfg.Rounds,
-		EvalEvery:        cfg.EvalEvery,
-		Evaluate:         evaluate,
-		Signer:           signer,
-		Similarity:       simMatrix,
-		SimilarityIndex:  simIndex,
-		SimilarityFactor: simFactor,
-		Seed:             cfg.Seed,
-		Trace:            cfg.Trace,
-	}
-	if err := fed.Init(); err != nil {
+	transport, err := newRunTransport(cfg.Transport, cfg.Link, cfg.TransportTimeout)
+	if err != nil {
 		return nil, err
 	}
-	fed.Results().PreTraining = preTraining
-	network.Register(comm.FederatorID, fed)
-
-	var out *Results
-	fed.OnFinish = func(r *Results) { out = r }
-	kernel.Schedule(0, func() { fed.Start(network.Env(comm.FederatorID)) })
-	kernel.Run()
-	if out == nil {
-		return nil, fmt.Errorf("fl: experiment did not complete (%d rounds recorded)",
-			len(fed.Results().Rounds))
+	dep := &Deployment{Cluster: cl, Transport: transport}
+	res, err := dep.Run()
+	if cerr := transport.Close(); err == nil {
+		err = cerr
 	}
-	out.TotalTime = out.PreTraining + sumDurations(out.Rounds)
-	return out, nil
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"aergia/internal/cluster"
 	"aergia/internal/comm"
 	"aergia/internal/dataset"
 	"aergia/internal/nn"
@@ -100,6 +101,7 @@ func TestFedCSEndToEndExcludesStraggler(t *testing.T) {
 	}
 	cfg := testConfig(nil)
 	cfg.Speeds = speeds
+	cfg.Cost = cluster.DefaultCostModel() // resolve the default the engine would
 	estimate := func(c ClientInfo) time.Duration {
 		d, err := cfg.Cost.BatchDuration(phase, cfg.BatchSize, c.Speed)
 		if err != nil {
@@ -108,7 +110,6 @@ func TestFedCSEndToEndExcludesStraggler(t *testing.T) {
 		// 2 epochs × 5 batches per round in the test config.
 		return 10 * d
 	}
-	cfg.fillDefaults()
 	budget := estimate(ClientInfo{Speed: 0.5})
 	cfg.Strategy = NewFedCS(0, budget, estimate)
 	res, err := Run(cfg)

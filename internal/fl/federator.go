@@ -279,9 +279,17 @@ func (f *Federator) maybeFinalize(env comm.Env) {
 		return
 	}
 	for weak := range f.pairs {
-		if _, ok := f.features[weak]; !ok {
-			return
+		if _, ok := f.features[weak]; ok {
+			continue
 		}
+		if u, ok := f.updates[weak]; ok && !u.Partial {
+			// The weak client completed before the directive reached it —
+			// possible on wall-clock transports, where delivery latency is
+			// physical. Its full update supersedes the offload, so no
+			// feature section is owed for this pair.
+			continue
+		}
+		return
 	}
 	f.finalizeRound(env)
 }

@@ -98,6 +98,21 @@ type OffloadResultPayload struct {
 	Feature []float64
 }
 
+// RegisterPayloads announces every protocol payload type to reg, so
+// serializing transports (gob over TCP) learn the concrete types without
+// callers hand-enumerating them. Deployment calls this automatically for
+// transports implementing comm.PayloadRegistry; code wiring rpc.Peer by
+// hand calls fl.RegisterPayloads(rpc.RegisterPayload) once at startup.
+// New payload types are added here, nowhere else.
+func RegisterPayloads(reg func(any)) {
+	reg(TrainPayload{})
+	reg(ProfilePayload{})
+	reg(SchedulePayload{})
+	reg(OffloadPayload{})
+	reg(UpdatePayload{})
+	reg(OffloadResultPayload{})
+}
+
 // RoundStats records the outcome of one global round.
 type RoundStats struct {
 	Round int

@@ -1,0 +1,59 @@
+package fl
+
+import (
+	"testing"
+
+	"aergia/internal/dataset"
+	"aergia/internal/nn"
+	"aergia/internal/tensor"
+)
+
+// BenchmarkTopologyRun measures a small end-to-end synchronous run through
+// the Topology/Deployment path on the sim transport — the engine-level unit
+// the experiment suite and the job runner schedule. Build cost (dataset
+// generation, partitioning, actor init) is included on purpose: it is part
+// of every scheduled scenario. Serial vs. parallel isolates how much of a
+// whole run the backend can accelerate (client math dominates; the
+// discrete-event kernel is serial by design).
+func BenchmarkTopologyRun(b *testing.B) {
+	for _, bb := range []struct {
+		name string
+		be   tensor.Backend
+	}{
+		{"serial", nil},
+		{"parallel", tensor.NewParallel(0)},
+	} {
+		b.Run(bb.name, func(b *testing.B) {
+			top := Topology{
+				Strategy:     NewFedAvg(0),
+				Arch:         nn.ArchMNISTSmall,
+				Dataset:      dataset.MNIST,
+				SmallImages:  true,
+				Clients:      4,
+				Rounds:       2,
+				LocalEpochs:  1,
+				BatchSize:    8,
+				TrainSamples: 80,
+				TestSamples:  40,
+				EvalEvery:    1,
+				Seed:         7,
+				Backend:      bb.be,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cl, err := top.Build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				transport, err := NewTransport(TransportSim, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := (&Deployment{Cluster: cl, Transport: transport}).Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,328 @@
+package fl
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"aergia/internal/cluster"
+	"aergia/internal/dataset"
+)
+
+// The golden numbers below were captured from fl.Run/fl.RunAsync BEFORE the
+// Topology/Deployment refactor (the hand-built cluster paths in engine.go
+// and async_engine.go at commit "PR 2"), running parityConfig / the async
+// config of TestAsyncBackendParity. They pin the refactor to bit-identical
+// behavior: a sim-transport Deployment must reproduce the pre-refactor
+// engines exactly, down to Float64bits of every accuracy.
+type goldenRound struct {
+	dur       time.Duration
+	accBits   uint64
+	completed int
+	offloads  int
+}
+
+var goldenSync = map[string]struct {
+	accBits     uint64
+	totalTime   time.Duration
+	preTraining time.Duration
+	rounds      []goldenRound
+}{
+	"fedavg": {
+		accBits:   0x3fe8cccccccccccd,
+		totalTime: 2086180932,
+		rounds: []goldenRound{
+			{dur: 1052965026, accBits: 0x3fe0cccccccccccd, completed: 5},
+			{dur: 1033215906, accBits: 0x3fe8cccccccccccd, completed: 5},
+		},
+	},
+	"aergia": {
+		accBits:     0x3fe8cccccccccccd,
+		totalTime:   1375956461,
+		preTraining: 100000000,
+		rounds: []goldenRound{
+			{dur: 644017740, accBits: 0x3fe2666666666666, completed: 5, offloads: 2},
+			{dur: 631938721, accBits: 0x3fe8cccccccccccd, completed: 5, offloads: 2},
+		},
+	},
+}
+
+func assertMatchesGolden(t *testing.T, label, name string, res *Results) {
+	t.Helper()
+	g := goldenSync[name]
+	if math.Float64bits(res.FinalAccuracy) != g.accBits {
+		t.Fatalf("%s: accuracy bits %#x, want pre-refactor %#x",
+			label, math.Float64bits(res.FinalAccuracy), g.accBits)
+	}
+	if res.TotalTime != g.totalTime || res.PreTraining != g.preTraining {
+		t.Fatalf("%s: times %v/%v, want pre-refactor %v/%v",
+			label, res.TotalTime, res.PreTraining, g.totalTime, g.preTraining)
+	}
+	if len(res.Rounds) != len(g.rounds) {
+		t.Fatalf("%s: %d rounds, want %d", label, len(res.Rounds), len(g.rounds))
+	}
+	for i, r := range res.Rounds {
+		gr := g.rounds[i]
+		if r.Duration != gr.dur || math.Float64bits(r.Accuracy) != gr.accBits ||
+			r.Completed != gr.completed || r.Offloads != gr.offloads {
+			t.Fatalf("%s: round %d %+v diverged from pre-refactor golden %+v", label, i, r, gr)
+		}
+	}
+}
+
+// TestRunMatchesPreRefactorGolden proves the compatibility wrappers are
+// bit-identical to the pre-refactor engines under a fixed seed.
+func TestRunMatchesPreRefactorGolden(t *testing.T) {
+	for _, mk := range []struct {
+		name  string
+		strat func() Strategy
+	}{
+		{"fedavg", func() Strategy { return NewFedAvg(0) }},
+		{"aergia", func() Strategy { return NewAergia(0, 1) }},
+	} {
+		res, err := Run(parityConfig(mk.strat()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertMatchesGolden(t, "Run/"+mk.name, mk.name, res)
+	}
+}
+
+// TestTopologyDeploymentMatchesPreRefactorGolden drives the explicit
+// Topology -> Build -> Deployment path on the sim transport and requires
+// the same pre-refactor goldens, so the new API and the wrapper cannot
+// drift apart (and neither can drift from the pre-refactor engines).
+func TestTopologyDeploymentMatchesPreRefactorGolden(t *testing.T) {
+	for _, mk := range []struct {
+		name  string
+		strat func() Strategy
+	}{
+		{"fedavg", func() Strategy { return NewFedAvg(0) }},
+		{"aergia", func() Strategy { return NewAergia(0, 1) }},
+	} {
+		cl, err := parityConfig(mk.strat()).Topology().Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		transport, err := NewTransport(TransportSim, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dep := &Deployment{Cluster: cl, Transport: transport}
+		res, err := dep.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertMatchesGolden(t, "Deployment/"+mk.name, mk.name, res)
+	}
+}
+
+func asyncParityConfig() AsyncConfig {
+	return AsyncConfig{
+		Arch:         archForParity,
+		Dataset:      dataset.MNIST,
+		SmallImages:  true,
+		Clients:      4,
+		TotalUpdates: 8,
+		BatchSize:    4,
+		TrainSamples: 40,
+		TestSamples:  40,
+		Seed:         7,
+	}
+}
+
+// TestAsyncMatchesPreRefactorGolden pins the async wrapper and the explicit
+// async Deployment to the pre-refactor RunAsync goldens.
+func TestAsyncMatchesPreRefactorGolden(t *testing.T) {
+	const (
+		goldenAccBits       = uint64(0x3fe3333333333333)
+		goldenTotalTime     = time.Duration(661177269)
+		goldenUpdates       = 8
+		goldenStalenessBits = uint64(0x3ffa000000000000)
+	)
+	check := func(label string, res *AsyncResults) {
+		t.Helper()
+		if math.Float64bits(res.FinalAccuracy) != goldenAccBits ||
+			res.TotalTime != goldenTotalTime ||
+			res.TotalUpdates != goldenUpdates ||
+			math.Float64bits(res.MeanStaleness) != goldenStalenessBits {
+			t.Fatalf("%s: %+v diverged from the pre-refactor golden", label, res)
+		}
+	}
+	res, err := RunAsync(asyncParityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("RunAsync", res)
+
+	cl, err := asyncParityConfig().Topology().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	transport, err := NewTransport(TransportSim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := &Deployment{Cluster: cl, Transport: transport}
+	res, err = dep.RunAsync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("Deployment.RunAsync", res)
+}
+
+// TestRunOverTCPTransport exercises the whole wrapper path end to end on
+// the real transport: Config{Transport: "tcp"} must converge with no wiring
+// beyond the flag. Timings are wall-clock there, so only structure and
+// accuracy are asserted.
+func TestRunOverTCPTransport(t *testing.T) {
+	cfg := Config{
+		Strategy:     NewAergia(0, 1),
+		Arch:         archForParity,
+		Dataset:      dataset.MNIST,
+		SmallImages:  true,
+		Clients:      4,
+		Rounds:       2,
+		LocalEpochs:  2,
+		BatchSize:    8,
+		LR:           0.05,
+		TrainSamples: 128,
+		TestSamples:  50,
+		// A slow straggler plus fast peers triggers the offload protocol;
+		// the fast cost model keeps the wall-clock sleeps short.
+		Speeds:         []float64{0.2, 0.9, 1.0, 0.95},
+		Cost:           cluster.CostModel{FLOPSPerSecond: 2e9},
+		ProfileBatches: 1,
+		Seed:           5,
+		Transport:      TransportTCP,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != cfg.Rounds {
+		t.Fatalf("rounds = %d, want %d", len(res.Rounds), cfg.Rounds)
+	}
+	for _, r := range res.Rounds {
+		if r.Completed != cfg.Clients {
+			t.Fatalf("round %d completed %d/%d", r.Round, r.Completed, cfg.Clients)
+		}
+	}
+	// Convergence, not bit-parity: wall-clock scheduling latency can shift
+	// Aergia's offload points (the weak client keeps training while the
+	// directive is in flight), so only the sim transport guarantees
+	// bit-identical runs — see DESIGN.md §6.
+	if res.FinalAccuracy <= 0.2 {
+		t.Fatalf("accuracy = %v", res.FinalAccuracy)
+	}
+}
+
+// TestRunAsyncOverTCPTransport regression-tests transport shutdown: when
+// the async update budget is exhausted, the other clients still hold
+// pending completion timers; closing the transport must drop their late
+// sends instead of panicking the process ("rpc: send failed: peer closed").
+func TestRunAsyncOverTCPTransport(t *testing.T) {
+	cfg := asyncParityConfig()
+	cfg.Transport = TransportTCP
+	cfg.Cost = cluster.CostModel{FLOPSPerSecond: 2e9}
+	cfg.Speeds = []float64{0.3, 0.9, 1.0, 0.95}
+	for i := 0; i < 3; i++ {
+		res, err := RunAsync(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalUpdates != cfg.TotalUpdates {
+			t.Fatalf("run %d absorbed %d updates, want %d", i, res.TotalUpdates, cfg.TotalUpdates)
+		}
+	}
+}
+
+// TestRunTCPTimeoutFailsCleanly pins the TransportTimeout knob: an
+// impossible bound must surface as a timeout error — not a hang at the
+// 2-minute default, and not a shutdown panic.
+func TestRunTCPTimeoutFailsCleanly(t *testing.T) {
+	cfg := parityConfig(NewFedAvg(0))
+	cfg.Transport = TransportTCP
+	cfg.Cost = cluster.CostModel{FLOPSPerSecond: 2e9}
+	cfg.TransportTimeout = time.Nanosecond
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v, want a clean timeout", err)
+	}
+}
+
+func TestCanonicalTransport(t *testing.T) {
+	for _, tc := range []struct {
+		in, want string
+	}{
+		{"", TransportSim}, {"sim", TransportSim}, {"tcp", TransportTCP},
+	} {
+		got, err := CanonicalTransport(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("CanonicalTransport(%q) = %q, %v", tc.in, got, err)
+		}
+	}
+	if _, err := CanonicalTransport("carrier-pigeon"); err == nil ||
+		!strings.Contains(err.Error(), "unknown transport") {
+		t.Fatalf("unknown transport accepted: %v", err)
+	}
+	if _, err := NewTransport("carrier-pigeon", nil); err == nil {
+		t.Fatal("NewTransport accepted an unknown name")
+	}
+}
+
+// TestSeedNormalization pins the shared Seed != 0 contract.
+func TestSeedNormalization(t *testing.T) {
+	if NormalizeSeed(0) != DefaultSeed {
+		t.Fatalf("NormalizeSeed(0) = %d", NormalizeSeed(0))
+	}
+	if NormalizeSeed(42) != 42 {
+		t.Fatalf("NormalizeSeed(42) = %d", NormalizeSeed(42))
+	}
+	// A zero-seed run and a DefaultSeed run must be the same run through
+	// every engine entry point.
+	zero := parityConfig(NewFedAvg(0))
+	zero.Seed = 0
+	one := parityConfig(NewFedAvg(0))
+	one.Seed = DefaultSeed
+	a, err := Run(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, "seed 0 vs DefaultSeed", a, b)
+}
+
+// TestDeploymentModeMismatch pins the loud failures for mismatched
+// cluster/run-mode pairings.
+func TestDeploymentModeMismatch(t *testing.T) {
+	syncCl, err := parityConfig(NewFedAvg(0)).Topology().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	transport, err := NewTransport(TransportSim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := &Deployment{Cluster: syncCl, Transport: transport}
+	if _, err := dep.RunAsync(); err == nil {
+		t.Fatal("RunAsync accepted a sync cluster")
+	}
+	asyncCl, err := asyncParityConfig().Topology().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep = &Deployment{Cluster: asyncCl, Transport: transport}
+	if _, err := dep.Run(); err == nil {
+		t.Fatal("Run accepted an async cluster")
+	}
+	if _, err := (&Deployment{}).Run(); err == nil {
+		t.Fatal("empty deployment ran")
+	}
+	if _, err := (Topology{}).Build(); err == nil {
+		t.Fatal("sync topology without a strategy built")
+	}
+}

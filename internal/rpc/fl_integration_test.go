@@ -1,142 +1,83 @@
-package rpc
+package rpc_test
 
 import (
-	"crypto/rand"
 	"testing"
 	"time"
 
 	"aergia/internal/cluster"
-	"aergia/internal/comm"
 	"aergia/internal/dataset"
 	"aergia/internal/fl"
 	"aergia/internal/nn"
-	"aergia/internal/sched"
-	"aergia/internal/tensor"
+	"aergia/internal/rpc"
 )
 
-func registerFLPayloads() {
-	RegisterPayload(fl.TrainPayload{})
-	RegisterPayload(fl.ProfilePayload{})
-	RegisterPayload(fl.SchedulePayload{})
-	RegisterPayload(fl.OffloadPayload{})
-	RegisterPayload(fl.UpdatePayload{})
-	RegisterPayload(fl.OffloadResultPayload{})
-}
-
 // TestFederatedLearningOverTCP runs a small Aergia experiment over the real
-// TCP transport, proving the actors are transport-agnostic.
+// TCP transport, proving the actors are transport-agnostic. The cluster
+// comes from the same fl.Topology builder the simulator runs use; only the
+// transport handed to the Deployment differs (DESIGN.md §6). Payload
+// registration happens inside the Deployment via comm.PayloadRegistry, so
+// the test enumerates no payload types.
 func TestFederatedLearningOverTCP(t *testing.T) {
-	registerFLPayloads()
-	const clients = 4
-	cost := cluster.CostModel{FLOPSPerSecond: 2e9}
-	speeds := []float64{0.2, 0.9, 1.0, 0.95}
-
-	train, err := dataset.Generate(dataset.Config{
-		Kind: dataset.MNIST, N: 32 * clients, Seed: 5, Small: true,
-	})
+	top := fl.Topology{
+		Strategy:     fl.NewAergia(0, 1),
+		Arch:         nn.ArchMNISTSmall,
+		Dataset:      dataset.MNIST,
+		SmallImages:  true,
+		Clients:      4,
+		Rounds:       2,
+		LocalEpochs:  2,
+		BatchSize:    8,
+		LR:           0.05,
+		TrainSamples: 32 * 4,
+		TestSamples:  50,
+		Speeds:       []float64{0.2, 0.9, 1.0, 0.95},
+		// A fast cost model keeps the wall-clock sleeps short while still
+		// exercising the full offloading protocol.
+		Cost:           cluster.CostModel{FLOPSPerSecond: 2e9},
+		ProfileBatches: 1,
+		Seed:           5,
+		Logf:           t.Logf,
+	}
+	cl, err := top.Build()
 	if err != nil {
 		t.Fatal(err)
 	}
-	shards, err := dataset.PartitionIID(train, clients, tensor.NewRNG(5))
-	if err != nil {
-		t.Fatal(err)
-	}
-	test, err := dataset.Generate(dataset.Config{
-		Kind: dataset.MNIST, N: 50, Seed: 5, Small: true, Variant: 1,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	signer, err := sched.NewSigner(rand.Reader)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	registry := make(map[comm.NodeID]string, clients+1)
-	var peers []*Peer
+	net := rpc.NewNetwork()
+	net.Timeout = 60 * time.Second
 	defer func() {
-		for _, p := range peers {
-			if err := p.Close(); err != nil {
-				t.Errorf("close peer %d: %v", p.ID(), err)
-			}
+		if err := net.Close(); err != nil {
+			t.Errorf("close network: %v", err)
 		}
 	}()
-
-	infos := make([]fl.ClientInfo, clients)
-	for i := 0; i < clients; i++ {
-		id := comm.NodeID(i)
-		client := &fl.Client{
-			ID: id, Arch: nn.ArchMNISTSmall, Data: shards[i],
-			Speed: speeds[i], Cost: cost,
-			Verifier:         sched.NewVerifier(signer.PublicKey()),
-			ProfilerOverhead: -1,
-			Logf:             t.Logf,
-		}
-		if err := client.Init(); err != nil {
-			t.Fatal(err)
-		}
-		peer, err := Listen(id, "127.0.0.1:0", client)
-		if err != nil {
-			t.Fatal(err)
-		}
-		peers = append(peers, peer)
-		registry[id] = peer.Addr()
-		infos[i] = fl.ClientInfo{ID: id, Samples: shards[i].Len(), Speed: speeds[i]}
-	}
-
-	testXs, testYs := test.Inputs(), test.Labels()
-	evalNet, err := nn.Build(nn.ArchMNISTSmall, 5)
+	dep := &fl.Deployment{Cluster: cl, Transport: net}
+	res, err := dep.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
-	done := make(chan *fl.Results, 1)
-	fed := &fl.Federator{
-		Arch:     nn.ArchMNISTSmall,
-		Strategy: fl.NewAergia(0, 1),
-		Clients:  infos,
-		Local:    fl.LocalConfig{Epochs: 2, BatchSize: 8, LR: 0.05, ProfileBatches: 1},
-		Rounds:   2,
-		Evaluate: func(w nn.Weights) (float64, error) {
-			if err := evalNet.LoadWeights(w); err != nil {
-				return 0, err
-			}
-			return evalNet.Evaluate(testXs, testYs)
-		},
-		Signer:   signer,
-		Seed:     5,
-		OnFinish: func(r *fl.Results) { done <- r },
-		Logf:     t.Logf,
+	if len(res.Rounds) != 2 {
+		t.Fatalf("rounds = %d", len(res.Rounds))
 	}
-	if err := fed.Init(); err != nil {
-		t.Fatal(err)
+	if res.FinalAccuracy <= 0.2 {
+		t.Fatalf("accuracy = %v", res.FinalAccuracy)
 	}
-	fedPeer, err := Listen(comm.FederatorID, "127.0.0.1:0", fed)
-	if err != nil {
-		t.Fatal(err)
+	for _, r := range res.Rounds {
+		if r.Completed != top.Clients {
+			t.Fatalf("round %d completed %d", r.Round, r.Completed)
+		}
 	}
-	peers = append(peers, fedPeer)
-	registry[comm.FederatorID] = fedPeer.Addr()
-	epoch := time.Now()
-	for _, p := range peers {
-		p.SetRegistry(registry)
-		p.SetEpoch(epoch)
-	}
+}
 
-	fed.Start(fedPeer.Env())
-	select {
-	case res := <-done:
-		if len(res.Rounds) != 2 {
-			t.Fatalf("rounds = %d", len(res.Rounds))
-		}
-		if res.FinalAccuracy <= 0.2 {
-			t.Fatalf("accuracy = %v", res.FinalAccuracy)
-		}
-		for _, r := range res.Rounds {
-			if r.Completed != clients {
-				t.Fatalf("round %d completed %d", r.Round, r.Completed)
-			}
-		}
-	case <-time.After(60 * time.Second):
-		t.Fatal("TCP federated run timed out")
+// TestRegisterPayloadsCoversProtocol drives a raw-Peer wiring through
+// fl.RegisterPayloads(rpc.RegisterPayload): a gob round-trip of each
+// protocol kind must survive, so manual Peer deployments get the full
+// payload list from one call instead of hand-enumerating types.
+func TestRegisterPayloadsCoversProtocol(t *testing.T) {
+	count := 0
+	fl.RegisterPayloads(func(v any) {
+		rpc.RegisterPayload(v)
+		count++
+	})
+	if count != 6 {
+		t.Fatalf("RegisterPayloads announced %d types, want 6 (one per protocol kind)", count)
 	}
 }

@@ -48,7 +48,8 @@ type Peer struct {
 	registry map[comm.NodeID]string
 	conns    map[comm.NodeID]*outConn
 	inbound  map[net.Conn]struct{}
-	closed   bool
+	closed   bool // sends rejected (shutdown begun)
+	tornDown bool // listener/connections released (shutdown finished)
 
 	handleMu sync.Mutex // serializes handler invocations
 
@@ -157,6 +158,15 @@ func (p *Peer) readLoop(conn net.Conn) {
 // Env returns the comm.Env for this peer.
 func (p *Peer) Env() comm.Env { return &env{peer: p} }
 
+// Invoke runs fn while holding the peer's handler lock, so it is serialized
+// with message handling exactly like a delivered message. Use it to start
+// an actor whose state is otherwise only touched from OnMessage.
+func (p *Peer) Invoke(fn func()) {
+	p.handleMu.Lock()
+	defer p.handleMu.Unlock()
+	fn()
+}
+
 // send delivers a message to the destination peer, dialing or reusing a
 // connection.
 func (p *Peer) send(msg comm.Message) error {
@@ -213,14 +223,33 @@ func (p *Peer) send(msg comm.Message) error {
 	return nil
 }
 
+// beginClose marks the peer closed so further sends fail fast with
+// ErrClosed, without tearing down connections yet. Network.Close uses it to
+// quiesce every peer of a cluster before any listener goes away, so an
+// actor timer firing mid-shutdown sees a clean ErrClosed instead of a
+// refused dial to an already-torn-down sibling.
+func (p *Peer) beginClose() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+}
+
+// isClosed reports whether the peer has begun shutting down.
+func (p *Peer) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
 // Close shuts the peer down and waits for its goroutines.
 func (p *Peer) Close() error {
 	p.mu.Lock()
-	if p.closed {
+	if p.tornDown {
 		p.mu.Unlock()
 		return nil
 	}
 	p.closed = true
+	p.tornDown = true
 	conns := p.conns
 	p.conns = map[comm.NodeID]*outConn{}
 	inbound := make([]net.Conn, 0, len(p.inbound))
@@ -228,16 +257,23 @@ func (p *Peer) Close() error {
 		inbound = append(inbound, conn)
 	}
 	p.mu.Unlock()
-	err := p.ln.Close()
+	// Reader goroutines race Close for the same conns (a broken decode
+	// closes its conn too), so "already closed" is expected teardown noise,
+	// not a failure.
+	benign := func(cerr error) bool { return cerr == nil || errors.Is(cerr, net.ErrClosed) }
+	var err error
+	if cerr := p.ln.Close(); !benign(cerr) {
+		err = cerr
+	}
 	for _, conn := range inbound {
-		if cerr := conn.Close(); cerr != nil && err == nil {
+		if cerr := conn.Close(); !benign(cerr) && err == nil {
 			err = cerr
 		}
 	}
 	for _, oc := range conns {
 		oc.mu.Lock()
 		if oc.conn != nil {
-			if cerr := oc.conn.Close(); cerr != nil && err == nil {
+			if cerr := oc.conn.Close(); !benign(cerr) && err == nil {
 				err = cerr
 			}
 		}
@@ -259,6 +295,12 @@ func (e *env) Now() time.Duration { return time.Since(e.peer.epoch) }
 func (e *env) Send(msg comm.Message) {
 	msg.From = e.peer.id
 	if err := e.peer.send(msg); err != nil {
+		if errors.Is(err, ErrClosed) || e.peer.isClosed() {
+			// The peer is shutting down: actor timers (client completions,
+			// deadline callbacks) legitimately outlive a finished run, so a
+			// post-close send is a drop, not a reliability violation.
+			return
+		}
 		// Reliable-network assumption (§3.1): surface violations loudly in
 		// this reference transport rather than dropping silently.
 		panic(fmt.Sprintf("rpc: send failed: %v", err))

@@ -39,15 +39,40 @@ func NewNetwork(kernel *Kernel, link LinkModel) *Network {
 	}
 }
 
+var _ comm.Transport = (*Network)(nil)
+
 // Register attaches a handler to a node ID.
 func (n *Network) Register(id comm.NodeID, h comm.Handler) {
 	n.nodes[id] = h
 }
 
+// Seal implements comm.Transport; simulated membership needs no binding
+// step, so it is a no-op.
+func (n *Network) Seal() error { return nil }
+
 // Env returns the execution environment of a node.
 func (n *Network) Env(id comm.NodeID) comm.Env {
 	return &env{net: n, id: id}
 }
+
+// Invoke schedules fn in id's actor context at the current virtual time; it
+// runs when the kernel is next driven, FIFO-ordered with any events already
+// scheduled for that instant.
+func (n *Network) Invoke(id comm.NodeID, fn func(comm.Env)) {
+	n.kernel.Schedule(0, func() { fn(n.Env(id)) })
+}
+
+// Drive runs the kernel until the event queue drains. The simulated network
+// is self-draining — a completed run leaves no pending events — so done is
+// not waited on; callers detect an incomplete run by their own state (e.g.
+// OnFinish never fired).
+func (n *Network) Drive(<-chan struct{}) error {
+	n.kernel.Run()
+	return nil
+}
+
+// Close implements comm.Transport; the simulator holds no resources.
+func (n *Network) Close() error { return nil }
 
 // Kernel exposes the underlying kernel.
 func (n *Network) Kernel() *Kernel { return n.kernel }

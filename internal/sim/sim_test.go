@@ -96,6 +96,80 @@ func TestKernelRunUntil(t *testing.T) {
 	}
 }
 
+func TestKernelRunUntilCancelledHeadEvent(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	head := k.Schedule(1*time.Second, func() { t.Fatal("cancelled head event ran") })
+	k.Schedule(2*time.Second, func() { ran = true })
+	head.Cancel()
+	// The cancelled event sits at the queue head; RunUntil must skip it
+	// without firing it or advancing the clock to a stale timestamp.
+	k.RunUntil(3 * time.Second)
+	if !ran {
+		t.Fatal("live event behind the cancelled head did not run")
+	}
+	if k.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want the 3s deadline", k.Now())
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("queue still holds %d events", k.Pending())
+	}
+}
+
+func TestKernelRunUntilOnlyCancelledEvents(t *testing.T) {
+	k := NewKernel()
+	for _, d := range []time.Duration{time.Second, 2 * time.Second} {
+		h := k.Schedule(d, func() { t.Fatal("cancelled event ran") })
+		h.Cancel()
+	}
+	// A queue of nothing but cancelled events must drain, and the clock
+	// must still land exactly on the deadline.
+	k.RunUntil(5 * time.Second)
+	if k.Now() != 5*time.Second {
+		t.Fatalf("Now = %v, want 5s", k.Now())
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("cancelled events left in queue: %d", k.Pending())
+	}
+}
+
+func TestKernelRunUntilEventExactlyAtDeadline(t *testing.T) {
+	k := NewKernel()
+	var fired []time.Duration
+	k.Schedule(3*time.Second, func() { fired = append(fired, k.Now()) })
+	k.Schedule(3*time.Second+time.Nanosecond, func() { fired = append(fired, k.Now()) })
+	// Timestamps <= deadline fire; one nanosecond past it stays queued.
+	k.RunUntil(3 * time.Second)
+	if len(fired) != 1 || fired[0] != 3*time.Second {
+		t.Fatalf("fired = %v, want exactly the at-deadline event", fired)
+	}
+	if k.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want 3s", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("post-deadline event lost (pending = %d)", k.Pending())
+	}
+	k.Run()
+	if len(fired) != 2 || fired[1] != 3*time.Second+time.Nanosecond {
+		t.Fatalf("post-deadline event mis-fired: %v", fired)
+	}
+}
+
+func TestKernelRunUntilEmptyQueueAdvancesClock(t *testing.T) {
+	k := NewKernel()
+	// No events: the clock still advances to the deadline (the semantics
+	// deadline-based strategies rely on)...
+	k.RunUntil(4 * time.Second)
+	if k.Now() != 4*time.Second {
+		t.Fatalf("Now = %v, want 4s", k.Now())
+	}
+	// ...but never backward for an earlier deadline.
+	k.RunUntil(2 * time.Second)
+	if k.Now() != 4*time.Second {
+		t.Fatalf("clock moved backward: %v", k.Now())
+	}
+}
+
 type recorder struct {
 	got []comm.Message
 	at  []time.Duration
