@@ -7,6 +7,7 @@
 //	aergia -experiment fig6 -backend parallel     # same numbers, all cores
 //	aergia -experiment fig6 -json                 # machine-readable result record
 //	aergia -experiment fig4 -transport tcp        # same actors over real loopback TCP
+//	aergia -experiment fig-churn -chaos 'churn=0.3,rejoin=1'  # faulted run
 //	aergia -list                                  # list experiment IDs
 //	aergia -sweep '{"experiments":["fig6"],"seeds":[1,2,3]}' -store out.jsonl
 //	aergia -sweep @grid.json -store out.jsonl -jobs 4
@@ -22,6 +23,13 @@
 // a simulated hour takes an hour — so pair it with -quick and the
 // timing-light experiments when exercising the real-RPC path, and raise
 // -transport-timeout (default 2m per run) for anything longer.
+//
+// The -chaos flag injects a deterministic fault schedule (client crashes,
+// rejoins, compute spikes, lossy links — DESIGN.md §7) into every FL run of
+// the experiment. The same spec perturbs both transports; on sim the
+// faulted trajectory is exactly reproducible, over tcp event times are
+// wall-clock (best-effort). Both -transport and -chaos are validated at
+// flag-parse time.
 //
 // -json swaps the text report for one canonical JSON record per experiment
 // — the same bytes the result store and the aergiad daemon persist, so
@@ -42,7 +50,9 @@ import (
 	"os"
 	"strings"
 
+	"aergia/internal/chaos"
 	"aergia/internal/experiments"
+	"aergia/internal/fl"
 	"aergia/internal/metrics"
 	"aergia/internal/runner"
 )
@@ -66,6 +76,8 @@ func run(args []string, out io.Writer) error {
 		transport        = fs.String("transport", "sim", "message transport: sim (virtual time) or tcp (real loopback TCP)")
 		transportTimeout = fs.Duration("transport-timeout", 0,
 			"wall-clock bound per tcp run (0 = 2m default); tcp runs take the real time they simulate")
+		chaosSpec = fs.String("chaos", "",
+			"fault schedule spec, e.g. 'churn=0.3,rejoin=1,window=2s' (keys: "+chaos.SpecKeys()+")")
 		jsonOut   = fs.Bool("json", false, "emit canonical JSON result records instead of text reports")
 		sweepSpec = fs.String("sweep", "", "run a sweep grid: inline JSON spec or @file")
 		storePath = fs.String("store", "", "result store for -sweep (JSONL, append-only, resumable)")
@@ -74,6 +86,19 @@ func run(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Validate the enumerated flags right at parse time, so a typo fails in
+	// one line here instead of deep inside the transport constructor after
+	// datasets were already generated.
+	if _, err := fl.CanonicalTransport(*transport); err != nil {
+		return fmt.Errorf("invalid -transport %q (allowed values: %s, %s)",
+			*transport, fl.TransportSim, fl.TransportTCP)
+	}
+	// ParseSpec errors already name the offending key/value and list the
+	// accepted keys where that helps.
+	chaosPlan, err := chaos.ParseSpec(*chaosSpec)
+	if err != nil {
+		return fmt.Errorf("invalid -chaos %q: %v", *chaosSpec, err)
 	}
 	if *list {
 		fmt.Fprintln(out, "available experiments:")
@@ -88,7 +113,7 @@ func run(args []string, out io.Writer) error {
 		var conflicts []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "experiment", "quick", "seed", "backend", "workers", "transport", "transport-timeout":
+			case "experiment", "quick", "seed", "backend", "workers", "transport", "transport-timeout", "chaos":
 				conflicts = append(conflicts, "-"+f.Name)
 			}
 		})
@@ -111,6 +136,7 @@ func run(args []string, out io.Writer) error {
 		Quick: *quick, Seed: *seed,
 		Backend: *backend, Workers: *workers,
 		Transport: *transport, TransportTimeout: *transportTimeout,
+		Chaos: chaosPlan,
 	}
 	names := []string{*experiment}
 	if *experiment == "all" {

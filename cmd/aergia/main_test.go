@@ -74,11 +74,46 @@ func TestRunBadBackendFailsLoudly(t *testing.T) {
 	}
 }
 
+// TestRunBadTransportFailsLoudly pins the flag-parse-time validation: a
+// mistyped -transport fails in one line naming the allowed values, before
+// any experiment work starts (no dataset generation, no deep transport
+// constructor error).
 func TestRunBadTransportFailsLoudly(t *testing.T) {
 	var buf bytes.Buffer
 	err := run([]string{"-experiment", "fig4", "-quick", "-transport", "carrier-pigeon"}, &buf)
-	if err == nil || !strings.Contains(err.Error(), "unknown transport") {
-		t.Fatalf("err = %v, want unknown-transport error", err)
+	if err == nil || !strings.Contains(err.Error(), "allowed values: sim, tcp") {
+		t.Fatalf("err = %v, want a one-line error listing the allowed transports", err)
+	}
+	// The check runs even in modes that never construct a transport.
+	err = run([]string{"-list", "-transport", "carrier-pigeon"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "allowed values") {
+		t.Fatalf("err = %v, want parse-time validation in -list mode too", err)
+	}
+}
+
+// TestRunBadChaosFailsLoudly pins the same contract for -chaos: a bad spec
+// fails at flag-parse time with the accepted keys listed.
+func TestRunBadChaosFailsLoudly(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-experiment", "fig4", "-quick", "-chaos", "flux=1"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "keys: churn") {
+		t.Fatalf("err = %v, want a one-line error listing the chaos spec keys", err)
+	}
+	err = run([]string{"-experiment", "fig4", "-quick", "-chaos", "churn=1.5"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "invalid -chaos") {
+		t.Fatalf("err = %v, want an out-of-range chaos error", err)
+	}
+}
+
+// TestRunChaosLandsInRecord checks the -chaos plan reaches the canonical
+// record (and thus the result store's dedup key).
+func TestRunChaosLandsInRecord(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "table1", "-quick", "-chaos", "churn=0.5,rejoin=1", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"chaos"`) || !strings.Contains(buf.String(), `"churn":0.5`) {
+		t.Fatalf("record does not carry the chaos plan:\n%s", buf.String())
 	}
 }
 
@@ -196,6 +231,7 @@ func TestRunSweepBadSpecs(t *testing.T) {
 		{"-sweep", `{"experiments":["fig4"]}`, "-experiment", "fig4"},
 		{"-sweep", `{"experiments":["fig4"]}`, "-quick"},
 		{"-sweep", `{"experiments":["fig4"]}`, "-seed", "5"},
+		{"-sweep", `{"experiments":["fig4"]}`, "-chaos", "churn=0.5"},
 		{"-sweep", `{"experiments":["fig4"]} {"experiments":["table1"]}`},
 		{"-experiment", "fig4", "-quick", "-store", "x.jsonl"},
 		{"-experiment", "fig4", "-quick", "-jobs", "2"},

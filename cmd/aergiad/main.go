@@ -211,6 +211,19 @@ func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 
 func (s *server) handleList(w http.ResponseWriter, req *http.Request) {
 	status := req.URL.Query().Get("status")
+	if status != "" {
+		// Pollers of long churn sweeps filter on status; a typo silently
+		// matching nothing would read as "all jobs done", so unknown
+		// statuses are a loud 400 instead.
+		switch runner.Status(status) {
+		case runner.StatusQueued, runner.StatusRunning, runner.StatusDone, runner.StatusFailed:
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf(
+				"unknown status %q (allowed: %s, %s, %s, %s)", status,
+				runner.StatusQueued, runner.StatusRunning, runner.StatusDone, runner.StatusFailed))
+			return
+		}
+	}
 	experiment := req.URL.Query().Get("experiment")
 	var out []runner.JobState
 	for _, st := range s.runner.List() {

@@ -257,3 +257,42 @@ func TestDaemonListFilters(t *testing.T) {
 		t.Fatal("list view leaked result payloads")
 	}
 }
+
+// TestDaemonStatusFilter pins the ?status= polling path long churn sweeps
+// rely on: completed jobs are filterable without downloading the full
+// list, an empty match is an empty list (not an error), and an unknown
+// status is a loud 400 — a typo silently matching nothing would read as
+// "sweep finished".
+func TestDaemonStatusFilter(t *testing.T) {
+	ts, _, _ := newTestServer(t, filepath.Join(t.TempDir(), "store.jsonl"))
+	postJSON(t, ts.URL+"/jobs", `{"sweep":{"experiments":["fig4","table1"],"quick":[true]}}`)
+	waitDone(t, ts.URL, 2)
+	var list jobsResponse
+	if code := getJSON(t, ts.URL+"/jobs?status=done", &list); code != http.StatusOK {
+		t.Fatalf("status=done = %d, want 200", code)
+	}
+	if len(list.Jobs) != 2 {
+		t.Fatalf("done jobs = %d, want 2", len(list.Jobs))
+	}
+	for _, j := range list.Jobs {
+		if j.Status != runner.StatusDone {
+			t.Fatalf("status filter leaked %+v", j)
+		}
+	}
+	list = jobsResponse{}
+	if code := getJSON(t, ts.URL+"/jobs?status=failed", &list); code != http.StatusOK {
+		t.Fatalf("status=failed = %d, want 200", code)
+	}
+	if len(list.Jobs) != 0 {
+		t.Fatalf("failed jobs = %+v, want none", list.Jobs)
+	}
+	if code := getJSON(t, ts.URL+"/jobs?status=finished", nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown status = %d, want 400", code)
+	}
+	// Status and experiment filters compose.
+	list = jobsResponse{}
+	getJSON(t, ts.URL+"/jobs?status=done&experiment=table1", &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].Experiment != "table1" {
+		t.Fatalf("composed filter = %+v", list.Jobs)
+	}
+}

@@ -1,0 +1,210 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"aergia/internal/comm"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	spec := "churn=0.3,rejoin=1,window=2s,down=500ms,drop=0.05,delay=20ms," +
+		"spike=3,spike_prob=0.2,spike_len=1s,quorum=0.6,round_timeout=5s,seed=9"
+	p, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Churn != 0.3 || p.Rejoin != 1 || p.Window != 2*time.Second ||
+		p.Down != 500*time.Millisecond || p.Drop != 0.05 || p.Delay != 20*time.Millisecond ||
+		p.Spike != 3 || p.SpikeProb != 0.2 || p.SpikeLen != time.Second ||
+		p.Quorum != 0.6 || p.RoundTimeout != 5*time.Second || p.Seed != 9 {
+		t.Fatalf("parsed %+v", p)
+	}
+	// String renders the canonical form and ParseSpec accepts it back.
+	back, err := ParseSpec(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != p {
+		t.Fatalf("round trip %+v != %+v", back, p)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"churn",             // not key=value
+		"churn=",            // empty value
+		"flux=0.5",          // unknown key
+		"churn=two",         // bad float
+		"window=7",          // bad duration
+		"churn=1.5",         // out of range
+		"spike=0.5",         // speedup, not slowdown
+		"quorum=-1",         // negative
+		"round_timeout=-1s", // negative duration
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Fatalf("spec %q accepted", spec)
+		}
+	}
+	p, err := ParseSpec("")
+	if err != nil || !p.IsZero() {
+		t.Fatalf("empty spec: %+v, %v", p, err)
+	}
+	if _, err := ParseSpec("flux=1"); err == nil || !strings.Contains(err.Error(), "churn") {
+		t.Fatalf("unknown-key error should list the accepted keys: %v", err)
+	}
+}
+
+func TestNormalizedDefaults(t *testing.T) {
+	p, err := Plan{Churn: 0.5, Rejoin: 1, SpikeProb: 0.2}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Window != time.Second || p.Down != 500*time.Millisecond ||
+		p.Spike != 2 || p.SpikeLen != 500*time.Millisecond {
+		t.Fatalf("defaults not resolved: %+v", p)
+	}
+	z, err := Plan{}.Normalized()
+	if err != nil || !z.IsZero() {
+		t.Fatalf("zero plan must normalize to zero: %+v, %v", z, err)
+	}
+}
+
+func nodeIDs(n int) []comm.NodeID {
+	ids := make([]comm.NodeID, n)
+	for i := range ids {
+		ids[i] = comm.NodeID(i)
+	}
+	return ids
+}
+
+func TestExpandDeterministicAndOrderIndependent(t *testing.T) {
+	p, err := Plan{Churn: 0.5, Rejoin: 0.5, Window: time.Second, Down: 200 * time.Millisecond}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Expand(7, nodeIDs(24))
+	b := p.Expand(7, nodeIDs(24))
+	if len(a) != len(b) {
+		t.Fatalf("replay changed fate count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fate %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Reversed registration order must not change any node's fate.
+	rev := nodeIDs(24)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	c := p.Expand(7, rev)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("node order changed fate %d: %+v vs %+v", i, a[i], c[i])
+		}
+	}
+	// A different seed draws a different fate set.
+	d := p.Expand(8, nodeIDs(24))
+	same := len(a) == len(d)
+	if same {
+		for i := range a {
+			if a[i] != d[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 expanded to identical fates")
+	}
+}
+
+func TestExpandChurnFraction(t *testing.T) {
+	p, err := Plan{Churn: 1, Rejoin: 1, Window: time.Second}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fates := p.Expand(3, nodeIDs(10))
+	if len(fates) != 10 {
+		t.Fatalf("churn=1 crashed %d of 10", len(fates))
+	}
+	for _, f := range fates {
+		if !f.Crashes || f.CrashAt <= 0 || f.CrashAt > time.Second {
+			t.Fatalf("bad crash fate %+v", f)
+		}
+		if !f.Rejoins || f.RejoinAt != f.CrashAt+p.Down {
+			t.Fatalf("bad rejoin fate %+v", f)
+		}
+	}
+	if fates := (Plan{}).Expand(3, nodeIDs(10)); fates != nil {
+		t.Fatalf("zero plan expanded to %d fates", len(fates))
+	}
+}
+
+func TestWrapZeroPlanPassesThrough(t *testing.T) {
+	inner := &fakeTransport{}
+	if got := Wrap(inner, Plan{}, 1); got != comm.Transport(inner) {
+		t.Fatal("zero plan must not wrap")
+	}
+	if got := Wrap(inner, Plan{Churn: 0.1}, 1); got == comm.Transport(inner) {
+		t.Fatal("non-zero plan must wrap")
+	}
+}
+
+// TestScheduleCrashOverridesExpandedFate pins the explicit-fate contract:
+// a node pinned with ScheduleCrash gets exactly its pinned timeline — the
+// plan-expanded fate for that node is replaced, not layered on top (no
+// double crash, no resurrection of a stays-dead node).
+func TestScheduleCrashOverridesExpandedFate(t *testing.T) {
+	inner := &fakeTransport{env: &fakeEnv{}}
+	// churn=1 expands a crash+rejoin fate for every node; node 0 is then
+	// pinned to crash once at 100ms and stay dead.
+	tr := New(inner, Plan{Churn: 1, Rejoin: 1, Window: time.Second}, 7)
+	for _, id := range []comm.NodeID{comm.FederatorID, 0, 1, 2} {
+		tr.Register(id, nil)
+	}
+	tr.ScheduleCrash(0, 100*time.Millisecond, 0)
+	if err := tr.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	// Armed timers: node 0 contributes exactly one (its pinned crash, no
+	// rejoin); nodes 1 and 2 contribute crash+rejoin each.
+	if got := len(inner.env.afters); got != 5 {
+		t.Fatalf("%d event timers armed, want 5 (pinned fate must replace the expanded one)", got)
+	}
+	found := false
+	for _, d := range inner.env.afters {
+		if d == 100*time.Millisecond {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pinned crash time missing from armed timers %v", inner.env.afters)
+	}
+}
+
+// fakeTransport is the minimal comm.Transport for wrap/seal tests.
+type fakeTransport struct{ env *fakeEnv }
+
+func (*fakeTransport) Register(comm.NodeID, comm.Handler) {}
+func (*fakeTransport) Seal() error                        { return nil }
+func (f *fakeTransport) Env(comm.NodeID) comm.Env         { return f.env }
+func (*fakeTransport) Invoke(comm.NodeID, func(comm.Env)) {}
+func (*fakeTransport) Drive(<-chan struct{}) error        { return nil }
+func (*fakeTransport) Close() error                       { return nil }
+
+// fakeEnv records the durations of armed timers.
+type fakeEnv struct{ afters []time.Duration }
+
+func (*fakeEnv) Now() time.Duration { return 0 }
+func (*fakeEnv) Send(comm.Message)  {}
+func (e *fakeEnv) After(d time.Duration, fn func()) comm.Timer {
+	e.afters = append(e.afters, d)
+	return fakeTimer{}
+}
+
+type fakeTimer struct{}
+
+func (fakeTimer) Cancel() {}

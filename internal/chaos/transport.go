@@ -1,0 +1,435 @@
+package chaos
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"aergia/internal/comm"
+	"aergia/internal/tensor"
+)
+
+// Rejoiner is implemented by client actors that can be resurrected after a
+// crash. OnRejoin runs in the node's actor context (serialized with its
+// message handling) and must rebuild all in-memory state from the actor's
+// static, seed-derived configuration — a crash wiped everything else.
+type Rejoiner interface {
+	OnRejoin(env comm.Env)
+}
+
+// Stats counts the faults a Transport actually injected; the churn example
+// and the smoke tests assert on them.
+type Stats struct {
+	// Crashes and Rejoins count node-level events that fired.
+	Crashes int
+	Rejoins int
+	// DroppedLink counts messages lost to the per-link Drop probability.
+	DroppedLink int
+	// DroppedDown counts messages discarded because the destination (or,
+	// for a racing timer send, the source) was down.
+	DroppedDown int
+	// Delayed counts messages that drew a nonzero extra link delay.
+	Delayed int
+	// SuppressedTimers counts actor timers swallowed because their node
+	// crashed between scheduling and firing.
+	SuppressedTimers int
+}
+
+// Transport injects the plan's faults between a cluster's actors and an
+// inner comm.Transport. It is transparent when the plan is zero: no extra
+// events are scheduled and every call passes straight through, so a
+// zero-plan wrapped run is bit-identical to an unwrapped one (the parity
+// tests pin this). Crash/rejoin events are scheduled on the federator's
+// env at Seal, so they ride virtual time on the simulator and wall-clock
+// time over TCP — the identical plan perturbs both.
+type Transport struct {
+	inner comm.Transport
+	plan  Plan
+	seed  uint64
+
+	mu          sync.Mutex
+	handlers    map[comm.NodeID]comm.Handler
+	order       []comm.NodeID
+	down        map[comm.NodeID]bool
+	incarnation map[comm.NodeID]uint64
+	fates       map[comm.NodeID]Fate
+	explicit    []Fate
+	linkSeq     map[[2]comm.NodeID]uint64
+	stats       Stats
+	sealed      bool
+	closed      bool
+	timers      []comm.Timer
+	inflight    sync.WaitGroup
+	envs        map[comm.NodeID]comm.Env
+}
+
+var (
+	_ comm.Transport       = (*Transport)(nil)
+	_ comm.PayloadRegistry = (*Transport)(nil)
+)
+
+// New wraps inner with the plan's fault layer. The plan is normalized here;
+// an invalid plan surfaces at Seal (construction sites without error paths
+// stay simple). seed is the run's topology seed.
+func New(inner comm.Transport, plan Plan, seed uint64) *Transport {
+	return &Transport{
+		inner:       inner,
+		plan:        plan,
+		seed:        seed,
+		handlers:    make(map[comm.NodeID]comm.Handler),
+		down:        make(map[comm.NodeID]bool),
+		incarnation: make(map[comm.NodeID]uint64),
+		fates:       make(map[comm.NodeID]Fate),
+		linkSeq:     make(map[[2]comm.NodeID]uint64),
+		envs:        make(map[comm.NodeID]comm.Env),
+	}
+}
+
+// Wrap returns inner unchanged for a zero plan and a fault-injecting
+// Transport otherwise. fl.Run/RunAsync route every run through it, so the
+// fault-free fast path stays byte-for-byte the PR 3 code path.
+func Wrap(inner comm.Transport, plan Plan, seed uint64) comm.Transport {
+	if plan.IsZero() {
+		return inner
+	}
+	return New(inner, plan, seed)
+}
+
+// ScheduleCrash pins an explicit crash for one node at the given offset
+// from Seal, rejoining after downFor (0 means the node stays dead). It
+// composes with (and overrides the expanded fate of) the plan, giving tests
+// and examples exact control over which node fails when. Call before Seal.
+func (t *Transport) ScheduleCrash(node comm.NodeID, at, downFor time.Duration) {
+	f := Fate{Node: node, Crashes: true, CrashAt: at, SpikeFactor: 1}
+	if downFor > 0 {
+		f.Rejoins = true
+		f.RejoinAt = at + downFor
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sealed {
+		panic("chaos: ScheduleCrash after Seal")
+	}
+	t.explicit = append(t.explicit, f)
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// RegisterPayload forwards to serializing inner transports; fault
+// notifications themselves never serialize (they are delivered by direct
+// handler invocation), so no chaos types are registered.
+func (t *Transport) RegisterPayload(v any) {
+	if reg, ok := t.inner.(comm.PayloadRegistry); ok {
+		reg.RegisterPayload(v)
+	}
+}
+
+// Register implements comm.Transport; the handler is wrapped so delivery to
+// a crashed node is discarded.
+func (t *Transport) Register(id comm.NodeID, h comm.Handler) {
+	t.mu.Lock()
+	if _, dup := t.handlers[id]; !dup {
+		t.order = append(t.order, id)
+	}
+	t.handlers[id] = h
+	t.mu.Unlock()
+	t.inner.Register(id, &proxy{t: t, id: id, h: h})
+}
+
+// Seal implements comm.Transport: it seals the inner transport, expands the
+// plan into per-node fates, and schedules every crash/rejoin event on the
+// federator's environment (the federator itself is never faulted).
+func (t *Transport) Seal() error {
+	plan, err := t.plan.Normalized()
+	if err != nil {
+		return err
+	}
+	t.plan = plan
+	if err := t.inner.Seal(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.sealed = true
+	var clients []comm.NodeID
+	for _, id := range t.order {
+		if id != comm.FederatorID {
+			clients = append(clients, id)
+		}
+	}
+	// Explicit fates (ScheduleCrash) override the node's plan-expanded
+	// fate, so the deduped map — not the raw slices — is what gets armed.
+	for _, f := range t.plan.Expand(t.seed, clients) {
+		t.fates[f.Node] = f
+	}
+	for _, f := range t.explicit {
+		t.fates[f.Node] = f
+	}
+	fates := make([]Fate, 0, len(t.fates))
+	for _, f := range t.fates {
+		fates = append(fates, f)
+	}
+	t.mu.Unlock()
+	if len(fates) == 0 {
+		return nil
+	}
+	sort.Slice(fates, func(i, j int) bool { return fates[i].Node < fates[j].Node })
+	fedEnv := t.inner.Env(comm.FederatorID)
+	var timers []comm.Timer
+	for _, f := range fates {
+		if !f.Crashes {
+			continue
+		}
+		node := f.Node
+		timers = append(timers, fedEnv.After(f.CrashAt, func() { t.crash(node) }))
+		if f.Rejoins {
+			timers = append(timers, fedEnv.After(f.RejoinAt, func() { t.rejoin(node) }))
+		}
+	}
+	t.mu.Lock()
+	t.timers = timers
+	t.mu.Unlock()
+	return nil
+}
+
+// crash marks the node down, invalidates its pending timers, and notifies
+// the federator. It runs in the federator's actor context (scheduled via
+// its env), so the direct handler call is serialized like any delivery.
+func (t *Transport) crash(node comm.NodeID) {
+	t.mu.Lock()
+	if t.closed || t.down[node] {
+		t.mu.Unlock()
+		return
+	}
+	// The closed check and this increment are atomic under mu, so Close
+	// either stops this event or waits for it before releasing the inner
+	// transport's peers.
+	t.inflight.Add(1)
+	defer t.inflight.Done()
+	t.down[node] = true
+	t.incarnation[node]++
+	t.stats.Crashes++
+	fed := t.handlers[comm.FederatorID]
+	t.mu.Unlock()
+	if fed != nil {
+		fed.OnMessage(t.Env(comm.FederatorID), comm.Message{
+			From:    node,
+			To:      comm.FederatorID,
+			Kind:    comm.KindFault,
+			Payload: comm.FaultPayload{Node: node, Down: true},
+		})
+	}
+}
+
+// rejoin resurrects the node: its in-memory state is rebuilt from its
+// static seed-derived config (Rejoiner.OnRejoin, run in the node's own
+// actor context) before the federator learns it is back, so a dispatch the
+// federator sends on the notification can never reach a half-reset actor.
+func (t *Transport) rejoin(node comm.NodeID) {
+	t.mu.Lock()
+	if t.closed || !t.down[node] {
+		t.mu.Unlock()
+		return
+	}
+	t.inflight.Add(1)
+	defer t.inflight.Done()
+	delete(t.down, node)
+	t.stats.Rejoins++
+	h := t.handlers[node]
+	fed := t.handlers[comm.FederatorID]
+	t.mu.Unlock()
+	if r, ok := h.(Rejoiner); ok {
+		t.inner.Invoke(node, func(env comm.Env) {
+			r.OnRejoin(t.wrapEnv(env, node))
+		})
+	}
+	if fed != nil {
+		fed.OnMessage(t.Env(comm.FederatorID), comm.Message{
+			From:    node,
+			To:      comm.FederatorID,
+			Kind:    comm.KindFault,
+			Payload: comm.FaultPayload{Node: node, Down: false},
+		})
+	}
+}
+
+// Env implements comm.Transport.
+func (t *Transport) Env(id comm.NodeID) comm.Env {
+	return t.wrapEnv(t.inner.Env(id), id)
+}
+
+// Invoke implements comm.Transport; fn sees the fault-injecting env.
+func (t *Transport) Invoke(id comm.NodeID, fn func(comm.Env)) {
+	t.inner.Invoke(id, func(env comm.Env) { fn(t.wrapEnv(env, id)) })
+}
+
+// Drive implements comm.Transport.
+func (t *Transport) Drive(done <-chan struct{}) error { return t.inner.Drive(done) }
+
+// Close implements comm.Transport: pending fault-event timers are disarmed
+// before the inner transport is torn down, so a wall-clock crash/rejoin
+// scheduled past the end of a finished run cannot touch released peers.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	timers := t.timers
+	t.timers = nil
+	t.mu.Unlock()
+	for _, tm := range timers {
+		tm.Cancel()
+	}
+	t.inflight.Wait()
+	return t.inner.Close()
+}
+
+func (t *Transport) isDown(id comm.NodeID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.down[id]
+}
+
+func (t *Transport) incarnationOf(id comm.NodeID) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.incarnation[id]
+}
+
+// spikeFactor returns the compute-slowdown factor of a node at time now.
+func (t *Transport) spikeFactor(id comm.NodeID, now time.Duration) float64 {
+	t.mu.Lock()
+	f, ok := t.fates[id]
+	t.mu.Unlock()
+	if !ok || f.SpikeFactor <= 1 {
+		return 1
+	}
+	if now >= f.SpikeStart && now < f.SpikeEnd {
+		return f.SpikeFactor
+	}
+	return 1
+}
+
+// linkFault draws the deterministic drop/delay decision for the n-th
+// message on the (from, to) link. Decisions hash (run seed, plan seed,
+// link, sequence), so a replayed run sees the identical loss pattern.
+func (t *Transport) linkFault(from, to comm.NodeID) (drop bool, delay time.Duration) {
+	if t.plan.Drop == 0 && t.plan.Delay == 0 {
+		return false, 0
+	}
+	t.mu.Lock()
+	key := [2]comm.NodeID{from, to}
+	n := t.linkSeq[key]
+	t.linkSeq[key] = n + 1
+	t.mu.Unlock()
+	mixed := t.seed ^ (t.plan.Seed+1)*0x9e3779b97f4a7c15 ^
+		(uint64(from)+3)*0xd6e8feb86659fd93 ^ (uint64(to)+5)*0xa5a3d31efb8c2a71 ^ n
+	rng := tensor.NewRNG(mixed)
+	if t.plan.Drop > 0 && rng.Float64() < t.plan.Drop {
+		t.mu.Lock()
+		t.stats.DroppedLink++
+		t.mu.Unlock()
+		return true, 0
+	}
+	if t.plan.Delay > 0 {
+		delay = time.Duration(rng.Float64() * float64(t.plan.Delay))
+		if delay > 0 {
+			t.mu.Lock()
+			t.stats.Delayed++
+			t.mu.Unlock()
+		}
+	}
+	return false, delay
+}
+
+// proxy wraps a registered handler: delivery to a downed node is a drop.
+type proxy struct {
+	t  *Transport
+	id comm.NodeID
+	h  comm.Handler
+}
+
+func (p *proxy) OnMessage(env comm.Env, msg comm.Message) {
+	if p.t.isDown(p.id) {
+		p.t.mu.Lock()
+		p.t.stats.DroppedDown++
+		p.t.mu.Unlock()
+		return
+	}
+	p.h.OnMessage(p.t.wrapEnv(env, p.id), msg)
+}
+
+// wrapEnv returns the node's fault-injecting env, cached per node — inner
+// envs are stateless per node, so one wrapper serves every delivery.
+func (t *Transport) wrapEnv(inner comm.Env, id comm.NodeID) comm.Env {
+	if ce, ok := inner.(*chaosEnv); ok && ce.t == t {
+		return inner
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.envs[id]; ok {
+		return e
+	}
+	e := &chaosEnv{t: t, id: id, inner: inner}
+	t.envs[id] = e
+	return e
+}
+
+// chaosEnv is the fault-injecting comm.Env of one node.
+type chaosEnv struct {
+	t     *Transport
+	id    comm.NodeID
+	inner comm.Env
+}
+
+var _ comm.Env = (*chaosEnv)(nil)
+
+func (e *chaosEnv) Now() time.Duration { return e.inner.Now() }
+
+// Send applies the link fault model. A message that draws a delay is
+// re-scheduled through the inner env's timer, so on the simulator the extra
+// latency is virtual and on TCP it is a real timer — in both cases the
+// message survives a subsequent sender crash, like a frame already on the
+// wire.
+func (e *chaosEnv) Send(msg comm.Message) {
+	if e.t.isDown(e.id) {
+		// A racing timer on a wall-clock transport can attempt a send in
+		// the instant its node is declared down; model it as lost output.
+		e.t.mu.Lock()
+		e.t.stats.DroppedDown++
+		e.t.mu.Unlock()
+		return
+	}
+	drop, delay := e.t.linkFault(e.id, msg.To)
+	if drop {
+		return
+	}
+	if delay > 0 {
+		inner := e.inner
+		e.inner.After(delay, func() { inner.Send(msg) })
+		return
+	}
+	e.inner.Send(msg)
+}
+
+// After scales the duration by the node's current spike factor (transient
+// load makes the same work take longer) and arms the callback against the
+// node's incarnation: a crash between scheduling and firing swallows it,
+// modeling lost in-memory state.
+func (e *chaosEnv) After(d time.Duration, fn func()) comm.Timer {
+	if f := e.t.spikeFactor(e.id, e.inner.Now()); f > 1 {
+		d = time.Duration(float64(d) * f)
+	}
+	inc := e.t.incarnationOf(e.id)
+	return e.inner.After(d, func() {
+		if e.t.isDown(e.id) || e.t.incarnationOf(e.id) != inc {
+			e.t.mu.Lock()
+			e.t.stats.SuppressedTimers++
+			e.t.mu.Unlock()
+			return
+		}
+		fn()
+	})
+}

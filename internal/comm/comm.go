@@ -37,7 +37,20 @@ const (
 	// KindSimilarity is a client's sealed class-distribution submission
 	// for the enclave, sent before training starts.
 	KindSimilarity
+	// KindFault is a membership/liveness notification delivered to the
+	// federator when a node crashes or rejoins. It is emitted by the fault
+	// layer (internal/chaos), standing in for the failure detector a
+	// production federation would run; it never crosses the wire.
+	KindFault
 )
+
+// FaultPayload is the body of a KindFault notification.
+type FaultPayload struct {
+	// Node is the client the notification is about.
+	Node NodeID
+	// Down is true for a crash and false for a rejoin.
+	Down bool
+}
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
@@ -56,6 +69,8 @@ func (k Kind) String() string {
 		return "offload-result"
 	case KindSimilarity:
 		return "similarity"
+	case KindFault:
+		return "fault"
 	default:
 		return "unknown"
 	}

@@ -64,6 +64,7 @@ func AsyncStudy(opt Options) ([]AsyncComparison, error) {
 		NoiseStd:         s.noiseStd,
 		SpeedJitter:      s.speedJitter,
 		Seed:             opt.seed(),
+		Chaos:            opt.Chaos,
 		Backend:          be,
 		Transport:        opt.Transport,
 		TransportTimeout: opt.TransportTimeout,

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"aergia/internal/chaos"
+)
+
+// TestOptionsChaosNormalize pins the chaos field's dedup-key behavior: the
+// zero plan survives normalization as zero (so its encoding is omitted),
+// partial plans gain their documented defaults, and invalid plans are
+// rejected before any run starts.
+func TestOptionsChaosNormalize(t *testing.T) {
+	norm, err := (Options{}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !norm.Chaos.IsZero() {
+		t.Fatalf("zero chaos normalized to %+v", norm.Chaos)
+	}
+	norm, err = (Options{Chaos: chaos.Plan{Churn: 0.3, Rejoin: 1}}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Chaos.Window != time.Second || norm.Chaos.Down != 500*time.Millisecond {
+		t.Fatalf("chaos defaults not resolved: %+v", norm.Chaos)
+	}
+	if _, err := (Options{Chaos: chaos.Plan{Churn: 2}}).Normalize(); err == nil {
+		t.Fatal("out-of-range churn normalized")
+	}
+}
+
+// TestRecordChaosEncodingCollapse pins the schema-compatibility contract:
+// a fault-free record marshals without any chaos field — byte-identical to
+// the pre-chaos encoding — so existing result stores keep deduping and
+// resuming; a faulted record carries the plan.
+func TestRecordChaosEncodingCollapse(t *testing.T) {
+	rec, err := Run("table1", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := rec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(line, []byte("chaos")) {
+		t.Fatalf("fault-free record leaks a chaos field:\n%s", line)
+	}
+	rec, err = Run("table1", Options{Quick: true, Chaos: chaos.Plan{Churn: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err = rec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(line, []byte(`"chaos"`)) || !bytes.Contains(line, []byte(`"churn":0.5`)) {
+		t.Fatalf("faulted record lost its plan:\n%s", line)
+	}
+}
+
+// TestChurnPlanForBaselineStaysCrashFree pins the axis semantics: the
+// cell's churn rate always replaces the base plan's, so a -chaos spec
+// carrying churn cannot leak crashes into the churn=0 baseline column,
+// while the base plan's other faults (e.g. lossy links) apply to every
+// cell.
+func TestChurnPlanForBaselineStaysCrashFree(t *testing.T) {
+	base := chaos.Plan{Churn: 0.9, Rejoin: 1, Drop: 0.05}
+	p, err := churnPlanFor(base, 0, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Churn != 0 {
+		t.Fatalf("baseline cell churn = %v, want 0", p.Churn)
+	}
+	if p.Drop != 0.05 {
+		t.Fatalf("baseline cell lost the base plan's link faults: %+v", p)
+	}
+	if crashes, _ := churnFaultCounts(p, 1, 24, time.Hour); crashes != 0 {
+		t.Fatalf("baseline cell expands %d crashes, want 0", crashes)
+	}
+	p, err = churnPlanFor(base, 0.5, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Churn != 0.5 {
+		t.Fatalf("cell churn = %v, want the cell's rate", p.Churn)
+	}
+}
+
+// TestFigChurnQuick runs the churn study at quick scale: the grid shape,
+// the injected fault counts, and the resilience signal (rounds keep
+// aggregating most updates under 50% churn) are all asserted.
+func TestFigChurnQuick(t *testing.T) {
+	cells, err := FigChurn(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick grid: {0, 0.5} churn x {aergia, fedavg, fedcs}.
+	if len(cells) != 6 {
+		t.Fatalf("%d cells, want 6", len(cells))
+	}
+	for _, c := range cells {
+		if c.Accuracy <= 0.2 {
+			t.Fatalf("cell %+v failed to learn", c)
+		}
+		if c.Churn == 0 {
+			if c.Crashes != 0 || c.Rejoins != 0 {
+				t.Fatalf("fault-free cell reports faults: %+v", c)
+			}
+			continue
+		}
+		// Fault counts are clipped to the run's horizon; FedCS finishes so
+		// fast it can legitimately outrun the crash window, so the >=1
+		// crash/rejoin requirement applies to the long-running strategies.
+		if c.Strategy != "fedcs" && (c.Crashes == 0 || c.Rejoins == 0) {
+			t.Fatalf("churn cell injected no faults: %+v", c)
+		}
+		if c.MeanCompleted <= 0 {
+			t.Fatalf("churn cell aggregated nothing: %+v", c)
+		}
+	}
+	var buf bytes.Buffer
+	if err := renderFigChurn(cells, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"aergia", "fedavg", "fedcs", "crashes"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("render missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"io"
 	"time"
 
+	"aergia/internal/chaos"
 	"aergia/internal/cluster"
 	"aergia/internal/dataset"
 	"aergia/internal/fl"
@@ -48,6 +49,14 @@ type Options struct {
 	// time it simulates, so full-scale experiments need a generous bound.
 	// Ignored (and normalized away) on the sim transport.
 	TransportTimeout time.Duration `json:"transport_timeout,omitempty"`
+	// Chaos is the fault schedule applied to every FL run of the
+	// experiment (internal/chaos, DESIGN.md §7): seed-derived client
+	// crashes, rejoins, compute spikes, and lossy links. The zero plan
+	// is omitted from the encoding entirely, so fault-free records (and
+	// the content-hash job IDs derived from them) stay byte-identical to
+	// the pre-chaos schema and existing result stores keep deduping and
+	// resuming.
+	Chaos chaos.Plan `json:"chaos,omitzero"`
 }
 
 // seed resolves the default seed through the one normalization rule every
@@ -76,6 +85,11 @@ func (o Options) Normalize() (Options, error) {
 	if o.TransportTimeout < 0 {
 		return Options{}, fmt.Errorf("experiments: negative transport timeout %v", o.TransportTimeout)
 	}
+	plan, err := o.Chaos.Normalized()
+	if err != nil {
+		return Options{}, err
+	}
+	o.Chaos = plan
 	o.Seed = o.seed()
 	o.Backend = name
 	o.Transport = transport
@@ -182,6 +196,7 @@ func (o Options) baseConfig(kind dataset.Kind, strat fl.Strategy) (fl.Config, er
 		// model applies to the sim transport; tcp links are physical.
 		Link:             sim.UniformLink(10*time.Millisecond, 1e6),
 		Seed:             o.seed(),
+		Chaos:            o.Chaos,
 		Backend:          be,
 		Transport:        o.Transport,
 		TransportTimeout: o.TransportTimeout,

@@ -35,6 +35,15 @@ type AsyncFederator struct {
 	// EvalEvery evaluates accuracy every k updates; 0 defaults to the
 	// number of clients.
 	EvalEvery int
+	// RedispatchAfter re-sends the current model to a client whose last
+	// dispatch produced no update within this duration — the async
+	// liveness fallback for lossy links, where a dropped dispatch or
+	// update would otherwise idle that client forever. It must exceed the
+	// slowest client's update time or slow clients are restarted before
+	// they can finish. 0 disables the watchdog (fault-free runs need
+	// none, and arm no timers). Topology.Build wires it from
+	// chaos.Plan.RoundTimeout.
+	RedispatchAfter time.Duration
 	// Evaluate computes test accuracy of the global weights.
 	Evaluate func(w nn.Weights) (float64, error)
 	// OnFinish is called once the update budget is exhausted.
@@ -47,6 +56,12 @@ type AsyncFederator struct {
 	absorbed int
 	results  *AsyncResults
 	finished bool
+	down     map[comm.NodeID]bool
+	// pending maps each client to the sequence number of its outstanding
+	// dispatch; the redispatch watchdog fires only if that exact dispatch
+	// is still unanswered.
+	pending     map[comm.NodeID]uint64
+	dispatchSeq uint64
 }
 
 // AsyncSample is one evaluated point of an asynchronous run.
@@ -97,6 +112,8 @@ func (f *AsyncFederator) Init() error {
 		f.EvalEvery = len(f.Clients)
 	}
 	f.results = &AsyncResults{}
+	f.down = make(map[comm.NodeID]bool)
+	f.pending = make(map[comm.NodeID]uint64)
 	return nil
 }
 
@@ -124,10 +141,32 @@ func (f *AsyncFederator) dispatch(env comm.Env, to comm.NodeID) {
 		Size:    w.ByteSize(),
 		Payload: TrainPayload{Config: cfg, Global: w.Clone()},
 	})
+	if f.RedispatchAfter <= 0 {
+		return
+	}
+	f.dispatchSeq++
+	seq := f.dispatchSeq
+	f.pending[to] = seq
+	env.After(f.RedispatchAfter, func() {
+		// Only the exact unanswered dispatch retries: an absorbed update
+		// clears pending, a rejoin re-dispatch bumps the sequence, and a
+		// crashed client waits for its rejoin instead.
+		if f.finished || f.pending[to] != seq || f.down[to] {
+			return
+		}
+		f.logf("async: client %d silent for %v, re-dispatching", to, f.RedispatchAfter)
+		f.dispatch(env, to)
+	})
 }
 
 // OnMessage implements comm.Handler.
 func (f *AsyncFederator) OnMessage(env comm.Env, msg comm.Message) {
+	if msg.Kind == comm.KindFault {
+		if p, ok := msg.Payload.(comm.FaultPayload); ok {
+			f.onFault(env, p)
+		}
+		return
+	}
 	if f.finished || msg.Kind != comm.KindUpdate {
 		return
 	}
@@ -140,6 +179,7 @@ func (f *AsyncFederator) OnMessage(env comm.Env, msg comm.Message) {
 		f.logf("async: update from the future (version %d > %d)", p.Update.Round, f.version)
 		return
 	}
+	delete(f.pending, p.Update.Client)
 	alpha := f.Alpha / float64(1+staleness)
 	current := f.global.SnapshotWeights()
 	current.Scale(1 - alpha)
@@ -180,8 +220,28 @@ func (f *AsyncFederator) OnMessage(env comm.Env, msg comm.Message) {
 		}
 		return
 	}
-	// Keep the sender busy with the fresh model.
-	f.dispatch(env, p.Update.Client)
+	// Keep the sender busy with the fresh model. A crashed sender's
+	// dispatch would be lost; its rejoin re-enlists it instead.
+	if !f.down[p.Update.Client] {
+		f.dispatch(env, p.Update.Client)
+	}
+}
+
+// onFault tracks liveness: the async loop is self-healing as long as one
+// client survives (every absorbed update re-dispatches to its sender), and
+// a rejoining client is re-enlisted with the current global model — its
+// crashed incarnation's model died with it.
+func (f *AsyncFederator) onFault(env comm.Env, p comm.FaultPayload) {
+	if p.Down {
+		f.down[p.Node] = true
+		f.logf("async: client %d crashed", p.Node)
+		return
+	}
+	delete(f.down, p.Node)
+	f.logf("async: client %d rejoined", p.Node)
+	if !f.finished {
+		f.dispatch(env, p.Node)
+	}
 }
 
 func (f *AsyncFederator) logf(format string, args ...any) {

@@ -3,6 +3,7 @@ package fl
 import (
 	"time"
 
+	"aergia/internal/chaos"
 	"aergia/internal/cluster"
 	"aergia/internal/dataset"
 	"aergia/internal/nn"
@@ -34,6 +35,9 @@ type AsyncConfig struct {
 	EvalEvery     int
 	// Seed drives all randomness; 0 selects DefaultSeed (see NormalizeSeed).
 	Seed uint64
+	// Chaos is the fault schedule of the run (internal/chaos, DESIGN.md §7);
+	// the zero plan keeps the fault-free bit-identical path.
+	Chaos chaos.Plan
 	// Backend selects the compute backend shared by every client and the
 	// evaluator; nil means the serial reference.
 	Backend tensor.Backend
@@ -67,6 +71,7 @@ func (c AsyncConfig) Topology() Topology {
 		Cost:          c.Cost,
 		EvalEvery:     c.EvalEvery,
 		Seed:          c.Seed,
+		Chaos:         c.Chaos,
 		Backend:       c.Backend,
 	}
 }
@@ -83,6 +88,8 @@ func RunAsync(cfg AsyncConfig) (*AsyncResults, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Same fault-layer wrap as Run; a zero plan is a pass-through.
+	transport = chaos.Wrap(transport, cl.Topology.Chaos, cl.Topology.Seed)
 	dep := &Deployment{Cluster: cl, Transport: transport}
 	res, err := dep.RunAsync()
 	if cerr := transport.Close(); err == nil {

@@ -67,6 +67,10 @@ type Client struct {
 	trainStart   time.Duration
 	completion   comm.Timer
 	offloaded    bool
+	// Weak-side offload state; offloadDir.Peer may be repointed by a
+	// reassignment directive while the offload is pending or shipped.
+	offloadDir       sched.Directive
+	offloadRemaining int
 
 	// Strong-side state.
 	directive    *sched.Directive
@@ -93,6 +97,32 @@ func (c *Client) Init() error {
 	c.jitterRNG = tensor.NewRNG(c.JitterSeed ^ (uint64(c.ID+1) * 0x9e3779b97f4a7c15))
 	c.effSpeed = c.Speed
 	return nil
+}
+
+// OnRejoin implements the chaos.Rejoiner rejoin handshake: a crash wiped
+// every piece of in-memory state, so the returning client rebuilds its
+// model replica, phase costs, and jitter stream from its static,
+// seed-derived configuration (Init re-derives them from the topology seed)
+// and drops all round state. The signed-schedule verifier survives — its
+// replay floor is monotone, so a directive replayed across the crash is
+// still rejected. The client then idles until the federator's next
+// dispatch enrolls it in a fresh round.
+func (c *Client) OnRejoin(env comm.Env) {
+	if err := c.Init(); err != nil {
+		c.logf("client %d: rejoin init: %v", c.ID, err)
+		return
+	}
+	c.round = -1
+	c.cfg = LocalConfig{}
+	c.batchXs, c.batchYs = nil, nil
+	c.totalBatches, c.executed = 0, 0
+	c.frozen, c.offloaded, c.ownDone, c.helperActive = false, false, false, false
+	c.offloadDir = sched.Directive{}
+	c.offloadRemaining = 0
+	c.directive, c.offloadJob = nil, nil
+	c.completion = nil
+	c.opt = nil
+	c.Trace.Record(env.Now(), c.ID, -1, trace.NodeRejoin, "state re-seeded")
 }
 
 // roundSpeed draws the effective speed for a new round.
@@ -160,6 +190,8 @@ func (c *Client) startRound(env comm.Env, p TrainPayload) {
 	c.executed = 0
 	c.frozen = false
 	c.offloaded = false
+	c.offloadDir = sched.Directive{}
+	c.offloadRemaining = 0
 	c.directive = nil
 	c.ownDone = false
 	c.offloadJob = nil
@@ -326,6 +358,20 @@ func (c *Client) onSchedule(env comm.Env, envlp sched.Envelope) {
 	}
 	switch d.Role {
 	case sched.RoleOffload:
+		if c.offloaded {
+			// Reassignment: the federator repointed the offload at a new
+			// helper because the matched one crashed. Before the freeze the
+			// pending offload simply retargets; after it, re-ship the frozen
+			// model — the feature section is immutable once frozen, so the
+			// snapshot equals the one the dead helper received.
+			if d.Peer != c.offloadDir.Peer {
+				c.offloadDir = d
+				if c.frozen {
+					c.resendOffload(env, d)
+				}
+			}
+			return
+		}
 		c.beginOffload(env, d)
 	case sched.RoleReceive:
 		c.directive = &d
@@ -333,6 +379,24 @@ func (c *Client) onSchedule(env comm.Env, envlp sched.Envelope) {
 	default:
 		c.logf("client %d: unknown role %d", c.ID, d.Role)
 	}
+}
+
+// resendOffload re-ships the frozen model to a newly assigned helper.
+func (c *Client) resendOffload(env comm.Env, d sched.Directive) {
+	w := c.net.SnapshotWeights()
+	c.Trace.Record(env.Now(), c.ID, c.round, trace.OffloadSent,
+		fmt.Sprintf("re-sent to client %d, %d updates", d.Peer, c.offloadRemaining))
+	env.Send(comm.Message{
+		To:    d.Peer,
+		Round: c.round,
+		Kind:  comm.KindOffload,
+		Size:  w.ByteSize(),
+		Payload: OffloadPayload{
+			Weak:    c.ID,
+			Weights: w.Clone(),
+			Updates: c.offloadRemaining,
+		},
+	})
 }
 
 // beginOffload implements the weak client's side of Figure 5: finish the
@@ -344,6 +408,7 @@ func (c *Client) beginOffload(env comm.Env, d sched.Directive) {
 		return // already offloaded or finished; late directive
 	}
 	c.offloaded = true
+	c.offloadDir = d
 	if c.completion != nil {
 		c.completion.Cancel()
 	}
@@ -365,13 +430,14 @@ func (c *Client) beginOffload(env comm.Env, d sched.Directive) {
 		if c.round != round {
 			return
 		}
-		c.offloadNow(env, d, target)
+		c.offloadNow(env, target)
 	})
 }
 
 // offloadNow executes the freeze-and-offload at the moment the target batch
-// count completes.
-func (c *Client) offloadNow(env comm.Env, d sched.Directive, target int) {
+// count completes. The helper identity is read from offloadDir at ship
+// time, so a reassignment that lands before the freeze retargets the send.
+func (c *Client) offloadNow(env comm.Env, target int) {
 	if err := c.runBatches(target-c.executed, false); err != nil {
 		c.logf("client %d: full batches before offload: %v", c.ID, err)
 		return
@@ -379,13 +445,14 @@ func (c *Client) offloadNow(env comm.Env, d sched.Directive, target int) {
 	c.net.SetFeaturesFrozen(true)
 	c.frozen = true
 	remaining := c.totalBatches - target
+	c.offloadRemaining = remaining
 	c.Trace.Record(env.Now(), c.ID, c.round, trace.ModelFrozen,
 		fmt.Sprintf("after %d batches", target))
 	w := c.net.SnapshotWeights()
 	c.Trace.Record(env.Now(), c.ID, c.round, trace.OffloadSent,
-		fmt.Sprintf("to client %d, %d updates", d.Peer, remaining))
+		fmt.Sprintf("to client %d, %d updates", c.offloadDir.Peer, remaining))
 	env.Send(comm.Message{
-		To:    d.Peer,
+		To:    c.offloadDir.Peer,
 		Round: c.round,
 		Kind:  comm.KindOffload,
 		Size:  w.ByteSize(),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"aergia/internal/chaos"
 	"aergia/internal/cluster"
 	"aergia/internal/dataset"
 	"aergia/internal/nn"
@@ -65,6 +66,11 @@ type Config struct {
 	// Seed drives all randomness (data, speeds, selection, init); 0 selects
 	// DefaultSeed (see NormalizeSeed).
 	Seed uint64
+	// Chaos is the fault schedule of the run (internal/chaos, DESIGN.md
+	// §7): seed-derived client crashes, rejoins, compute spikes, and lossy
+	// links, plus the quorum/round-timeout hardening the federator applies
+	// under churn. The zero plan keeps the fault-free bit-identical path.
+	Chaos chaos.Plan
 	// Backend selects the compute backend shared by every client and the
 	// evaluator; nil means the serial reference. Results are bit-identical
 	// across backends and worker counts (see DESIGN.md).
@@ -107,6 +113,7 @@ func (c Config) Topology() Topology {
 		ProfileBatches: c.ProfileBatches,
 		EvalEvery:      c.EvalEvery,
 		Seed:           c.Seed,
+		Chaos:          c.Chaos,
 		Backend:        c.Backend,
 		Trace:          c.Trace,
 	}
@@ -128,6 +135,10 @@ func Run(cfg Config) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The fault layer wraps any transport; a zero plan passes it through
+	// untouched (chaos.Wrap returns the inner transport), keeping the
+	// fault-free path bit-identical. Build normalized the plan.
+	transport = chaos.Wrap(transport, cl.Topology.Chaos, cl.Topology.Seed)
 	dep := &Deployment{Cluster: cl, Transport: transport}
 	res, err := dep.Run()
 	if cerr := transport.Close(); err == nil {

@@ -2,6 +2,7 @@ package fl
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"aergia/internal/comm"
@@ -45,6 +46,16 @@ type Federator struct {
 	SimilarityFactor float64
 	// Seed drives client selection.
 	Seed uint64
+	// QuorumFrac is the minimum fraction of the round's selected updates
+	// that must be present before a deadline may cut the round. 0 keeps
+	// the pure deadline behavior (cut with whatever arrived); under churn
+	// it protects the global model from near-empty aggregations.
+	QuorumFrac float64
+	// RoundTimeout is a fallback per-round deadline applied when the
+	// strategy has none. It keeps rounds finite when messages can be lost
+	// (a lossy fault plan): without it a dropped train/update message
+	// would stall the round forever. 0 disables the fallback.
+	RoundTimeout time.Duration
 	// OnFinish is invoked once all rounds complete.
 	OnFinish func(*Results)
 	// Logf, when set, receives debug traces.
@@ -67,6 +78,14 @@ type Federator struct {
 	features    map[comm.NodeID][]float64 // weak -> trained features
 	deadline    comm.Timer
 	finished    bool
+
+	// Liveness (fault notifications, comm.KindFault). down is the current
+	// membership view; deadRound marks selected clients lost to this round
+	// — a client that crashed mid-round stays lost even if it rejoins
+	// before the round ends, because its round state died with it.
+	down         map[comm.NodeID]bool
+	deadRound    map[comm.NodeID]bool
+	pastDeadline bool
 }
 
 var _ comm.Handler = (*Federator)(nil)
@@ -89,6 +108,7 @@ func (f *Federator) Init() error {
 	f.global = global
 	f.rng = tensor.NewRNG(f.Seed ^ 0x5ca1ab1e)
 	f.results = &Results{Strategy: f.Strategy.Name()}
+	f.down = make(map[comm.NodeID]bool)
 	if f.EvalEvery <= 0 {
 		f.EvalEvery = 1
 	}
@@ -125,41 +145,110 @@ func (f *Federator) startRound(env comm.Env) {
 	f.updates = make(map[comm.NodeID]Update, len(f.selected))
 	f.features = make(map[comm.NodeID][]float64)
 	f.finished = false
+	f.pastDeadline = false
+	f.deadRound = make(map[comm.NodeID]bool)
+	for _, id := range f.selected {
+		if f.down[id] {
+			// Selected while crashed: its train dispatch is lost, so the
+			// round must not wait for it.
+			f.deadRound[id] = true
+		}
+	}
 	f.roundStart = env.Now()
 	f.Trace.Record(env.Now(), comm.FederatorID, f.round, trace.RoundStart,
 		fmt.Sprintf("%d clients selected", len(f.selected)))
 
+	cfg := f.trainConfig()
+	w := f.global.SnapshotWeights()
+	for _, id := range f.selected {
+		if f.deadRound[id] {
+			continue // down at round start: the dispatch is guaranteed lost
+		}
+		f.dispatchTrain(env, id, cfg, w)
+	}
+	f.deadline = nil
+	d := f.Strategy.Deadline(f.round)
+	if d <= 0 {
+		d = f.RoundTimeout
+	}
+	if d > 0 {
+		round := f.round
+		f.deadline = env.After(d, func() { f.onDeadline(env, round, d) })
+	} else {
+		// Without a deadline the only things that can close the round are
+		// update arrivals and fault notifications. If the whole selection
+		// is already down (a full blackout), neither will ever come —
+		// complete the round now instead of wedging forever.
+		f.maybeFinalize(env)
+	}
+}
+
+// trainConfig stamps the per-round local training configuration.
+func (f *Federator) trainConfig() LocalConfig {
 	cfg := f.Local
 	cfg.Round = f.round
 	cfg.Mu = f.Strategy.LocalMu()
 	if !f.Strategy.Offloading() {
 		cfg.ProfileBatches = 0
 	}
-	w := f.global.SnapshotWeights()
-	for _, id := range f.selected {
-		env.Send(comm.Message{
-			To:      id,
-			Round:   f.round,
-			Kind:    comm.KindTrain,
-			Size:    w.ByteSize(),
-			Payload: TrainPayload{Config: cfg, Global: w.Clone()},
-		})
+	return cfg
+}
+
+// dispatchTrain ships the given global snapshot and round config to one
+// client; startRound snapshots once for the whole selection, onFault
+// snapshots fresh when re-enrolling a rejoining client.
+func (f *Federator) dispatchTrain(env comm.Env, id comm.NodeID, cfg LocalConfig, w nn.Weights) {
+	env.Send(comm.Message{
+		To:      id,
+		Round:   f.round,
+		Kind:    comm.KindTrain,
+		Size:    w.ByteSize(),
+		Payload: TrainPayload{Config: cfg, Global: w.Clone()},
+	})
+}
+
+// onDeadline cuts the round when its deadline fires. With a quorum
+// configured, a below-quorum round is held open for one grace period (the
+// same duration) and cut the moment the quorum-th update lands — or
+// unconditionally when the grace period also expires, so a run whose
+// updates were lost on a lossy link can never wedge a round forever.
+func (f *Federator) onDeadline(env comm.Env, round int, d time.Duration) {
+	if f.round != round || f.finished {
+		return
 	}
-	if d := f.Strategy.Deadline(f.round); d > 0 {
-		round := f.round
-		f.deadline = env.After(d, func() {
-			if f.round != round || f.finished {
-				return
-			}
-			f.logf("federator: round %d deadline fired with %d/%d updates",
-				round, len(f.updates), len(f.selected))
-			f.finalizeRound(env)
-		})
+	f.logf("federator: round %d deadline fired with %d/%d updates",
+		round, len(f.updates), len(f.selected))
+	if len(f.updates) >= f.quorum() || f.pastDeadline {
+		f.finalizeRound(env)
+		return
 	}
+	f.pastDeadline = true
+	f.logf("federator: round %d below quorum (%d/%d), holding one grace period",
+		round, len(f.updates), f.quorum())
+	f.deadline = env.After(d, func() { f.onDeadline(env, round, d) })
+}
+
+// quorum is the minimum update count a deadline may cut the round at.
+func (f *Federator) quorum() int {
+	if f.QuorumFrac <= 0 {
+		return 0
+	}
+	q := int(math.Ceil(f.QuorumFrac * float64(len(f.selected))))
+	if q > len(f.selected) {
+		q = len(f.selected)
+	}
+	return q
 }
 
 // OnMessage implements comm.Handler.
 func (f *Federator) OnMessage(env comm.Env, msg comm.Message) {
+	if msg.Kind == comm.KindFault {
+		// Liveness notifications are round-independent membership state.
+		if p, ok := msg.Payload.(comm.FaultPayload); ok {
+			f.onFault(env, p)
+		}
+		return
+	}
 	if msg.Round != f.round {
 		f.logf("federator: ignore %s for round %d (current %d)", msg.Kind, msg.Round, f.round)
 		return
@@ -198,8 +287,8 @@ func (f *Federator) OnMessage(env comm.Env, msg comm.Message) {
 	}
 }
 
-// onProfile collects profiling reports and, once all selected clients have
-// reported, computes and distributes the signed freeze/offload schedule.
+// onProfile collects profiling reports; scheduling happens once every
+// still-live selected client has reported.
 func (f *Federator) onProfile(env comm.Env, r profile.Report) {
 	if err := r.Validate(); err != nil {
 		f.logf("federator: invalid report from %d: %v", r.ClientID, err)
@@ -209,13 +298,26 @@ func (f *Federator) onProfile(env comm.Env, r profile.Report) {
 		return
 	}
 	f.reports[r.ClientID] = r
-	if len(f.reports) < len(f.selected) {
+	f.maybeSchedule(env)
+}
+
+// maybeSchedule computes and distributes the signed freeze/offload schedule
+// once reports from every live selected client are in. Clients lost to the
+// round are excluded — a crash that removes the last missing reporter
+// triggers scheduling over the survivors (onFault re-checks).
+func (f *Federator) maybeSchedule(env comm.Env) {
+	if f.scheduled || !f.Strategy.Offloading() {
 		return
 	}
-	f.scheduled = true
 	perfs := make([]sched.Perf, 0, len(f.reports))
 	for _, id := range f.selected {
-		rep := f.reports[id]
+		if f.deadRound[id] {
+			continue
+		}
+		rep, ok := f.reports[id]
+		if !ok {
+			return // a live client has not reported yet
+		}
 		perfs = append(perfs, sched.Perf{
 			ID:        id,
 			T123:      rep.Tasks123(),
@@ -223,6 +325,10 @@ func (f *Federator) onProfile(env comm.Env, r profile.Report) {
 			Remaining: rep.Remaining,
 		})
 	}
+	if len(perfs) == 0 {
+		return
+	}
+	f.scheduled = true
 	schedule, err := sched.Compute(f.round, perfs, sched.Config{
 		SimilarityFactor: f.SimilarityFactor,
 		Similarity:       f.Similarity,
@@ -271,11 +377,31 @@ func (f *Federator) onProfile(env comm.Env, r profile.Report) {
 }
 
 // maybeFinalize completes the round once every expected piece arrived.
+// Clients lost to the round (deadRound) owe nothing; past a below-quorum
+// deadline the round cuts the moment the quorum-th update lands.
 func (f *Federator) maybeFinalize(env comm.Env) {
 	if f.finished {
 		return
 	}
-	if len(f.updates) < len(f.selected) {
+	// allLiveDelivered: every selected client has either delivered or been
+	// written off for the round — nothing more can arrive.
+	allLiveDelivered := true
+	for _, id := range f.selected {
+		if _, ok := f.updates[id]; !ok && !f.deadRound[id] {
+			allLiveDelivered = false
+			break
+		}
+	}
+	if f.pastDeadline {
+		// Past a below-quorum deadline the round cuts at the quorum-th
+		// update, or when quorum became unreachable (holding on would
+		// wedge the round).
+		if len(f.updates) >= f.quorum() || allLiveDelivered {
+			f.finalizeRound(env)
+		}
+		return
+	}
+	if !allLiveDelivered {
 		return
 	}
 	for weak := range f.pairs {
@@ -292,6 +418,148 @@ func (f *Federator) maybeFinalize(env comm.Env) {
 		return
 	}
 	f.finalizeRound(env)
+}
+
+// onFault folds a liveness notification into the round: a crashed client is
+// written off for the current round (its in-memory round state is gone),
+// offload pairs whose helper died are reassigned to a live strong client,
+// and the round re-checks both scheduling and completion — the crash may
+// have been the one thing the round was waiting on. A rejoin restores
+// membership and, when the client's round is still open and its update
+// cannot otherwise arrive, re-enrolls it mid-round with a fresh dispatch;
+// otherwise the client participates again from the next selection.
+func (f *Federator) onFault(env comm.Env, p comm.FaultPayload) {
+	if !p.Down {
+		delete(f.down, p.Node)
+		f.logf("federator: client %d rejoined", p.Node)
+		f.Trace.Record(env.Now(), comm.FederatorID, f.round, trace.NodeRejoin,
+			fmt.Sprintf("client %d rejoined", p.Node))
+		// Re-enroll a returning client whose round is still open and whose
+		// update cannot arrive otherwise (its dispatch or round state was
+		// lost in the crash): the rejoin handshake re-seeded its actor
+		// state, so a fresh dispatch restarts it cleanly mid-round. This is
+		// also the liveness path out of a full blackout in deadline-free
+		// runs.
+		if f.finished || !f.selectedSet[p.Node] || !f.deadRound[p.Node] {
+			return
+		}
+		if _, ok := f.updates[p.Node]; ok {
+			return
+		}
+		delete(f.deadRound, p.Node)
+		f.dispatchTrain(env, p.Node, f.trainConfig(), f.global.SnapshotWeights())
+		return
+	}
+	f.down[p.Node] = true
+	f.Trace.Record(env.Now(), comm.FederatorID, f.round, trace.NodeCrash,
+		fmt.Sprintf("client %d crashed", p.Node))
+	if f.finished || !f.selectedSet[p.Node] {
+		return
+	}
+	f.deadRound[p.Node] = true
+	// Weak side: if the crashed client owes its (partial) update, the pair
+	// is moot — nothing remains to recombine.
+	if _, isWeak := f.pairs[p.Node]; isWeak {
+		if u, ok := f.updates[p.Node]; !ok || !u.Partial {
+			if _, got := f.features[p.Node]; !got {
+				delete(f.pairs, p.Node)
+			}
+		}
+	}
+	// Strong side: reassign pending offloads whose helper died.
+	for weak, pair := range f.pairs {
+		if pair.Strong != p.Node {
+			continue
+		}
+		if _, got := f.features[weak]; got {
+			continue
+		}
+		f.reassignOffload(env, weak, pair)
+	}
+	f.maybeSchedule(env)
+	f.maybeFinalize(env)
+}
+
+// reassignOffload repoints a pending offload pair at a live helper after
+// the matched strong client crashed: the federator signs fresh directives —
+// RoleReceive to the new helper, RoleOffload to the weak client, which
+// re-ships its frozen model (the feature section is immutable once frozen,
+// so the re-sent snapshot equals the lost one). With no live candidate the
+// pair is dropped and the weak client's partial update aggregates with its
+// frozen (stale) feature section.
+func (f *Federator) reassignOffload(env comm.Env, weak comm.NodeID, pair sched.Pair) {
+	if f.deadRound[weak] {
+		delete(f.pairs, weak)
+		return
+	}
+	var strong comm.NodeID
+	found := false
+	for _, id := range f.selected {
+		if id == weak || id == pair.Strong || f.deadRound[id] || f.down[id] {
+			continue
+		}
+		// Skip clients on either side of any pair this round: a weak
+		// client cannot help, and a strong client runs at most one helper
+		// job per round (helperActive), so handing it a second pair would
+		// leave that pair's features unfulfillable.
+		if _, isWeak := f.pairs[id]; isWeak {
+			continue
+		}
+		busy := false
+		for w2, p2 := range f.pairs {
+			if p2.Strong == id && w2 != weak {
+				busy = true
+				break
+			}
+		}
+		if busy {
+			continue
+		}
+		strong, found = id, true
+		break
+	}
+	if !found {
+		f.logf("federator: no live helper for weak %d (strong %d crashed); dropping pair",
+			weak, pair.Strong)
+		delete(f.pairs, weak)
+		return
+	}
+	newPair := pair
+	newPair.Strong = strong
+	f.pairs[weak] = newPair
+	f.Trace.Record(env.Now(), comm.FederatorID, f.round, trace.OffloadReassigned,
+		fmt.Sprintf("weak %d: strong %d -> %d", weak, pair.Strong, strong))
+	for _, d := range []sched.Directive{
+		{
+			Client:           weak,
+			Round:            f.round,
+			Role:             sched.RoleOffload,
+			Peer:             strong,
+			OffloadAfter:     newPair.OffloadAfter,
+			OffloadedUpdates: newPair.OffloadedUpdates,
+		},
+		{
+			Client:           strong,
+			Round:            f.round,
+			Role:             sched.RoleReceive,
+			Peer:             weak,
+			OffloadAfter:     newPair.OffloadAfter,
+			OffloadedUpdates: newPair.OffloadedUpdates,
+		},
+	} {
+		envlp, err := f.Signer.Sign(d)
+		if err != nil {
+			f.logf("federator: sign reassignment: %v", err)
+			return
+		}
+		env.Send(comm.Message{
+			To:      d.Client,
+			Round:   f.round,
+			Kind:    comm.KindSchedule,
+			Size:    256,
+			Payload: SchedulePayload{Envelope: envlp},
+		})
+	}
 }
 
 // finalizeRound recombines offloaded models, aggregates, records stats, and

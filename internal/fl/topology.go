@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"aergia/internal/chaos"
 	"aergia/internal/cluster"
 	"aergia/internal/comm"
 	"aergia/internal/dataset"
@@ -100,6 +101,13 @@ type Topology struct {
 	// Seed drives all randomness; 0 resolves to DefaultSeed (see
 	// NormalizeSeed for the Seed != 0 contract).
 	Seed uint64
+	// Chaos is the fault schedule of the run (client crashes, rejoins,
+	// lossy links — see internal/chaos and DESIGN.md §7). The zero plan
+	// is a fault-free run, bit-identical to the pre-chaos code path. The
+	// plan's Quorum/RoundTimeout harden the federator; the event timeline
+	// is injected by the transport wrapper Run/RunAsync apply (explicit
+	// Deployment users wrap with chaos.Wrap themselves).
+	Chaos chaos.Plan
 	// Backend selects the compute backend shared by every client and the
 	// evaluator; nil means the serial reference. Results are bit-identical
 	// across backends and worker counts (see DESIGN.md §2).
@@ -181,6 +189,11 @@ func (t Topology) Build() (*Cluster, error) {
 	if !t.Async && t.Strategy == nil {
 		return nil, fmt.Errorf("fl: topology needs a strategy")
 	}
+	plan, err := t.Chaos.Normalized()
+	if err != nil {
+		return nil, fmt.Errorf("fl: chaos plan: %w", err)
+	}
+	t.Chaos = plan
 
 	// Data: disjoint client shards plus a held-out test set drawn from the
 	// same class prototypes but a different noise stream.
@@ -342,8 +355,12 @@ func (t Topology) Build() (*Cluster, error) {
 			Alpha:        t.Alpha,
 			TotalUpdates: t.TotalUpdates,
 			EvalEvery:    t.EvalEvery,
-			Evaluate:     evaluate,
-			Logf:         t.Logf,
+			// The plan's RoundTimeout doubles as the async liveness bound:
+			// a client silent past it is re-dispatched, so lossy links
+			// cannot strand the update budget.
+			RedispatchAfter: t.Chaos.RoundTimeout,
+			Evaluate:        evaluate,
+			Logf:            t.Logf,
 		}
 		if err := fed.Init(); err != nil {
 			return nil, err
@@ -370,6 +387,8 @@ func (t Topology) Build() (*Cluster, error) {
 		Rounds:           t.Rounds,
 		EvalEvery:        t.EvalEvery,
 		Evaluate:         evaluate,
+		QuorumFrac:       t.Chaos.Quorum,
+		RoundTimeout:     t.Chaos.RoundTimeout,
 		Signer:           signer,
 		Similarity:       simMatrix,
 		SimilarityIndex:  simIndex,

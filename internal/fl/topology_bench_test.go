@@ -2,7 +2,9 @@ package fl
 
 import (
 	"testing"
+	"time"
 
+	"aergia/internal/chaos"
 	"aergia/internal/dataset"
 	"aergia/internal/nn"
 	"aergia/internal/tensor"
@@ -16,12 +18,26 @@ import (
 // whole run the backend can accelerate (client math dominates; the
 // discrete-event kernel is serial by design).
 func BenchmarkTopologyRun(b *testing.B) {
+	// churn10 layers a 10%-churn fault plan (with rejoins and quorum) over
+	// the serial run; the delta against "serial" is the whole fault
+	// subsystem's overhead — plan expansion, the transport wrapper's
+	// per-message and per-timer bookkeeping, and the federator's liveness
+	// tracking. CI publishes both as BENCH_chaos.json.
+	churn := chaos.Plan{
+		Churn:  0.1,
+		Rejoin: 1,
+		Window: 500 * time.Millisecond,
+		Down:   200 * time.Millisecond,
+		Quorum: 0.5,
+	}
 	for _, bb := range []struct {
 		name string
 		be   tensor.Backend
+		plan chaos.Plan
 	}{
-		{"serial", nil},
-		{"parallel", tensor.NewParallel(0)},
+		{"serial", nil, chaos.Plan{}},
+		{"parallel", tensor.NewParallel(0), chaos.Plan{}},
+		{"serial-churn10", nil, churn},
 	} {
 		b.Run(bb.name, func(b *testing.B) {
 			top := Topology{
@@ -38,6 +54,7 @@ func BenchmarkTopologyRun(b *testing.B) {
 				EvalEvery:    1,
 				Seed:         7,
 				Backend:      bb.be,
+				Chaos:        bb.plan,
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -50,7 +67,8 @@ func BenchmarkTopologyRun(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := (&Deployment{Cluster: cl, Transport: transport}).Run(); err != nil {
+				wrapped := chaos.Wrap(transport, cl.Topology.Chaos, cl.Topology.Seed)
+				if _, err := (&Deployment{Cluster: cl, Transport: wrapped}).Run(); err != nil {
 					b.Fatal(err)
 				}
 			}

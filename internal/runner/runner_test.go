@@ -447,3 +447,38 @@ func TestRunnerResultBytesMatchDirectRun(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepExpandChaosAxis pins the churn-sweep axis: chaos specs grid
+// like any other axis, the empty spec is the fault-free default cell, and
+// a bad spec fails the whole expansion.
+func TestSweepExpandChaosAxis(t *testing.T) {
+	jobs, err := Sweep{
+		Experiments: []string{"fig4"},
+		Quick:       []bool{true},
+		Chaos:       []string{"", "churn=0.3,rejoin=1"},
+	}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("expanded %d jobs, want 2 chaos cells", len(jobs))
+	}
+	if !jobs[0].Options.Chaos.IsZero() {
+		t.Fatalf("first cell should be fault-free: %+v", jobs[0].Options.Chaos)
+	}
+	if jobs[1].Options.Chaos.Churn != 0.3 {
+		t.Fatalf("second cell lost its plan: %+v", jobs[1].Options.Chaos)
+	}
+	// The fault-free chaos cell is the same job as a sweep without the
+	// axis, so stores populated before the axis existed still dedup.
+	plain, err := Sweep{Experiments: []string{"fig4"}, Quick: []bool{true}}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain[0].ID() != jobs[0].ID() {
+		t.Fatalf("fault-free cell id %s != pre-chaos id %s", jobs[0].ID(), plain[0].ID())
+	}
+	if _, err := (Sweep{Experiments: []string{"fig4"}, Chaos: []string{"flux=1"}}).Expand(); err == nil {
+		t.Fatal("bad chaos spec accepted")
+	}
+}

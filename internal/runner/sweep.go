@@ -3,19 +3,24 @@ package runner
 import (
 	"fmt"
 
+	"aergia/internal/chaos"
 	"aergia/internal/experiments"
 )
 
 // Sweep is a parameter grid over the experiment options. Expand takes the
 // cartesian product of every axis; an empty axis means "the default only"
-// (seed 1, serial backend, default workers, full scale), so the minimal
-// sweep {"experiments": ["fig6"]} is one job.
+// (seed 1, serial backend, default workers, full scale, no faults), so the
+// minimal sweep {"experiments": ["fig6"]} is one job.
 type Sweep struct {
 	Experiments []string `json:"experiments"`
 	Seeds       []uint64 `json:"seeds,omitempty"`
 	Backends    []string `json:"backends,omitempty"`
 	Workers     []int    `json:"workers,omitempty"`
 	Quick       []bool   `json:"quick,omitempty"`
+	// Chaos lists fault schedules in the -chaos spec form (e.g.
+	// "churn=0.3,rejoin=1,window=2s"); "" is the fault-free run. Churn
+	// sweeps grid over it like any other axis.
+	Chaos []string `json:"chaos,omitempty"`
 }
 
 // Expand materializes the grid as jobs, validating every cell. Cells that
@@ -41,6 +46,18 @@ func (s Sweep) Expand() ([]Job, error) {
 	if len(quicks) == 0 {
 		quicks = []bool{false}
 	}
+	chaosSpecs := s.Chaos
+	if len(chaosSpecs) == 0 {
+		chaosSpecs = []string{""}
+	}
+	plans := make([]chaos.Plan, len(chaosSpecs))
+	for i, spec := range chaosSpecs {
+		plan, err := chaos.ParseSpec(spec)
+		if err != nil {
+			return nil, fmt.Errorf("runner: sweep chaos[%d]: %w", i, err)
+		}
+		plans[i] = plan
+	}
 	var jobs []Job
 	seen := make(map[string]bool)
 	for _, exp := range s.Experiments {
@@ -48,18 +65,21 @@ func (s Sweep) Expand() ([]Job, error) {
 			for _, seed := range seeds {
 				for _, backend := range backends {
 					for _, w := range workers {
-						job, err := NewJob(exp, experiments.Options{
-							Quick:   quick,
-							Seed:    seed,
-							Backend: backend,
-							Workers: w,
-						})
-						if err != nil {
-							return nil, err
-						}
-						if id := job.ID(); !seen[id] {
-							seen[id] = true
-							jobs = append(jobs, job)
+						for _, plan := range plans {
+							job, err := NewJob(exp, experiments.Options{
+								Quick:   quick,
+								Seed:    seed,
+								Backend: backend,
+								Workers: w,
+								Chaos:   plan,
+							})
+							if err != nil {
+								return nil, err
+							}
+							if id := job.ID(); !seen[id] {
+								seen[id] = true
+								jobs = append(jobs, job)
+							}
 						}
 					}
 				}

@@ -30,6 +30,9 @@ const (
 	HelperDone
 	UpdateSent
 	RoundEnd
+	NodeCrash
+	NodeRejoin
+	OffloadReassigned
 )
 
 // String implements fmt.Stringer.
@@ -55,6 +58,12 @@ func (k Kind) String() string {
 		return "update-sent"
 	case RoundEnd:
 		return "round-end"
+	case NodeCrash:
+		return "node-crash"
+	case NodeRejoin:
+		return "node-rejoin"
+	case OffloadReassigned:
+		return "offload-reassigned"
 	default:
 		return "unknown"
 	}
