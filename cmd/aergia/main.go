@@ -8,6 +8,8 @@
 //	aergia -experiment fig6 -json                 # machine-readable result record
 //	aergia -experiment fig4 -transport tcp        # same actors over real loopback TCP
 //	aergia -experiment fig-churn -chaos 'churn=0.3,rejoin=1'  # faulted run
+//	aergia -experiment fig-bandwidth -quick       # bandwidth-vs-accuracy per codec
+//	aergia -experiment fig6 -codec topk           # sparsified update payloads
 //	aergia -list                                  # list experiment IDs
 //	aergia -sweep '{"experiments":["fig6"],"seeds":[1,2,3]}' -store out.jsonl
 //	aergia -sweep @grid.json -store out.jsonl -jobs 4
@@ -31,6 +33,14 @@
 // wall-clock (best-effort). Both -transport and -chaos are validated at
 // flag-parse time.
 //
+// The -codec flag selects the wire codec for model-update payloads in
+// every FL run of the experiment (DESIGN.md §8): none ships raw float64
+// snapshots, q8 quantizes update deltas to int8 (~8x fewer update bytes),
+// topk sparsifies them with client-side residual accumulation (~6x). The
+// reduction shows up in the per-run bandwidth counters and, on the sim
+// transport's modeled links, in training time. Like -transport and -chaos
+// it is validated at flag-parse time.
+//
 // -json swaps the text report for one canonical JSON record per experiment
 // — the same bytes the result store and the aergiad daemon persist, so
 // outputs are diffable across entry points.
@@ -51,6 +61,7 @@ import (
 	"strings"
 
 	"aergia/internal/chaos"
+	"aergia/internal/codec"
 	"aergia/internal/experiments"
 	"aergia/internal/fl"
 	"aergia/internal/metrics"
@@ -78,6 +89,8 @@ func run(args []string, out io.Writer) error {
 			"wall-clock bound per tcp run (0 = 2m default); tcp runs take the real time they simulate")
 		chaosSpec = fs.String("chaos", "",
 			"fault schedule spec, e.g. 'churn=0.3,rejoin=1,window=2s' (keys: "+chaos.SpecKeys()+")")
+		codecName = fs.String("codec", "none",
+			"wire codec for model-update payloads: "+codec.Names())
 		jsonOut   = fs.Bool("json", false, "emit canonical JSON result records instead of text reports")
 		sweepSpec = fs.String("sweep", "", "run a sweep grid: inline JSON spec or @file")
 		storePath = fs.String("store", "", "result store for -sweep (JSONL, append-only, resumable)")
@@ -93,6 +106,9 @@ func run(args []string, out io.Writer) error {
 	if _, err := fl.CanonicalTransport(*transport); err != nil {
 		return fmt.Errorf("invalid -transport %q (allowed values: %s, %s)",
 			*transport, fl.TransportSim, fl.TransportTCP)
+	}
+	if _, err := codec.Canonical(*codecName); err != nil {
+		return fmt.Errorf("invalid -codec %q (allowed values: %s)", *codecName, codec.Names())
 	}
 	// ParseSpec errors already name the offending key/value and list the
 	// accepted keys where that helps.
@@ -113,7 +129,7 @@ func run(args []string, out io.Writer) error {
 		var conflicts []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "experiment", "quick", "seed", "backend", "workers", "transport", "transport-timeout", "chaos":
+			case "experiment", "quick", "seed", "backend", "workers", "transport", "transport-timeout", "chaos", "codec":
 				conflicts = append(conflicts, "-"+f.Name)
 			}
 		})
@@ -136,7 +152,7 @@ func run(args []string, out io.Writer) error {
 		Quick: *quick, Seed: *seed,
 		Backend: *backend, Workers: *workers,
 		Transport: *transport, TransportTimeout: *transportTimeout,
-		Chaos: chaosPlan,
+		Chaos: chaosPlan, Codec: *codecName,
 	}
 	names := []string{*experiment}
 	if *experiment == "all" {

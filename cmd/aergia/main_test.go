@@ -105,6 +105,44 @@ func TestRunBadChaosFailsLoudly(t *testing.T) {
 	}
 }
 
+// TestRunBadCodecFailsLoudly pins the -codec contract shared with
+// -transport and -chaos: a mistyped codec fails at flag-parse time with a
+// one-line error naming the allowed values, before any experiment work
+// starts — and even in modes that never run an experiment.
+func TestRunBadCodecFailsLoudly(t *testing.T) {
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{"-experiment", "fig4", "-quick", "-codec", "gzip"},
+		{"-experiment", "fig4", "-quick", "-codec", "top-k"},
+		{"-list", "-codec", "gzip"},
+	} {
+		err := run(args, &buf)
+		if err == nil || !strings.Contains(err.Error(), "allowed values: none, q8, topk") {
+			t.Fatalf("args %v: err = %v, want a one-line error listing the allowed codecs", args, err)
+		}
+	}
+}
+
+// TestRunCodecLandsInRecord checks the -codec choice reaches the canonical
+// record (and thus the result store's dedup key), while the default stays
+// collapsed out of the encoding.
+func TestRunCodecLandsInRecord(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "table1", "-quick", "-codec", "topk", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"codec":"topk"`) {
+		t.Fatalf("record does not carry the codec:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"-experiment", "table1", "-quick", "-codec", "none", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"codec"`) {
+		t.Fatalf("default codec leaked into the record:\n%s", buf.String())
+	}
+}
+
 // TestRunChaosLandsInRecord checks the -chaos plan reaches the canonical
 // record (and thus the result store's dedup key).
 func TestRunChaosLandsInRecord(t *testing.T) {
@@ -232,6 +270,7 @@ func TestRunSweepBadSpecs(t *testing.T) {
 		{"-sweep", `{"experiments":["fig4"]}`, "-quick"},
 		{"-sweep", `{"experiments":["fig4"]}`, "-seed", "5"},
 		{"-sweep", `{"experiments":["fig4"]}`, "-chaos", "churn=0.5"},
+		{"-sweep", `{"experiments":["fig4"]}`, "-codec", "topk"},
 		{"-sweep", `{"experiments":["fig4"]} {"experiments":["table1"]}`},
 		{"-experiment", "fig4", "-quick", "-store", "x.jsonl"},
 		{"-experiment", "fig4", "-quick", "-jobs", "2"},

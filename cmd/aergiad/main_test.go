@@ -139,6 +139,56 @@ func TestDaemonSweepEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDaemonCodecJobRoundTrip pins the codec option through the service
+// path: a submitted job carrying a codec normalizes, runs, and comes back
+// with the codec in its options and in the persisted canonical record —
+// byte-identical to a direct in-process run — while an unknown codec is a
+// loud 400 at submission time.
+func TestDaemonCodecJobRoundTrip(t *testing.T) {
+	ts, _, _ := newTestServer(t, filepath.Join(t.TempDir(), "store.jsonl"))
+
+	resp, body := postJSON(t, ts.URL+"/jobs",
+		`{"experiment":"table1","options":{"quick":true,"seed":3,"codec":"q8"}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var submitted jobsResponse
+	if err := json.Unmarshal(body, &submitted); err != nil {
+		t.Fatal(err)
+	}
+	if len(submitted.Jobs) != 1 || submitted.Jobs[0].Options.Codec != "q8" {
+		t.Fatalf("submitted jobs = %+v, want one q8 job", submitted.Jobs)
+	}
+	waitDone(t, ts.URL, 1)
+
+	var got runner.JobState
+	if code := getJSON(t, ts.URL+"/jobs/"+submitted.Jobs[0].ID, &got); code != http.StatusOK {
+		t.Fatalf("get = %d", code)
+	}
+	if got.Status != runner.StatusDone || got.Options.Codec != "q8" {
+		t.Fatalf("fetched job = %+v", got)
+	}
+	if !strings.Contains(string(got.Result), `"codec":"q8"`) {
+		t.Fatalf("persisted record lost the codec:\n%s", got.Result)
+	}
+	direct, err := experiments.Run(got.Experiment, got.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Result) != string(want) {
+		t.Fatalf("daemon result diverged from direct run:\ndaemon: %s\ndirect: %s", got.Result, want)
+	}
+
+	if resp, _ := postJSON(t, ts.URL+"/jobs",
+		`{"experiment":"table1","options":{"quick":true,"codec":"gzip"}}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown codec = %d, want 400", resp.StatusCode)
+	}
+}
+
 // TestDaemonRestartResumesSweep restarts the daemon on the same store
 // mid-sweep; resubmitting the full sweep only computes the missing half.
 func TestDaemonRestartResumesSweep(t *testing.T) {

@@ -1,0 +1,343 @@
+// Package codec implements the wire codecs that shrink model-update
+// payloads before they cross the network (DESIGN.md §8). A Codec maps a
+// flat float64 vector — one weight-snapshot section, or a delta against a
+// shared base — to wire bytes and back. All three codecs are fully
+// deterministic: the same input always yields the same bytes, so encoded
+// runs replay bit-identically on the virtual-time simulator and encoded
+// payloads are safe re-send material (a re-encoded frozen model equals the
+// first shipment).
+//
+// The three implementations trade fidelity for bandwidth:
+//
+//   - none: exact pass-through framing, 8 bytes per value. The reference
+//     and the default; the fl layer bypasses encoding entirely for it.
+//   - q8: deterministic per-vector min/max int8 quantization, ~1 byte per
+//     value. Max absolute error is (max-min)/255.
+//   - topk: top-k magnitude sparsification with index+value packing,
+//     ~12·k bytes for k kept entries. Lossy in a structured way; pair it
+//     with Residual (client-side error feedback) on repeated streams.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Canonical codec names, accepted by Canonical and New.
+const (
+	// None is the exact pass-through codec (the default).
+	None = "none"
+	// Q8 is deterministic per-vector min/max int8 quantization.
+	Q8 = "q8"
+	// TopK is top-k magnitude sparsification with index+value packing.
+	TopK = "topk"
+)
+
+// DefaultTopKFraction is the fraction of entries the topk codec keeps.
+const DefaultTopKFraction = 0.1
+
+// ErrCorrupt reports wire bytes that do not decode under the codec's
+// framing (truncated buffer, header/length mismatch, out-of-range index).
+var ErrCorrupt = errors.New("codec: corrupt wire bytes")
+
+// Codec converts one flat value vector to wire bytes and back. Encode is
+// deterministic; Decode returns a vector of exactly the encoded length and
+// rejects malformed bytes with an error wrapping ErrCorrupt (never a
+// panic). Lossy codecs document their error bound; none is exact to the
+// bit.
+type Codec interface {
+	// Name returns the canonical codec name.
+	Name() string
+	// Encode serializes vals into the codec's wire form.
+	Encode(vals []float64) ([]byte, error)
+	// Decode reverses Encode. The result has the originally encoded
+	// length; for lossy codecs the values are approximations.
+	Decode(data []byte) ([]float64, error)
+}
+
+// names lists the canonical codec names in declaration order.
+var names = []string{None, Q8, TopK}
+
+// Names returns the accepted codec names, comma-separated, for usage
+// strings and one-line validation errors.
+func Names() string { return strings.Join(names, ", ") }
+
+// Canonical resolves a codec name ("" means none) and rejects unknown
+// ones. Two names that canonicalize equally select the same codec, so
+// canonical names are safe dedup keys.
+func Canonical(name string) (string, error) {
+	switch name {
+	case "", None:
+		return None, nil
+	case Q8:
+		return Q8, nil
+	case TopK:
+		return TopK, nil
+	}
+	return "", fmt.Errorf("codec: unknown codec %q (allowed values: %s)", name, Names())
+}
+
+// New constructs the named codec ("" means none). The topk codec keeps
+// DefaultTopKFraction of the entries; use NewTopK for a custom fraction.
+func New(name string) (Codec, error) {
+	canon, err := Canonical(name)
+	if err != nil {
+		return nil, err
+	}
+	switch canon {
+	case Q8:
+		return q8{}, nil
+	case TopK:
+		return NewTopK(DefaultTopKFraction), nil
+	}
+	return none{}, nil
+}
+
+// ---------------------------------------------------------------------------
+// none: exact framing.
+
+// none frames values verbatim: an 8-byte count header followed by the
+// IEEE-754 little-endian bits of every value. Round-trips are exact to the
+// bit (NaN payloads included).
+type none struct{}
+
+func (none) Name() string { return None }
+
+func (none) Encode(vals []float64) ([]byte, error) {
+	buf := make([]byte, 8+8*len(vals))
+	binary.LittleEndian.PutUint64(buf, uint64(len(vals)))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8+8*i:], math.Float64bits(v))
+	}
+	return buf, nil
+}
+
+func (none) Decode(data []byte) ([]float64, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("%w: none: %d-byte buffer, need a header", ErrCorrupt, len(data))
+	}
+	n := binary.LittleEndian.Uint64(data)
+	if n > uint64(len(data)) || len(data) != int(8+8*n) {
+		return nil, fmt.Errorf("%w: none: header says %d values for %d bytes", ErrCorrupt, n, len(data))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8+8*i:]))
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// q8: min/max int8 quantization.
+
+// q8 quantizes each vector against its own [min, max] range to one byte
+// per value: header count(8) + min(8) + max(8), then round((v-min)/scale)
+// with scale = (max-min)/255. The mapping is deterministic and the decode
+// error is at most (max-min)/255. Non-finite inputs are rejected — a NaN
+// has no place on the quantization grid and would silently poison the
+// error bound.
+type q8 struct{}
+
+func (q8) Name() string { return Q8 }
+
+func (q8) Encode(vals []float64) ([]byte, error) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("codec: q8: non-finite value %v at index %d", v, i)
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if len(vals) == 0 {
+		lo, hi = 0, 0
+	}
+	buf := make([]byte, 24+len(vals))
+	binary.LittleEndian.PutUint64(buf, uint64(len(vals)))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(lo))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(hi))
+	scale := (hi - lo) / 255
+	for i, v := range vals {
+		q := 0.0
+		if scale > 0 {
+			q = math.Round((v - lo) / scale)
+		}
+		if q < 0 {
+			q = 0
+		}
+		if q > 255 {
+			q = 255
+		}
+		buf[24+i] = byte(q)
+	}
+	return buf, nil
+}
+
+func (q8) Decode(data []byte) ([]float64, error) {
+	if len(data) < 24 {
+		return nil, fmt.Errorf("%w: q8: %d-byte buffer, need a header", ErrCorrupt, len(data))
+	}
+	n := binary.LittleEndian.Uint64(data)
+	if n > uint64(len(data)) || len(data) != int(24+n) {
+		return nil, fmt.Errorf("%w: q8: header says %d values for %d bytes", ErrCorrupt, n, len(data))
+	}
+	lo := math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
+	hi := math.Float64frombits(binary.LittleEndian.Uint64(data[16:]))
+	if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(hi) || math.IsInf(hi, 0) || hi < lo {
+		return nil, fmt.Errorf("%w: q8: range [%v, %v]", ErrCorrupt, lo, hi)
+	}
+	scale := (hi - lo) / 255
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + float64(data[24+i])*scale
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// topk: magnitude sparsification.
+
+// topk keeps the k largest-magnitude entries of the vector and packs them
+// as (uint32 index, float64 value) pairs behind a count(8)+k(8) header.
+// Kept values round-trip exactly; everything else decodes to zero. Ties
+// are broken toward the lower index, so encoding is deterministic.
+type topk struct {
+	frac float64
+}
+
+// NewTopK returns a top-k codec keeping ceil(frac·n) entries (at least
+// one for a non-empty vector). Fractions outside (0, 1] select
+// DefaultTopKFraction.
+func NewTopK(frac float64) Codec {
+	if frac <= 0 || frac > 1 {
+		frac = DefaultTopKFraction
+	}
+	return topk{frac: frac}
+}
+
+func (topk) Name() string { return TopK }
+
+func (t topk) k(n int) int {
+	if n == 0 {
+		return 0
+	}
+	k := int(math.Ceil(t.frac * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+func (t topk) Encode(vals []float64) ([]byte, error) {
+	if len(vals) > math.MaxUint32 {
+		return nil, fmt.Errorf("codec: topk: %d values exceed the uint32 index space", len(vals))
+	}
+	k := t.k(len(vals))
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Stable sort by descending magnitude; equal magnitudes (and NaNs,
+	// which compare false both ways) keep ascending index order, so the
+	// selection is deterministic.
+	sort.SliceStable(idx, func(a, b int) bool {
+		return math.Abs(vals[idx[a]]) > math.Abs(vals[idx[b]])
+	})
+	kept := idx[:k]
+	sort.Ints(kept) // ascending indices compress scan order for the decoder
+	buf := make([]byte, 16+12*k)
+	binary.LittleEndian.PutUint64(buf, uint64(len(vals)))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(k))
+	off := 16
+	for _, i := range kept {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(i))
+		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(vals[i]))
+		off += 12
+	}
+	return buf, nil
+}
+
+func (t topk) Decode(data []byte) ([]float64, error) {
+	if len(data) < 16 {
+		return nil, fmt.Errorf("%w: topk: %d-byte buffer, need a header", ErrCorrupt, len(data))
+	}
+	n := binary.LittleEndian.Uint64(data)
+	k := binary.LittleEndian.Uint64(data[8:])
+	if n > math.MaxUint32 || k > n || len(data) != int(16+12*k) {
+		return nil, fmt.Errorf("%w: topk: header n=%d k=%d for %d bytes", ErrCorrupt, n, k, len(data))
+	}
+	out := make([]float64, n)
+	off := 16
+	for j := uint64(0); j < k; j++ {
+		i := binary.LittleEndian.Uint32(data[off:])
+		if uint64(i) >= n {
+			return nil, fmt.Errorf("%w: topk: index %d out of range %d", ErrCorrupt, i, n)
+		}
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off+4:]))
+		off += 12
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Residual: client-side error feedback.
+
+// Residual wraps a lossy codec with error feedback for a repeated stream
+// of vectors (one weight section across rounds): each Encode first adds
+// the residual the previous round failed to transmit, then retains the new
+// residual (input minus what the receiver will decode). Exact codecs pass
+// through with a zero residual. Residual implements Codec, so it drops in
+// wherever a plain codec does; it is not safe for concurrent use — each
+// sender stream owns its own Residual and discards the whole value to
+// reset (a crashed client's streams are rebuilt from scratch).
+type Residual struct {
+	inner Codec
+	res   []float64
+}
+
+// NewResidual wraps c with error-feedback state.
+func NewResidual(c Codec) *Residual { return &Residual{inner: c} }
+
+var _ Codec = (*Residual)(nil)
+
+// Name returns the inner codec's name — the wire format is unchanged.
+func (r *Residual) Name() string { return r.inner.Name() }
+
+// Encode adds the accumulated residual, encodes through the inner codec,
+// and retains the new residual. A length change (a different section)
+// resets the state.
+func (r *Residual) Encode(vals []float64) ([]byte, error) {
+	if len(r.res) != len(vals) {
+		r.res = make([]float64, len(vals))
+	}
+	in := make([]float64, len(vals))
+	for i, v := range vals {
+		in[i] = v + r.res[i]
+	}
+	data, err := r.inner.Encode(in)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := r.inner.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("codec: residual self-decode: %w", err)
+	}
+	for i := range in {
+		r.res[i] = in[i] - dec[i]
+	}
+	return data, nil
+}
+
+// Decode delegates to the inner codec (decoding is stateless).
+func (r *Residual) Decode(data []byte) ([]float64, error) { return r.inner.Decode(data) }

@@ -1,0 +1,252 @@
+package codec
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"aergia/internal/tensor"
+)
+
+func randVec(rng *tensor.RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 4 * (rng.Float64() - 0.5)
+	}
+	return out
+}
+
+func TestCanonical(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"", None}, {"none", None}, {"q8", Q8}, {"topk", TopK},
+	} {
+		got, err := Canonical(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("Canonical(%q) = %q, %v", tc.in, got, err)
+		}
+	}
+	if _, err := Canonical("gzip"); err == nil || !strings.Contains(err.Error(), "allowed values") {
+		t.Fatalf("unknown codec accepted: %v", err)
+	}
+	if _, err := New("gzip"); err == nil {
+		t.Fatal("New accepted an unknown name")
+	}
+	for _, name := range []string{"", None, Q8, TopK} {
+		c, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canon, _ := Canonical(name)
+		if c.Name() != canon {
+			t.Fatalf("New(%q).Name() = %q, want %q", name, c.Name(), canon)
+		}
+	}
+}
+
+// TestNoneExactRoundTrip pins the reference codec: bit-exact round-trips,
+// including negative zero and extreme magnitudes.
+func TestNoneExactRoundTrip(t *testing.T) {
+	c, _ := New(None)
+	vals := []float64{0, math.Copysign(0, -1), 1.5, -2.25, 1e300, -1e-300, math.MaxFloat64}
+	data, err := c.Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 8+8*len(vals) {
+		t.Fatalf("none encoded %d values to %d bytes", len(vals), len(data))
+	}
+	got, err := c.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("index %d: %x != %x", i, math.Float64bits(got[i]), math.Float64bits(vals[i]))
+		}
+	}
+}
+
+// TestQ8ErrorBound pins the quantization contract: deterministic bytes and
+// max absolute error <= (max-min)/255.
+func TestQ8ErrorBound(t *testing.T) {
+	c, _ := New(Q8)
+	rng := tensor.NewRNG(3)
+	for trial := 0; trial < 20; trial++ {
+		vals := randVec(rng, 1+trial*13)
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		data, err := c.Encode(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != 24+len(vals) {
+			t.Fatalf("q8 encoded %d values to %d bytes", len(vals), len(data))
+		}
+		again, err := c.Encode(vals)
+		if err != nil || !bytes.Equal(data, again) {
+			t.Fatalf("q8 encoding is not deterministic: %v", err)
+		}
+		dec, err := c.Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := (hi - lo) / 255
+		for i := range vals {
+			if err := math.Abs(dec[i] - vals[i]); err > bound+1e-12 {
+				t.Fatalf("index %d: error %v exceeds bound %v", i, err, bound)
+			}
+		}
+	}
+	if _, err := c.Encode([]float64{1, math.NaN()}); err == nil {
+		t.Fatal("q8 accepted a NaN")
+	}
+	if _, err := c.Encode([]float64{math.Inf(1)}); err == nil {
+		t.Fatal("q8 accepted an Inf")
+	}
+	// Constant vectors have zero range and decode exactly.
+	data, err := c.Encode([]float64{2.5, 2.5, 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range dec {
+		if v != 2.5 {
+			t.Fatalf("constant vector decoded to %v", dec)
+		}
+	}
+}
+
+// TestTopKKeepsLargest pins the sparsification contract: the k largest
+// magnitudes survive exactly, everything else decodes to zero, and the
+// decoded length matches the header.
+func TestTopKKeepsLargest(t *testing.T) {
+	c := NewTopK(0.25)
+	vals := []float64{0.1, -5, 0.01, 3, -0.2, 0.3, 4, -0.05}
+	data, err := c.Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 2 // ceil(0.25*8)
+	if len(data) != 16+12*k {
+		t.Fatalf("topk encoded to %d bytes, want %d", len(data), 16+12*k)
+	}
+	dec, err := c.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(vals) {
+		t.Fatalf("decoded %d values, want %d", len(dec), len(vals))
+	}
+	want := []float64{0, -5, 0, 0, 0, 0, 4, 0}
+	for i := range want {
+		if dec[i] != want[i] {
+			t.Fatalf("decoded %v, want %v", dec, want)
+		}
+	}
+	// Ties break toward the lower index.
+	tied, err := NewTopK(0.5).Encode([]float64{1, -1, 1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decTied, err := NewTopK(0.5).Decode(tied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decTied[0] != 1 || decTied[1] != -1 || decTied[2] != 0 || decTied[3] != 0 {
+		t.Fatalf("tie-break decoded %v", decTied)
+	}
+}
+
+// TestTopKDefaultFraction pins New(TopK)'s default and the out-of-range
+// fraction fallback.
+func TestTopKDefaultFraction(t *testing.T) {
+	c, _ := New(TopK)
+	data, err := c.Encode(make([]float64, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 16+12*10 {
+		t.Fatalf("default topk on 100 values encoded %d bytes, want k=10", len(data))
+	}
+	bad := NewTopK(7)
+	data, err = bad.Encode(make([]float64, 100))
+	if err != nil || len(data) != 16+12*10 {
+		t.Fatalf("out-of-range fraction did not fall back to the default: %d bytes, %v", len(data), err)
+	}
+}
+
+// TestResidualErrorFeedback pins the accumulation semantics: what one
+// round fails to transmit is carried into the next, so the running decoded
+// sum tracks the running input sum.
+func TestResidualErrorFeedback(t *testing.T) {
+	r := NewResidual(NewTopK(0.34)) // keeps 1 of 3
+	inputs := [][]float64{
+		{1, 0.5, 0.25},
+		{1, 0.5, 0.25},
+		{1, 0.5, 0.25},
+	}
+	sentSum := make([]float64, 3)
+	for round, in := range inputs {
+		data, err := r.Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := r.Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range dec {
+			sentSum[i] += v
+		}
+		_ = round
+	}
+	// Round 1 sends index 0 (1.0); round 2 the accumulated index 1
+	// (0.5+0.5=1.0); round 3 index 0 again (1+1 vs 0.75) — every
+	// coordinate eventually gets through instead of starving.
+	if sentSum[0] == 0 || sentSum[1] == 0 {
+		t.Fatalf("residual feedback starved a coordinate: %v", sentSum)
+	}
+	total := sentSum[0] + sentSum[1] + sentSum[2]
+	if total < 2.9 || total > 5.3 {
+		t.Fatalf("transmitted mass %v diverged from the input mass", total)
+	}
+	// Exact codecs keep a zero residual: wrapped none is still exact.
+	exact := NewResidual(none{})
+	vals := []float64{1.25, -2.5}
+	for i := 0; i < 3; i++ {
+		data, err := exact.Encode(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, _ := exact.Decode(data)
+		for j := range vals {
+			if dec[j] != vals[j] {
+				t.Fatalf("residual-wrapped none drifted: %v", dec)
+			}
+		}
+	}
+}
+
+// TestDecodeRejectsCorruptBytes pins the error (not panic) contract for
+// malformed buffers across all codecs.
+func TestDecodeRejectsCorruptBytes(t *testing.T) {
+	for _, name := range []string{None, Q8, TopK} {
+		c, _ := New(name)
+		for _, data := range [][]byte{
+			nil,
+			{1, 2, 3},
+			append(make([]byte, 16), 0xff), // plausible header, bad body
+			bytes.Repeat([]byte{0xff}, 40), // absurd counts
+		} {
+			if _, err := c.Decode(data); err == nil {
+				t.Fatalf("%s decoded corrupt %d-byte buffer", name, len(data))
+			}
+		}
+	}
+}

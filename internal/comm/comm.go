@@ -76,8 +76,10 @@ func (k Kind) String() string {
 	}
 }
 
-// Message is a protocol envelope. Size is the payload's on-the-wire size in
-// bytes and drives the bandwidth component of transfer delay.
+// Message is a protocol envelope. Size is the payload's true on-the-wire
+// size in bytes — for codec-encoded model payloads (internal/codec) the
+// encoded byte count, not the raw snapshot size — and drives the bandwidth
+// component of transfer delay on simulated links.
 type Message struct {
 	From    NodeID
 	To      NodeID

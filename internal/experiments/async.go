@@ -66,6 +66,7 @@ func AsyncStudy(opt Options) ([]AsyncComparison, error) {
 		Seed:             opt.seed(),
 		Chaos:            opt.Chaos,
 		Backend:          be,
+		Codec:            opt.Codec,
 		Transport:        opt.Transport,
 		TransportTimeout: opt.TransportTimeout,
 	}

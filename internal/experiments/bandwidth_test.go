@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestOptionsCodecNormalize pins the codec field's dedup-key behavior:
+// "none" and "" collapse to "" (so codec-free records keep their
+// pre-codec job IDs), real codecs survive, and unknown names are rejected
+// before any run starts.
+func TestOptionsCodecNormalize(t *testing.T) {
+	for _, name := range []string{"", "none"} {
+		norm, err := (Options{Codec: name}).Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if norm.Codec != "" {
+			t.Fatalf("codec %q normalized to %q, want the collapsed default", name, norm.Codec)
+		}
+	}
+	norm, err := (Options{Codec: "topk"}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Codec != "topk" {
+		t.Fatalf("codec topk normalized to %q", norm.Codec)
+	}
+	if _, err := (Options{Codec: "gzip"}).Normalize(); err == nil {
+		t.Fatal("unknown codec normalized")
+	}
+}
+
+// TestRecordCodecEncodingCollapse pins the schema-compatibility contract:
+// a codec-free record marshals without any codec field — byte-identical
+// to the pre-codec encoding — while an encoded record carries its codec.
+func TestRecordCodecEncodingCollapse(t *testing.T) {
+	rec, err := Run("table1", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := rec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(line, []byte("codec")) {
+		t.Fatalf("codec-free record leaks a codec field:\n%s", line)
+	}
+	rec, err = Run("table1", Options{Quick: true, Codec: "q8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err = rec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(line, []byte(`"codec":"q8"`)) {
+		t.Fatalf("encoded record lost its codec:\n%s", line)
+	}
+}
+
+// TestFigBandwidthQuick runs the bandwidth study at quick scale: the grid
+// shape, the >= 4x update-traffic reduction of topk, the codec-independent
+// downlink, and the convergence of encoded runs are all asserted.
+func TestFigBandwidthQuick(t *testing.T) {
+	cells, err := FigBandwidth(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick grid: {none, topk} x {aergia, fedavg}.
+	if len(cells) != 4 {
+		t.Fatalf("%d cells, want 4", len(cells))
+	}
+	baseline := map[string]BandwidthCell{}
+	for _, c := range cells {
+		if c.Codec == "none" {
+			baseline[c.Strategy] = c
+		}
+	}
+	for _, c := range cells {
+		if c.Accuracy <= 0.2 {
+			t.Fatalf("cell %+v failed to learn", c)
+		}
+		if c.UpdateBytes == 0 || c.DispatchBytes == 0 {
+			t.Fatalf("cell %+v has empty counters", c)
+		}
+		if c.Codec == "none" {
+			continue
+		}
+		base := baseline[c.Strategy]
+		if ratio := float64(base.UpdateBytes) / float64(c.UpdateBytes); ratio < 4 {
+			t.Fatalf("%s/%s update traffic shrank only %.2fx", c.Codec, c.Strategy, ratio)
+		}
+		if c.DispatchBytes != base.DispatchBytes {
+			t.Fatalf("%s/%s changed the raw downlink: %d vs %d",
+				c.Codec, c.Strategy, c.DispatchBytes, base.DispatchBytes)
+		}
+		if c.TotalTime >= base.TotalTime {
+			t.Fatalf("%s/%s run (%v) not faster than raw (%v) on the edge-grade links",
+				c.Codec, c.Strategy, c.TotalTime, base.TotalTime)
+		}
+	}
+	var buf bytes.Buffer
+	if err := renderFigBandwidth(cells, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"aergia", "fedavg", "topk", "update-compression"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("render missing %q:\n%s", want, buf.String())
+		}
+	}
+}

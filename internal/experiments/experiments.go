@@ -12,6 +12,7 @@ import (
 
 	"aergia/internal/chaos"
 	"aergia/internal/cluster"
+	"aergia/internal/codec"
 	"aergia/internal/dataset"
 	"aergia/internal/fl"
 	"aergia/internal/metrics"
@@ -57,6 +58,14 @@ type Options struct {
 	// the pre-chaos schema and existing result stores keep deduping and
 	// resuming.
 	Chaos chaos.Plan `json:"chaos,omitzero"`
+	// Codec selects the wire codec for model-update payloads in every FL
+	// run of the experiment: "" or "none" ships raw snapshots (the
+	// pre-codec wire format), "q8" quantizes update deltas to int8,
+	// "topk" sparsifies them (internal/codec, DESIGN.md §8).
+	// Normalization collapses "none" to "", so codec-free records (and
+	// their content-hash job IDs) stay byte-identical to the pre-codec
+	// schema and existing result stores keep deduping and resuming.
+	Codec string `json:"codec,omitempty"`
 }
 
 // seed resolves the default seed through the one normalization rule every
@@ -75,6 +84,10 @@ func (o Options) Normalize() (Options, error) {
 		return Options{}, err
 	}
 	transport, err := fl.CanonicalTransport(o.Transport)
+	if err != nil {
+		return Options{}, err
+	}
+	codecName, err := codec.Canonical(o.Codec)
 	if err != nil {
 		return Options{}, err
 	}
@@ -105,6 +118,12 @@ func (o Options) Normalize() (Options, error) {
 		// old result stores resumable.
 		o.Transport = ""
 		o.TransportTimeout = 0
+	}
+	// Same collapse for the default codec: "none" and "" select the same
+	// raw wire format, so only "" may reach the dedup key.
+	o.Codec = codecName
+	if o.Codec == codec.None {
+		o.Codec = ""
 	}
 	return o, nil
 }
@@ -198,6 +217,7 @@ func (o Options) baseConfig(kind dataset.Kind, strat fl.Strategy) (fl.Config, er
 		Seed:             o.seed(),
 		Chaos:            o.Chaos,
 		Backend:          be,
+		Codec:            o.Codec,
 		Transport:        o.Transport,
 		TransportTimeout: o.TransportTimeout,
 	}, nil

@@ -39,6 +39,7 @@ var Index = map[string]Experiment{
 	"fig8":            entry(Fig8, renderFig8),
 	"fig9":            entry(Fig9, renderFig9),
 	"fig10":           entry(Fig10, renderFig10),
+	"fig-bandwidth":   entry(FigBandwidth, renderFigBandwidth),
 	"fig-churn":       entry(FigChurn, renderFigChurn),
 	"table1":          entry(Table1Rows, renderTable1),
 	"profiler":        entry(ProfilerOverhead, renderProfiler),

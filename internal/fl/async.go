@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"aergia/internal/codec"
 	"aergia/internal/comm"
 	"aergia/internal/nn"
 )
@@ -46,6 +47,14 @@ type AsyncFederator struct {
 	RedispatchAfter time.Duration
 	// Evaluate computes test accuracy of the global weights.
 	Evaluate func(w nn.Weights) (float64, error)
+	// Codec decodes encoded client updates against the model version each
+	// dispatch shipped; nil expects raw payloads. With a codec, an update
+	// answering a dispatch whose base was already superseded (a redispatch
+	// overtook it) is dropped — its delta base is gone — where the raw
+	// path would absorb it with a staleness discount.
+	Codec codec.Codec
+	// BW, when set, counts the bytes the federator puts on the wire.
+	BW *Bandwidth
 	// OnFinish is called once the update budget is exhausted.
 	OnFinish func(*AsyncResults)
 	// Logf, when set, receives debug traces.
@@ -62,6 +71,23 @@ type AsyncFederator struct {
 	// is still unanswered.
 	pending     map[comm.NodeID]uint64
 	dispatchSeq uint64
+	// bases retains the dispatched model snapshots by version — the
+	// codec's delta bases — each stored once and reference-counted by the
+	// outstanding dispatches that shipped it (Start sends one version to
+	// every client; duplicating the snapshot per client would multiply
+	// resident memory by the cluster size). clientBases tracks which
+	// versions each client's outstanding dispatches used; entries at or
+	// below an absorbed update's version are pruned, releasing the shared
+	// snapshot when its last reference goes.
+	bases       map[int]*asyncBase
+	clientBases map[comm.NodeID]map[int]bool
+}
+
+// asyncBase is one retained dispatch base and its outstanding-dispatch
+// reference count.
+type asyncBase struct {
+	w    nn.Weights
+	refs int
 }
 
 // AsyncSample is one evaluated point of an asynchronous run.
@@ -83,6 +109,9 @@ type AsyncResults struct {
 	FinalAccuracy float64
 	// MeanStaleness is the average staleness of absorbed updates.
 	MeanStaleness float64
+	// Bandwidth reports the bytes the run put on the wire, by traffic
+	// class; Deployment.RunAsync fills it from the cluster's counters.
+	Bandwidth BandwidthStats
 
 	stalenessSum int
 }
@@ -114,6 +143,8 @@ func (f *AsyncFederator) Init() error {
 	f.results = &AsyncResults{}
 	f.down = make(map[comm.NodeID]bool)
 	f.pending = make(map[comm.NodeID]uint64)
+	f.bases = make(map[int]*asyncBase)
+	f.clientBases = make(map[comm.NodeID]map[int]bool)
 	return nil
 }
 
@@ -134,6 +165,25 @@ func (f *AsyncFederator) dispatch(env comm.Env, to comm.NodeID) {
 	cfg.Round = f.version
 	cfg.ProfileBatches = 0
 	w := f.global.SnapshotWeights()
+	if f.Codec != nil {
+		// Retain the shipped snapshot: it is the base the client's encoded
+		// delta will be decoded against when this dispatch is answered.
+		cv := f.clientBases[to]
+		if cv == nil {
+			cv = make(map[int]bool)
+			f.clientBases[to] = cv
+		}
+		if !cv[f.version] {
+			cv[f.version] = true
+			ref := f.bases[f.version]
+			if ref == nil {
+				ref = &asyncBase{w: w}
+				f.bases[f.version] = ref
+			}
+			ref.refs++
+		}
+	}
+	f.BW.Count(comm.KindTrain, w.ByteSize())
 	env.Send(comm.Message{
 		To:      to,
 		Round:   f.version,
@@ -179,12 +229,51 @@ func (f *AsyncFederator) OnMessage(env comm.Env, msg comm.Message) {
 		f.logf("async: update from the future (version %d > %d)", p.Update.Round, f.version)
 		return
 	}
-	delete(f.pending, p.Update.Client)
+	update := p.Update
+	if !p.Encoded.IsZero() {
+		if f.Codec == nil {
+			f.logf("async: encoded update from %d on a codec-free run", update.Client)
+			return
+		}
+		var base *asyncBase
+		if f.clientBases[update.Client][update.Round] {
+			base = f.bases[update.Round]
+		}
+		if base == nil {
+			// The dispatch this update answers was superseded (redispatch)
+			// or belongs to a crashed incarnation; its delta base is gone.
+			f.logf("async: no base v%d for encoded update from %d", update.Round, update.Client)
+			return
+		}
+		w, err := decodeWeights(f.Codec, p.Encoded, base.w)
+		if err != nil {
+			f.logf("async: decode update from %d: %v", update.Client, err)
+			return
+		}
+		update.Weights = w
+	}
+	if f.Codec != nil {
+		// The answered dispatch (and anything older) can no longer produce
+		// an update; drop the client's references and free snapshots whose
+		// last reference went.
+		for v := range f.clientBases[update.Client] {
+			if v > update.Round {
+				continue
+			}
+			delete(f.clientBases[update.Client], v)
+			if ref := f.bases[v]; ref != nil {
+				if ref.refs--; ref.refs <= 0 {
+					delete(f.bases, v)
+				}
+			}
+		}
+	}
+	delete(f.pending, update.Client)
 	alpha := f.Alpha / float64(1+staleness)
 	current := f.global.SnapshotWeights()
 	current.Scale(1 - alpha)
-	if err := current.Axpy(alpha, p.Update.Weights); err != nil {
-		f.logf("async: mix update from %d: %v", p.Update.Client, err)
+	if err := current.Axpy(alpha, update.Weights); err != nil {
+		f.logf("async: mix update from %d: %v", update.Client, err)
 		return
 	}
 	if err := f.global.LoadWeights(current); err != nil {

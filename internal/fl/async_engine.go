@@ -41,6 +41,9 @@ type AsyncConfig struct {
 	// Backend selects the compute backend shared by every client and the
 	// evaluator; nil means the serial reference.
 	Backend tensor.Backend
+	// Codec selects the wire codec for model-update payloads: "" or
+	// "none" (raw), "q8", or "topk" — see internal/codec and DESIGN.md §8.
+	Codec string
 	// Transport selects the message transport: "" or "sim" for the
 	// virtual-time simulator, "tcp" for real TCP on loopback.
 	Transport string
@@ -73,6 +76,7 @@ func (c AsyncConfig) Topology() Topology {
 		Seed:          c.Seed,
 		Chaos:         c.Chaos,
 		Backend:       c.Backend,
+		Codec:         c.Codec,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"aergia/internal/cluster"
+	"aergia/internal/codec"
 	"aergia/internal/comm"
 	"aergia/internal/dataset"
 	"aergia/internal/nn"
@@ -37,6 +38,12 @@ type Client struct {
 	// Backend executes the client's model math; all clients of a run share
 	// the same backend (and thus the same worker pool). Nil means serial.
 	Backend tensor.Backend
+	// Codec encodes the client's uplink model payloads (updates, offload
+	// shipments, feature returns) as deltas against the round's global
+	// base; nil ships raw float64 snapshots (the codec-free wire format).
+	Codec codec.Codec
+	// BW, when set, counts the bytes this client puts on the wire.
+	BW *Bandwidth
 	// Verifier checks the federator's signed schedule envelopes.
 	Verifier *sched.Verifier
 	// ProfilerOverhead is the profiler's per-batch overhead fraction;
@@ -52,6 +59,13 @@ type Client struct {
 	phase     nn.PhaseCost
 	jitterRNG *tensor.RNG
 	effSpeed  float64
+	// base is the round's global model — the shared reference the codec
+	// encodes deltas against. updFeature/updClassifier encode the repeated
+	// update stream; for sparsifying codecs they carry residual
+	// error-feedback state (DESIGN.md §8), so each section owns its own.
+	base          nn.Weights
+	updFeature    codec.Codec
+	updClassifier codec.Codec
 
 	// Per-round state.
 	round        int
@@ -96,12 +110,23 @@ func (c *Client) Init() error {
 	c.phase = phase
 	c.jitterRNG = tensor.NewRNG(c.JitterSeed ^ (uint64(c.ID+1) * 0x9e3779b97f4a7c15))
 	c.effSpeed = c.Speed
+	c.base = nn.Weights{}
+	c.updFeature, c.updClassifier = c.Codec, c.Codec
+	if c.Codec != nil && c.Codec.Name() == codec.TopK {
+		// Sparsified update streams get client-side error feedback: the
+		// coordinates a round drops are carried into the next send. One
+		// residual per section — the streams must not mix. One-shot
+		// shipments (offloads, feature returns) use the bare codec.
+		c.updFeature = codec.NewResidual(c.Codec)
+		c.updClassifier = codec.NewResidual(c.Codec)
+	}
 	return nil
 }
 
 // OnRejoin implements the chaos.Rejoiner rejoin handshake: a crash wiped
 // every piece of in-memory state, so the returning client rebuilds its
-// model replica, phase costs, and jitter stream from its static,
+// model replica, phase costs, jitter stream, and codec streams (the
+// residual error feedback dies with the crash) from its static,
 // seed-derived configuration (Init re-derives them from the topology seed)
 // and drops all round state. The signed-schedule verifier survives — its
 // replay floor is monotone, so a directive replayed across the crash is
@@ -179,6 +204,29 @@ func (c *Client) logf(format string, args ...any) {
 	}
 }
 
+// send counts the message against the run's bandwidth ledger and delivers
+// it; every client send goes through here.
+func (c *Client) send(env comm.Env, msg comm.Message) {
+	c.BW.Count(msg.Kind, msg.Size)
+	env.Send(msg)
+}
+
+// offloadPayload builds the frozen-model shipment for the current helper:
+// raw weights without a codec, the encoded delta against the round base
+// with one. Encoding is one-shot and deterministic, so a re-ship after a
+// helper reassignment produces the same feature bytes the dead helper
+// received.
+func (c *Client) offloadPayload(w nn.Weights, updates int) (OffloadPayload, int, error) {
+	if c.Codec == nil {
+		return OffloadPayload{Weak: c.ID, Weights: w.Clone(), Updates: updates}, w.ByteSize(), nil
+	}
+	enc, err := encodeWeights(c.Codec.Name(), c.Codec, c.Codec, w, c.base)
+	if err != nil {
+		return OffloadPayload{}, 0, err
+	}
+	return OffloadPayload{Weak: c.ID, Encoded: enc, Updates: updates}, enc.WireSize(), nil
+}
+
 // startRound resets state and begins local training for a new round.
 func (c *Client) startRound(env comm.Env, p TrainPayload) {
 	if c.completion != nil {
@@ -200,6 +248,12 @@ func (c *Client) startRound(env comm.Env, p TrainPayload) {
 	if err := c.net.LoadWeights(p.Global); err != nil {
 		c.logf("client %d: load global: %v", c.ID, err)
 		return
+	}
+	if c.Codec != nil {
+		// The dispatched global is the delta base for every encoded payload
+		// of this round; the federator (and every peer) holds the same
+		// snapshot, so only deltas need to cross the wire.
+		c.base = p.Global
 	}
 	c.opt = nn.NewSGD(p.Config.LR)
 	c.opt.Backend = c.Backend
@@ -334,7 +388,7 @@ func (c *Client) sendProfileReport(env comm.Env, profiled int) {
 	}
 	c.Trace.Record(env.Now(), c.ID, c.round, trace.ProfileSent,
 		fmt.Sprintf("full batch %v", report.FullBatch()))
-	env.Send(comm.Message{
+	c.send(env, comm.Message{
 		To:      comm.FederatorID,
 		Round:   c.round,
 		Kind:    comm.KindProfile,
@@ -384,18 +438,19 @@ func (c *Client) onSchedule(env comm.Env, envlp sched.Envelope) {
 // resendOffload re-ships the frozen model to a newly assigned helper.
 func (c *Client) resendOffload(env comm.Env, d sched.Directive) {
 	w := c.net.SnapshotWeights()
+	payload, size, err := c.offloadPayload(w, c.offloadRemaining)
+	if err != nil {
+		c.logf("client %d: encode offload re-ship: %v", c.ID, err)
+		return
+	}
 	c.Trace.Record(env.Now(), c.ID, c.round, trace.OffloadSent,
 		fmt.Sprintf("re-sent to client %d, %d updates", d.Peer, c.offloadRemaining))
-	env.Send(comm.Message{
-		To:    d.Peer,
-		Round: c.round,
-		Kind:  comm.KindOffload,
-		Size:  w.ByteSize(),
-		Payload: OffloadPayload{
-			Weak:    c.ID,
-			Weights: w.Clone(),
-			Updates: c.offloadRemaining,
-		},
+	c.send(env, comm.Message{
+		To:      d.Peer,
+		Round:   c.round,
+		Kind:    comm.KindOffload,
+		Size:    size,
+		Payload: payload,
 	})
 }
 
@@ -449,18 +504,19 @@ func (c *Client) offloadNow(env comm.Env, target int) {
 	c.Trace.Record(env.Now(), c.ID, c.round, trace.ModelFrozen,
 		fmt.Sprintf("after %d batches", target))
 	w := c.net.SnapshotWeights()
+	payload, size, err := c.offloadPayload(w, remaining)
+	if err != nil {
+		c.logf("client %d: encode offload: %v", c.ID, err)
+		return
+	}
 	c.Trace.Record(env.Now(), c.ID, c.round, trace.OffloadSent,
 		fmt.Sprintf("to client %d, %d updates", c.offloadDir.Peer, remaining))
-	env.Send(comm.Message{
-		To:    c.offloadDir.Peer,
-		Round: c.round,
-		Kind:  comm.KindOffload,
-		Size:  w.ByteSize(),
-		Payload: OffloadPayload{
-			Weak:    c.ID,
-			Weights: w.Clone(),
-			Updates: remaining,
-		},
+	c.send(env, comm.Message{
+		To:      c.offloadDir.Peer,
+		Round:   c.round,
+		Kind:    comm.KindOffload,
+		Size:    size,
+		Payload: payload,
 	})
 	round := c.round
 	env.After(time.Duration(remaining)*c.frozenDur, func() {
@@ -497,19 +553,35 @@ func (c *Client) sendUpdate(env comm.Env, partial bool) {
 	}
 	c.Trace.Record(env.Now(), c.ID, c.round, trace.UpdateSent, detail)
 	w := c.net.SnapshotWeights()
-	env.Send(comm.Message{
-		To:    comm.FederatorID,
-		Round: c.round,
-		Kind:  comm.KindUpdate,
-		Size:  w.ByteSize(),
-		Payload: UpdatePayload{Update: Update{
-			Client:     c.ID,
-			Round:      c.round,
-			NumSamples: c.Data.Len(),
-			Steps:      c.totalBatches,
-			Weights:    w.Clone(),
-			Partial:    partial,
-		}},
+	update := Update{
+		Client:     c.ID,
+		Round:      c.round,
+		NumSamples: c.Data.Len(),
+		Steps:      c.totalBatches,
+		Partial:    partial,
+	}
+	payload := UpdatePayload{}
+	size := w.ByteSize()
+	if c.Codec == nil {
+		update.Weights = w.Clone()
+	} else {
+		// The update stream rides the residual-carrying encoders: what this
+		// round's sparsification drops is carried into the next send.
+		enc, err := encodeWeights(c.Codec.Name(), c.updFeature, c.updClassifier, w, c.base)
+		if err != nil {
+			c.logf("client %d: encode update: %v", c.ID, err)
+			return
+		}
+		payload.Encoded = enc
+		size = enc.WireSize()
+	}
+	payload.Update = update
+	c.send(env, comm.Message{
+		To:      comm.FederatorID,
+		Round:   c.round,
+		Kind:    comm.KindUpdate,
+		Size:    size,
+		Payload: payload,
 	})
 }
 
@@ -551,7 +623,20 @@ func (c *Client) runHelperTraining(env comm.Env, job OffloadPayload, updates int
 		c.logf("client %d: helper network: %v", c.ID, err)
 		return
 	}
-	if err := scratch.LoadWeights(job.Weights); err != nil {
+	weak := job.Weights
+	if !job.Encoded.IsZero() {
+		// The weak client encoded its frozen model as a delta against the
+		// round's global base; this client holds the same base.
+		if c.Codec == nil {
+			c.logf("client %d: encoded offload on a codec-free run", c.ID)
+			return
+		}
+		if weak, err = decodeWeights(c.Codec, job.Encoded, c.base); err != nil {
+			c.logf("client %d: decode offload: %v", c.ID, err)
+			return
+		}
+	}
+	if err := scratch.LoadWeights(weak); err != nil {
 		c.logf("client %d: helper load: %v", c.ID, err)
 		return
 	}
@@ -567,16 +652,25 @@ func (c *Client) runHelperTraining(env comm.Env, job OffloadPayload, updates int
 	w := scratch.SnapshotWeights()
 	c.Trace.Record(env.Now(), c.ID, c.round, trace.HelperDone,
 		fmt.Sprintf("returning features of client %d", job.Weak))
-	env.Send(comm.Message{
-		To:    comm.FederatorID,
-		Round: c.round,
-		Kind:  comm.KindOffloadResult,
-		Size:  8 * len(w.Feature),
-		Payload: OffloadResultPayload{
-			Weak:    job.Weak,
-			Strong:  c.ID,
-			Feature: w.Feature,
-		},
+	result := OffloadResultPayload{Weak: job.Weak, Strong: c.ID}
+	size := 8 * len(w.Feature)
+	if c.Codec == nil {
+		result.Feature = w.Feature
+	} else {
+		data, err := encodeSection(c.Codec, w.Feature, c.base.Feature)
+		if err != nil {
+			c.logf("client %d: encode helper result: %v", c.ID, err)
+			return
+		}
+		result.Encoded = EncodedWeights{Codec: c.Codec.Name(), Feature: data}
+		size = result.Encoded.WireSize()
+	}
+	c.send(env, comm.Message{
+		To:      comm.FederatorID,
+		Round:   c.round,
+		Kind:    comm.KindOffloadResult,
+		Size:    size,
+		Payload: result,
 	})
 }
 

@@ -111,6 +111,9 @@ func (d *Deployment) Run() (*Results, error) {
 		return nil, fmt.Errorf("fl: experiment did not complete")
 	}
 	out.TotalTime = out.PreTraining + sumDurations(out.Rounds)
+	// The transport drained (sim) or the run signaled completion (tcp), so
+	// the shared ledger now holds the run's wire traffic.
+	out.Bandwidth = d.Cluster.Bandwidth.Snapshot()
 	return out, nil
 }
 
@@ -144,5 +147,6 @@ func (d *Deployment) RunAsync() (*AsyncResults, error) {
 	if out == nil {
 		return nil, fmt.Errorf("fl: async experiment did not complete")
 	}
+	out.Bandwidth = d.Cluster.Bandwidth.Snapshot()
 	return out, nil
 }

@@ -75,6 +75,10 @@ type Config struct {
 	// evaluator; nil means the serial reference. Results are bit-identical
 	// across backends and worker counts (see DESIGN.md).
 	Backend tensor.Backend
+	// Codec selects the wire codec for model-update payloads: "" or
+	// "none" (raw, the pre-codec wire format), "q8", or "topk" — see
+	// internal/codec and DESIGN.md §8.
+	Codec string
 	// Transport selects the message transport: "" or "sim" for the
 	// deterministic virtual-time simulator, "tcp" for real TCP on loopback
 	// (same model math, wall-clock timings).
@@ -115,6 +119,7 @@ func (c Config) Topology() Topology {
 		Seed:           c.Seed,
 		Chaos:          c.Chaos,
 		Backend:        c.Backend,
+		Codec:          c.Codec,
 		Trace:          c.Trace,
 	}
 }

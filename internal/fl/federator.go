@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"aergia/internal/codec"
 	"aergia/internal/comm"
 	"aergia/internal/nn"
 	"aergia/internal/profile"
@@ -56,6 +57,12 @@ type Federator struct {
 	// (a lossy fault plan): without it a dropped train/update message
 	// would stall the round forever. 0 disables the fallback.
 	RoundTimeout time.Duration
+	// Codec decodes encoded client payloads (updates, feature returns)
+	// against the round's dispatched base; nil expects raw payloads (the
+	// codec-free wire format).
+	Codec codec.Codec
+	// BW, when set, counts the bytes the federator puts on the wire.
+	BW *Bandwidth
 	// OnFinish is invoked once all rounds complete.
 	OnFinish func(*Results)
 	// Logf, when set, receives debug traces.
@@ -69,6 +76,7 @@ type Federator struct {
 
 	round       int
 	roundStart  time.Duration
+	roundBase   nn.Weights // the round's dispatched global: the codec's delta base
 	selected    []comm.NodeID
 	selectedSet map[comm.NodeID]bool
 	reports     map[comm.NodeID]profile.Report
@@ -133,6 +141,13 @@ func (f *Federator) logf(format string, args ...any) {
 	}
 }
 
+// send counts the message against the run's bandwidth ledger and delivers
+// it; every federator send goes through here.
+func (f *Federator) send(env comm.Env, msg comm.Message) {
+	f.BW.Count(msg.Kind, msg.Size)
+	env.Send(msg)
+}
+
 func (f *Federator) startRound(env comm.Env) {
 	f.selected = f.Strategy.Select(f.round, f.Clients, f.rng)
 	f.selectedSet = make(map[comm.NodeID]bool, len(f.selected))
@@ -160,6 +175,7 @@ func (f *Federator) startRound(env comm.Env) {
 
 	cfg := f.trainConfig()
 	w := f.global.SnapshotWeights()
+	f.roundBase = w
 	for _, id := range f.selected {
 		if f.deadRound[id] {
 			continue // down at round start: the dispatch is guaranteed lost
@@ -198,7 +214,7 @@ func (f *Federator) trainConfig() LocalConfig {
 // client; startRound snapshots once for the whole selection, onFault
 // snapshots fresh when re-enrolling a rejoining client.
 func (f *Federator) dispatchTrain(env comm.Env, id comm.NodeID, cfg LocalConfig, w nn.Weights) {
-	env.Send(comm.Message{
+	f.send(env, comm.Message{
 		To:      id,
 		Round:   f.round,
 		Kind:    comm.KindTrain,
@@ -269,7 +285,20 @@ func (f *Federator) OnMessage(env comm.Env, msg comm.Message) {
 			f.logf("federator: update from unselected client %d", p.Update.Client)
 			return
 		}
-		f.updates[p.Update.Client] = p.Update
+		u := p.Update
+		if !p.Encoded.IsZero() {
+			if f.Codec == nil {
+				f.logf("federator: encoded update from %d on a codec-free run", u.Client)
+				return
+			}
+			w, err := decodeWeights(f.Codec, p.Encoded, f.roundBase)
+			if err != nil {
+				f.logf("federator: decode update from %d: %v", u.Client, err)
+				return
+			}
+			u.Weights = w
+		}
+		f.updates[u.Client] = u
 		f.maybeFinalize(env)
 	case comm.KindOffloadResult:
 		p, ok := msg.Payload.(OffloadResultPayload)
@@ -280,7 +309,19 @@ func (f *Federator) OnMessage(env comm.Env, msg comm.Message) {
 			f.logf("federator: unexpected offload result weak=%d strong=%d", p.Weak, p.Strong)
 			return
 		}
-		f.features[p.Weak] = p.Feature
+		feature := p.Feature
+		if !p.Encoded.IsZero() {
+			if f.Codec == nil || p.Encoded.Codec != f.Codec.Name() {
+				f.logf("federator: offload result codec mismatch from %d", p.Strong)
+				return
+			}
+			var err error
+			if feature, err = decodeSection(f.Codec, p.Encoded.Feature, f.roundBase.Feature); err != nil {
+				f.logf("federator: decode offload result from %d: %v", p.Strong, err)
+				return
+			}
+		}
+		f.features[p.Weak] = feature
 		f.maybeFinalize(env)
 	default:
 		f.logf("federator: unexpected message kind %s", msg.Kind)
@@ -365,7 +406,7 @@ func (f *Federator) maybeSchedule(env comm.Env) {
 				f.logf("federator: sign directive: %v", err)
 				return
 			}
-			env.Send(comm.Message{
+			f.send(env, comm.Message{
 				To:      d.Client,
 				Round:   f.round,
 				Kind:    comm.KindSchedule,
@@ -552,7 +593,7 @@ func (f *Federator) reassignOffload(env comm.Env, weak comm.NodeID, pair sched.P
 			f.logf("federator: sign reassignment: %v", err)
 			return
 		}
-		env.Send(comm.Message{
+		f.send(env, comm.Message{
 			To:      d.Client,
 			Round:   f.round,
 			Kind:    comm.KindSchedule,

@@ -78,8 +78,13 @@ type SchedulePayload struct {
 // strong client (comm.KindOffload).
 type OffloadPayload struct {
 	Weak comm.NodeID
-	// Weights is the weak client's model at the offload point.
+	// Weights is the weak client's model at the offload point (raw form,
+	// codec none).
 	Weights nn.Weights
+	// Encoded replaces Weights when the run has a wire codec: the
+	// codec-encoded delta against the round's global base, which the
+	// strong client decodes with its own copy of the base.
+	Encoded EncodedWeights
 	// Updates is the number of feature-training batches the strong client
 	// should run on its own dataset.
 	Updates int
@@ -88,6 +93,9 @@ type OffloadPayload struct {
 // UpdatePayload carries a client's trained model (comm.KindUpdate).
 type UpdatePayload struct {
 	Update Update
+	// Encoded replaces Update.Weights when the run has a wire codec; the
+	// federator decodes it against the round base before aggregation.
+	Encoded EncodedWeights
 }
 
 // OffloadResultPayload returns the feature section a strong client trained
@@ -96,6 +104,9 @@ type OffloadResultPayload struct {
 	Weak    comm.NodeID
 	Strong  comm.NodeID
 	Feature []float64
+	// Encoded replaces Feature when the run has a wire codec (only the
+	// Feature section is populated).
+	Encoded EncodedWeights
 }
 
 // RegisterPayloads announces every protocol payload type to reg, so
@@ -139,6 +150,10 @@ type Results struct {
 	TotalTime time.Duration
 	// FinalAccuracy is the last evaluated test accuracy.
 	FinalAccuracy float64
+	// Bandwidth reports the bytes the run put on the wire, by traffic
+	// class (exact on the sim transport, a completion-time lower bound
+	// over TCP). Deployment.Run fills it from the cluster's counters.
+	Bandwidth BandwidthStats
 }
 
 // RoundDurations extracts the per-round durations (Figure 8's samples).

@@ -6,6 +6,7 @@ import (
 
 	"aergia/internal/chaos"
 	"aergia/internal/cluster"
+	"aergia/internal/codec"
 	"aergia/internal/comm"
 	"aergia/internal/dataset"
 	"aergia/internal/enclave"
@@ -112,6 +113,14 @@ type Topology struct {
 	// evaluator; nil means the serial reference. Results are bit-identical
 	// across backends and worker counts (see DESIGN.md §2).
 	Backend tensor.Backend
+	// Codec selects the wire codec that shrinks model-update payloads
+	// (updates, offload shipments, feature returns): "" or "none" ships
+	// raw float64 snapshots — byte-for-byte the pre-codec wire format —
+	// "q8" quantizes update deltas to int8, "topk" sparsifies them with
+	// client-side residual accumulation. See internal/codec and DESIGN.md
+	// §8. The global-model downlink always ships raw: it is the shared
+	// base both ends decode deltas against.
+	Codec string
 	// Trace, when set, records the full event timeline of the run.
 	Trace *trace.Log
 	// Logf, when set, receives debug traces from the actors.
@@ -173,6 +182,9 @@ type Cluster struct {
 	Clients []*Client
 	// Infos is the federator's static view of the clients.
 	Infos []ClientInfo
+	// Bandwidth is the run's shared byte counter; every actor records its
+	// sends here and Deployment snapshots it into the results.
+	Bandwidth *Bandwidth
 }
 
 // Build materializes the cluster: it generates and partitions the dataset,
@@ -194,6 +206,21 @@ func (t Topology) Build() (*Cluster, error) {
 		return nil, fmt.Errorf("fl: chaos plan: %w", err)
 	}
 	t.Chaos = plan
+	codecName, err := codec.Canonical(t.Codec)
+	if err != nil {
+		return nil, fmt.Errorf("fl: %w", err)
+	}
+	t.Codec = codecName
+	// The none codec is a full bypass — actors ship raw snapshots exactly
+	// like the pre-codec wire format — so a nil Codec on the actors is the
+	// fast path the golden parity tests pin.
+	var wireCodec codec.Codec
+	if codecName != codec.None {
+		if wireCodec, err = codec.New(codecName); err != nil {
+			return nil, fmt.Errorf("fl: %w", err)
+		}
+	}
+	bw := &Bandwidth{}
 
 	// Data: disjoint client shards plus a held-out test set drawn from the
 	// same class prototypes but a different noise stream.
@@ -321,6 +348,8 @@ func (t Topology) Build() (*Cluster, error) {
 			JitterSeed:       t.Seed,
 			Cost:             t.Cost,
 			Backend:          t.Backend,
+			Codec:            wireCodec,
+			BW:               bw,
 			Verifier:         verifier,
 			ProfilerOverhead: -1,
 			Logf:             t.Logf,
@@ -339,9 +368,10 @@ func (t Topology) Build() (*Cluster, error) {
 		return nil, err
 	}
 	cl := &Cluster{
-		Topology: t,
-		Clients:  clients,
-		Infos:    infos,
+		Topology:  t,
+		Clients:   clients,
+		Infos:     infos,
+		Bandwidth: bw,
 	}
 	if t.Async {
 		fed := &AsyncFederator{
@@ -360,6 +390,8 @@ func (t Topology) Build() (*Cluster, error) {
 			// cannot strand the update budget.
 			RedispatchAfter: t.Chaos.RoundTimeout,
 			Evaluate:        evaluate,
+			Codec:           wireCodec,
+			BW:              bw,
 			Logf:            t.Logf,
 		}
 		if err := fed.Init(); err != nil {
@@ -394,6 +426,8 @@ func (t Topology) Build() (*Cluster, error) {
 		SimilarityIndex:  simIndex,
 		SimilarityFactor: simFactor,
 		Seed:             t.Seed,
+		Codec:            wireCodec,
+		BW:               bw,
 		Logf:             t.Logf,
 		Trace:            t.Trace,
 	}

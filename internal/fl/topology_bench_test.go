@@ -30,14 +30,21 @@ func BenchmarkTopologyRun(b *testing.B) {
 		Down:   200 * time.Millisecond,
 		Quorum: 0.5,
 	}
+	// The codec-* variants layer a wire codec over the serial run; the
+	// delta against "serial" is the whole codec subsystem's CPU overhead —
+	// delta computation, encode/decode, residual bookkeeping — which buys
+	// the wire-byte reduction BENCH_codec.json tracks in CI.
 	for _, bb := range []struct {
-		name string
-		be   tensor.Backend
-		plan chaos.Plan
+		name      string
+		be        tensor.Backend
+		plan      chaos.Plan
+		wireCodec string
 	}{
-		{"serial", nil, chaos.Plan{}},
-		{"parallel", tensor.NewParallel(0), chaos.Plan{}},
-		{"serial-churn10", nil, churn},
+		{"serial", nil, chaos.Plan{}, ""},
+		{"parallel", tensor.NewParallel(0), chaos.Plan{}, ""},
+		{"serial-churn10", nil, churn, ""},
+		{"codec-q8", nil, chaos.Plan{}, "q8"},
+		{"codec-topk", nil, chaos.Plan{}, "topk"},
 	} {
 		b.Run(bb.name, func(b *testing.B) {
 			top := Topology{
@@ -55,6 +62,7 @@ func BenchmarkTopologyRun(b *testing.B) {
 				Seed:         7,
 				Backend:      bb.be,
 				Chaos:        bb.plan,
+				Codec:        bb.wireCodec,
 			}
 			b.ReportAllocs()
 			b.ResetTimer()

@@ -482,3 +482,35 @@ func TestSweepExpandChaosAxis(t *testing.T) {
 		t.Fatal("bad chaos spec accepted")
 	}
 }
+
+// TestSweepExpandCodecAxis pins the bandwidth-sweep axis: codecs grid like
+// any other axis, "" and "none" normalize to the same raw cell (deduped,
+// with the pre-codec job ID), and an unknown codec fails the expansion.
+func TestSweepExpandCodecAxis(t *testing.T) {
+	jobs, err := Sweep{
+		Experiments: []string{"fig4"},
+		Quick:       []bool{true},
+		Codecs:      []string{"", "none", "q8", "topk"},
+	}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("expanded %d jobs, want 3 ('' and 'none' dedup)", len(jobs))
+	}
+	if jobs[0].Options.Codec != "" || jobs[1].Options.Codec != "q8" || jobs[2].Options.Codec != "topk" {
+		t.Fatalf("codec cells = %q, %q, %q", jobs[0].Options.Codec, jobs[1].Options.Codec, jobs[2].Options.Codec)
+	}
+	// The raw codec cell is the same job as a sweep without the axis, so
+	// stores populated before the axis existed still dedup.
+	plain, err := Sweep{Experiments: []string{"fig4"}, Quick: []bool{true}}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain[0].ID() != jobs[0].ID() {
+		t.Fatalf("raw cell id %s != pre-codec id %s", jobs[0].ID(), plain[0].ID())
+	}
+	if _, err := (Sweep{Experiments: []string{"fig4"}, Codecs: []string{"gzip"}}).Expand(); err == nil {
+		t.Fatal("bad codec accepted")
+	}
+}

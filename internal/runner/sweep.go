@@ -21,6 +21,9 @@ type Sweep struct {
 	// "churn=0.3,rejoin=1,window=2s"); "" is the fault-free run. Churn
 	// sweeps grid over it like any other axis.
 	Chaos []string `json:"chaos,omitempty"`
+	// Codecs lists wire codecs ("none", "q8", "topk"); "" is the raw
+	// default. Bandwidth sweeps grid over it like any other axis.
+	Codecs []string `json:"codecs,omitempty"`
 }
 
 // Expand materializes the grid as jobs, validating every cell. Cells that
@@ -50,6 +53,10 @@ func (s Sweep) Expand() ([]Job, error) {
 	if len(chaosSpecs) == 0 {
 		chaosSpecs = []string{""}
 	}
+	codecs := s.Codecs
+	if len(codecs) == 0 {
+		codecs = []string{""}
+	}
 	plans := make([]chaos.Plan, len(chaosSpecs))
 	for i, spec := range chaosSpecs {
 		plan, err := chaos.ParseSpec(spec)
@@ -66,19 +73,22 @@ func (s Sweep) Expand() ([]Job, error) {
 				for _, backend := range backends {
 					for _, w := range workers {
 						for _, plan := range plans {
-							job, err := NewJob(exp, experiments.Options{
-								Quick:   quick,
-								Seed:    seed,
-								Backend: backend,
-								Workers: w,
-								Chaos:   plan,
-							})
-							if err != nil {
-								return nil, err
-							}
-							if id := job.ID(); !seen[id] {
-								seen[id] = true
-								jobs = append(jobs, job)
+							for _, wireCodec := range codecs {
+								job, err := NewJob(exp, experiments.Options{
+									Quick:   quick,
+									Seed:    seed,
+									Backend: backend,
+									Workers: w,
+									Chaos:   plan,
+									Codec:   wireCodec,
+								})
+								if err != nil {
+									return nil, err
+								}
+								if id := job.ID(); !seen[id] {
+									seen[id] = true
+									jobs = append(jobs, job)
+								}
 							}
 						}
 					}

@@ -20,7 +20,9 @@ func UniformLink(latency time.Duration, bandwidth float64) LinkModel {
 
 // Network is a simulated fully connected, reliable, asynchronous network
 // over a Kernel (the paper's §3.1 network assumptions). Message delay is
-// latency + size/bandwidth.
+// latency + size/bandwidth; Message.Size carries the true encoded payload
+// size, so wire codecs (internal/codec) shrink the virtual transfer delay
+// exactly as they shrink real TCP traffic.
 type Network struct {
 	kernel *Kernel
 	link   LinkModel
