@@ -14,9 +14,12 @@
 //	aergia -sweep '{"experiments":["fig6"],"seeds":[1,2,3]}' -store out.jsonl
 //	aergia -sweep @grid.json -store out.jsonl -jobs 4
 //
-// The -backend flag selects the compute backend for all model math; serial
-// and parallel produce bit-identical results under the same -seed, so the
-// choice only affects wall-clock time.
+// The -backend flag selects the compute backend for all model math: serial
+// and parallel are the float64 pair, serial32 and parallel32 the float32
+// pair (DESIGN.md §9). Within a pair the results are bit-identical under
+// the same -seed, so the serial/parallel choice only affects wall-clock
+// time; float32 runs are deterministic across reruns but differ from
+// float64 by rounding.
 //
 // The -transport flag selects the message transport the federator/client
 // actors run on (DESIGN.md §6): sim is the deterministic virtual-time
@@ -82,7 +85,7 @@ func run(args []string, out io.Writer) error {
 		experiment       = fs.String("experiment", "", "experiment ID (see -list) or 'all'")
 		quick            = fs.Bool("quick", false, "use the reduced benchmark-scale configuration")
 		seed             = fs.Uint64("seed", 1, "experiment seed")
-		backend          = fs.String("backend", "serial", "compute backend: serial or parallel")
+		backend          = fs.String("backend", "serial", "compute backend: serial, parallel, serial32, or parallel32")
 		workers          = fs.Int("workers", 0, "parallel backend worker count (0 = GOMAXPROCS)")
 		transport        = fs.String("transport", "sim", "message transport: sim (virtual time) or tcp (real loopback TCP)")
 		transportTimeout = fs.Duration("transport-timeout", 0,

@@ -1,0 +1,139 @@
+package codec
+
+import (
+	"math"
+	"testing"
+
+	"aergia/internal/tensor"
+)
+
+// randVec32 draws float64 values that are exactly representable in float32 —
+// the shape of every update delta a float32-trained client produces, since
+// the wire format widens float32 parameters through Tensor.CopyToF64 before
+// encoding (DESIGN.md §9).
+func randVec32(rng *tensor.RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(float32(4 * (rng.Float64() - 0.5)))
+	}
+	return out
+}
+
+// TestQ8Float32BoundaryErrorBound is the float32-boundary property test for
+// the quantizer: over many random vectors of narrowed-float32 deltas, the
+// decode error stays within the standard (max-min)/255 bound and encoding
+// stays deterministic. Nothing about quantization may degrade just because
+// the inputs sit on the float32 grid.
+func TestQ8Float32BoundaryErrorBound(t *testing.T) {
+	c, _ := New(Q8)
+	rng := tensor.NewRNG(11)
+	for trial := 0; trial < 50; trial++ {
+		vals := randVec32(rng, 1+trial*7)
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		data, err := c.Encode(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := c.Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := (hi - lo) / 255
+		for i := range vals {
+			if e := math.Abs(dec[i] - vals[i]); e > bound+1e-12 {
+				t.Fatalf("trial %d index %d: error %v exceeds bound %v", trial, i, e, bound)
+			}
+		}
+	}
+}
+
+// TestTopKFloat32BoundaryExact pins that sparsification is lossless on the
+// coordinates it keeps even for float32-derived values: narrowing to float32
+// and widening back is exact in IEEE-754, and topk ships raw float64 bits
+// for the kept coordinates, so the round trip is bit-identical.
+func TestTopKFloat32BoundaryExact(t *testing.T) {
+	c := NewTopK(0.25)
+	rng := tensor.NewRNG(12)
+	for trial := 0; trial < 20; trial++ {
+		vals := randVec32(rng, 32)
+		data, err := c.Encode(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := c.Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vals {
+			if dec[i] == 0 {
+				continue // dropped coordinate
+			}
+			if math.Float64bits(dec[i]) != math.Float64bits(vals[i]) {
+				t.Fatalf("trial %d index %d: kept coordinate drifted %x -> %x",
+					trial, i, math.Float64bits(vals[i]), math.Float64bits(dec[i]))
+			}
+			if float64(float32(dec[i])) != dec[i] {
+				t.Fatalf("trial %d index %d: decoded value %v left the float32 grid", trial, i, dec[i])
+			}
+		}
+	}
+}
+
+// TestResidualFloat32BoundaryNoDriftBlowup simulates the multi-round fl
+// boundary: each round a float32-trained client produces a narrowed delta,
+// the residual-wrapped codec encodes it, and the residual carries what was
+// not transmitted. The invariant is that the residual stays bounded by the
+// per-round input scale (error feedback is contractive for both codecs) —
+// float32-gridded inputs must not make the carried error accumulate.
+func TestResidualFloat32BoundaryNoDriftBlowup(t *testing.T) {
+	const (
+		n      = 64
+		rounds = 40
+	)
+	for _, tc := range []struct {
+		name  string
+		inner Codec
+	}{
+		{"q8", q8{}},
+		{"topk", NewTopK(0.25)},
+	} {
+		r := NewResidual(tc.inner)
+		rng := tensor.NewRNG(13)
+		sent := make([]float64, n)
+		input := make([]float64, n)
+		var roundScale float64
+		for round := 0; round < rounds; round++ {
+			delta := randVec32(rng, n)
+			for i, v := range delta {
+				input[i] += v
+				if a := math.Abs(v); a > roundScale {
+					roundScale = a
+				}
+			}
+			data, err := r.Encode(delta)
+			if err != nil {
+				t.Fatalf("%s round %d: %v", tc.name, round, err)
+			}
+			dec, err := r.Decode(data)
+			if err != nil {
+				t.Fatalf("%s round %d: %v", tc.name, round, err)
+			}
+			for i, v := range dec {
+				sent[i] += v
+			}
+		}
+		// The cumulative transmitted value tracks the cumulative input: the
+		// gap per coordinate is exactly the current residual, which error
+		// feedback keeps at the scale of one round's delta (plus one round's
+		// quantization error), not O(rounds).
+		for i := range input {
+			if gap := math.Abs(input[i] - sent[i]); gap > 4*roundScale {
+				t.Fatalf("%s coordinate %d drifted: cumulative input %v vs sent %v (gap %v, round scale %v)",
+					tc.name, i, input[i], sent[i], gap, roundScale)
+			}
+		}
+	}
+}

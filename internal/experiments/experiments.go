@@ -30,9 +30,11 @@ type Options struct {
 	// Seed drives all randomness; 0 selects the default (1).
 	Seed uint64 `json:"seed"`
 	// Backend selects the compute backend for all model math: "" or
-	// "serial" for the single-threaded reference, "parallel" for the
-	// worker-pool backend. Results are bit-identical either way; only
-	// wall-clock time changes.
+	// "serial" for the single-threaded float64 reference, "parallel" for
+	// the float64 worker-pool backend, "serial32"/"parallel32" for their
+	// float32 counterparts. The float64 backends are bit-identical to each
+	// other; the float32 pair is bit-identical to each other and to its
+	// own reruns, but diverges from float64 by rounding (DESIGN.md §9).
 	Backend string `json:"backend"`
 	// Workers sizes the parallel backend's worker pool; 0 means GOMAXPROCS.
 	// Ignored by the serial backend.
@@ -106,9 +108,10 @@ func (o Options) Normalize() (Options, error) {
 	o.Seed = o.seed()
 	o.Backend = name
 	o.Transport = transport
-	if o.Backend == "serial" || o.Workers < 0 {
-		// Workers are ignored on serial, and any non-positive count means
-		// GOMAXPROCS; collapse both so they cannot split the dedup key.
+	if o.Backend == "serial" || o.Backend == "serial32" || o.Workers < 0 {
+		// Workers are ignored on the serial backends, and any non-positive
+		// count means GOMAXPROCS; collapse both so they cannot split the
+		// dedup key.
 		o.Workers = 0
 	}
 	if o.Transport == fl.TransportSim {

@@ -198,6 +198,23 @@ func TestOptionsNormalize(t *testing.T) {
 	if norm.Workers != 0 {
 		t.Fatalf("parallel workers -1 normalized to %d, want 0", norm.Workers)
 	}
+	// serial32 is a serial backend too: its workers must collapse the same
+	// way, and parallel32 must keep an explicit count, so the float32 pair
+	// cannot split dedup keys differently from the float64 pair.
+	norm, err = (Options{Backend: "serial32", Workers: 8}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Backend != "serial32" || norm.Workers != 0 {
+		t.Fatalf("serial32 normalized = %+v", norm)
+	}
+	norm, err = (Options{Backend: "parallel32", Workers: 2}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Backend != "parallel32" || norm.Workers != 2 {
+		t.Fatalf("parallel32 normalized = %+v", norm)
+	}
 	if _, err := (Options{Backend: "quantum"}).Normalize(); err == nil {
 		t.Fatal("unknown backend normalized")
 	}

@@ -98,6 +98,79 @@ func TestBackendSeedReproducibility(t *testing.T) {
 	assertResultsIdentical(t, "aergia repeat", a, b)
 }
 
+// TestFloat32EndToEndParity is the float32 mirror of the parity run:
+// serial32 and parallel32 must agree bit-for-bit on every reported number
+// for any worker count, same as the float64 pair.
+func TestFloat32EndToEndParity(t *testing.T) {
+	for _, mk := range []struct {
+		name  string
+		strat func() Strategy
+	}{
+		{"fedavg", func() Strategy { return NewFedAvg(0) }},
+		{"aergia", func() Strategy { return NewAergia(0, 1) }},
+	} {
+		cfg := parityConfig(mk.strat())
+		cfg.Backend = tensor.NewSerial32()
+		ref, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s serial32: %v", mk.name, err)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			cfg := parityConfig(mk.strat())
+			cfg.Backend = tensor.NewParallel32(workers)
+			got, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s parallel32-%d: %v", mk.name, workers, err)
+			}
+			assertResultsIdentical(t, mk.name+"/parallel32-"+string(rune('0'+workers)), ref, got)
+		}
+	}
+}
+
+// TestFloat32SeedReproducibility pins the float32 determinism contract:
+// two parallel32 runs with the same seed are bit-identical end to end,
+// even though float32 results differ from float64 by rounding.
+func TestFloat32SeedReproducibility(t *testing.T) {
+	mk := func() Config {
+		cfg := parityConfig(NewAergia(0, 1))
+		cfg.Backend = tensor.NewParallel32(4)
+		return cfg
+	}
+	a, err := Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, "parallel32 repeat", a, b)
+}
+
+// TestFloat32AccuracyWithinTolerance bounds the float32/float64 divergence:
+// rounding may flip a few borderline predictions, but the trained accuracy
+// must stay close, and the virtual-time trajectory — driven by the FLOP
+// cost model, not the element type — must be identical.
+func TestFloat32AccuracyWithinTolerance(t *testing.T) {
+	ref, err := Run(parityConfig(NewFedAvg(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := parityConfig(NewFedAvg(0))
+	cfg.Backend = tensor.NewSerial32()
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(ref.FinalAccuracy - got.FinalAccuracy); diff > 0.15 {
+		t.Fatalf("float32 accuracy %v vs float64 %v (diff %v)",
+			got.FinalAccuracy, ref.FinalAccuracy, diff)
+	}
+	if ref.TotalTime != got.TotalTime {
+		t.Fatalf("virtual time depends on dtype: %v vs %v", ref.TotalTime, got.TotalTime)
+	}
+}
+
 // TestAsyncBackendParity covers the asynchronous engine's backend path.
 func TestAsyncBackendParity(t *testing.T) {
 	mk := func(be tensor.Backend) AsyncConfig {

@@ -47,13 +47,17 @@ func newEvaluator(arch nn.Arch, be tensor.Backend, xs []*tensor.Tensor, ys []int
 			return net.Evaluate(xs, ys)
 		}, nil
 	}
-	// Replicas keep the serial backend: parallelism comes from sharding the
-	// samples, and nesting op-level parallelism under the shards would only
-	// add contention for the same worker pool. The first replica is built
-	// eagerly so configuration errors surface at setup; the rest are built
-	// on the first evaluation, so runs that never evaluate pay for one.
+	// Replicas keep a serial backend of the same element type (see
+	// tensor.ReferenceBackend): parallelism comes from sharding the samples,
+	// and nesting op-level parallelism under the shards would only add
+	// contention for the same worker pool. The dtype must match so float32
+	// runs evaluate with float32 replicas — predictions stay bit-identical
+	// to the unsharded path. The first replica is built eagerly so
+	// configuration errors surface at setup; the rest are built on the
+	// first evaluation, so runs that never evaluate pay for one.
+	ref := tensor.ReferenceBackend(be)
 	nets := make([]*nn.Network, workers)
-	first, err := nn.Build(arch, 1)
+	first, err := nn.BuildWith(arch, 1, ref)
 	if err != nil {
 		return nil, err
 	}
@@ -64,7 +68,7 @@ func newEvaluator(arch nn.Arch, be tensor.Backend, xs []*tensor.Tensor, ys []int
 	return func(w nn.Weights) (float64, error) {
 		once.Do(func() {
 			for i := 1; i < len(nets); i++ {
-				net, err := nn.Build(arch, 1)
+				net, err := nn.BuildWith(arch, 1, ref)
 				if err != nil {
 					buildErr = err
 					return

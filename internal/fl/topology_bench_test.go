@@ -42,6 +42,8 @@ func BenchmarkTopologyRun(b *testing.B) {
 	}{
 		{"serial", nil, chaos.Plan{}, ""},
 		{"parallel", tensor.NewParallel(0), chaos.Plan{}, ""},
+		{"serial32", tensor.NewSerial32(), chaos.Plan{}, ""},
+		{"parallel32", tensor.NewParallel32(0), chaos.Plan{}, ""},
 		{"serial-churn10", nil, churn, ""},
 		{"codec-q8", nil, chaos.Plan{}, "q8"},
 		{"codec-topk", nil, chaos.Plan{}, "topk"},

@@ -22,6 +22,11 @@ type Conv2DLayer struct {
 
 	be        tensor.Backend
 	lastInput *tensor.Tensor
+	// act is the activation fused into the layer's kernels (set by
+	// fuseSection when a ReLU directly follows); ws owns the layer's
+	// preallocated im2col, output, and gradient-staging buffers.
+	act tensor.Activation
+	ws  tensor.Workspace
 }
 
 var _ Layer = (*Conv2DLayer)(nil)
@@ -52,28 +57,25 @@ func (l *Conv2DLayer) Name() string {
 // SetBackend implements Layer.
 func (l *Conv2DLayer) SetBackend(be tensor.Backend) { l.be = be }
 
-// Forward implements Layer.
+// Forward implements Layer. The fused kernel stages the output (and im2col
+// matrix) in the layer workspace and applies any fused activation in the
+// same pass; the returned tensor is workspace-owned and valid until the next
+// Forward.
 func (l *Conv2DLayer) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	l.lastInput = x
-	return backendOr(l.be).Conv2D(x, l.weight, l.bias, l.Pad, l.Stride)
+	return backendOr(l.be).Conv2DFused(x, l.weight, l.bias, l.Pad, l.Stride, l.act, &l.ws)
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The fused kernel masks the upstream gradient
+// through any fused activation, stages fresh weight/bias gradients in the
+// workspace, and adds them into the layer accumulators — the same
+// fresh-gradient-then-add order as the unfused path, so float64 results are
+// bit-identical.
 func (l *Conv2DLayer) Backward(gy *tensor.Tensor) (*tensor.Tensor, error) {
 	if l.lastInput == nil {
 		return nil, ErrNoForward
 	}
-	gx, gw, gb, err := backendOr(l.be).Conv2DGrads(l.lastInput, l.weight, gy, l.Pad, l.Stride)
-	if err != nil {
-		return nil, err
-	}
-	if err := l.gw.AddInPlace(gw); err != nil {
-		return nil, err
-	}
-	if err := l.gb.AddInPlace(gb); err != nil {
-		return nil, err
-	}
-	return gx, nil
+	return backendOr(l.be).Conv2DGradsFused(l.lastInput, l.weight, gy, l.Pad, l.Stride, l.act, l.gw, l.gb, &l.ws)
 }
 
 // Params implements Layer.

@@ -19,6 +19,11 @@ type DenseLayer struct {
 
 	be        tensor.Backend
 	lastInput *tensor.Tensor
+	// act is the activation fused into the layer's kernels (set by
+	// fuseSection when a ReLU directly follows); ws owns the layer's
+	// preallocated output and gradient buffers.
+	act tensor.Activation
+	ws  tensor.Workspace
 }
 
 var _ Layer = (*DenseLayer)(nil)
@@ -49,7 +54,7 @@ func (l *DenseLayer) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("nn: dense expects vector of %d, got %v", l.In, x.Shape())
 	}
 	l.lastInput = x
-	return backendOr(l.be).DenseForward(l.weight, l.bias, x)
+	return backendOr(l.be).DenseForwardFused(l.weight, l.bias, x, l.act, &l.ws)
 }
 
 // Backward implements Layer.
@@ -60,7 +65,7 @@ func (l *DenseLayer) Backward(gy *tensor.Tensor) (*tensor.Tensor, error) {
 	if gy.Size() != l.Out {
 		return nil, fmt.Errorf("nn: dense grad size %d, want %d", gy.Size(), l.Out)
 	}
-	return backendOr(l.be).DenseBackward(l.weight, l.lastInput, gy, l.gw, l.gb)
+	return backendOr(l.be).DenseBackwardFused(l.weight, l.lastInput, gy, l.act, l.gw, l.gb, &l.ws)
 }
 
 // Params implements Layer.

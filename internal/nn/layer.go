@@ -56,9 +56,18 @@ func backendOr(be tensor.Backend) tensor.Backend {
 // ErrNoForward is returned when Backward is invoked before Forward.
 var ErrNoForward = errors.New("nn: Backward called before Forward")
 
-// ReLU applies max(0, x) element-wise.
+// ReLU applies max(0, x) element-wise. When a preceding convolution or dense
+// layer absorbs the activation into its fused kernel (see fuseSection), the
+// layer becomes a pass-through: it stays in the layer list so shape flow and
+// the FLOP cost model are unchanged, but Forward/Backward do no work.
 type ReLU struct {
-	mask []bool
+	be    tensor.Backend
+	ws    tensor.Workspace
+	fused bool
+	// seen is the element count of the last Forward, used to reproduce the
+	// historical Backward-before-Forward error without peeking into the
+	// workspace.
+	seen int
 }
 
 var _ Layer = (*ReLU)(nil)
@@ -69,42 +78,27 @@ func NewReLU() *ReLU { return &ReLU{} }
 // Name implements Layer.
 func (l *ReLU) Name() string { return "relu" }
 
-// SetBackend implements Layer. ReLU is memory-bound; its element-wise pass
-// always runs on the calling goroutine.
-func (l *ReLU) SetBackend(tensor.Backend) {}
+// SetBackend implements Layer.
+func (l *ReLU) SetBackend(be tensor.Backend) { l.be = be }
 
 // Forward implements Layer.
 func (l *ReLU) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
-	y := x.Clone()
-	d := y.Data()
-	if cap(l.mask) < len(d) {
-		l.mask = make([]bool, len(d))
+	if l.fused {
+		return x, nil
 	}
-	l.mask = l.mask[:len(d)]
-	for i, v := range d {
-		if v > 0 {
-			l.mask[i] = true
-		} else {
-			l.mask[i] = false
-			d[i] = 0
-		}
-	}
-	return y, nil
+	l.seen = x.Size()
+	return backendOr(l.be).ReLUFwd(x, &l.ws)
 }
 
 // Backward implements Layer.
 func (l *ReLU) Backward(gy *tensor.Tensor) (*tensor.Tensor, error) {
-	if len(l.mask) != gy.Size() {
-		return nil, fmt.Errorf("%w: relu mask %d vs grad %d", ErrNoForward, len(l.mask), gy.Size())
+	if l.fused {
+		return gy, nil
 	}
-	gx := gy.Clone()
-	d := gx.Data()
-	for i := range d {
-		if !l.mask[i] {
-			d[i] = 0
-		}
+	if l.seen != gy.Size() {
+		return nil, fmt.Errorf("%w: relu mask %d vs grad %d", ErrNoForward, l.seen, gy.Size())
 	}
-	return gx, nil
+	return backendOr(l.be).ReLUBwd(gy, &l.ws)
 }
 
 // Params implements Layer.
@@ -126,9 +120,16 @@ func (l *ReLU) ForwardFLOPs(in []int) float64 { return float64(numel(in)) }
 // BackwardFLOPs implements Layer.
 func (l *ReLU) BackwardFLOPs(in []int) float64 { return float64(numel(in)) }
 
-// Flatten reshapes any input to a 1-D vector.
+// Flatten reshapes any input to a 1-D vector. Both directions are zero-copy:
+// the layer keeps two cached view headers (tensor.ViewInto) and repoints them
+// at the incoming storage each step, so flattening performs no allocation or
+// data movement in steady state. The views alias the upstream layer's
+// workspace buffers, which stay valid until that layer's next pass — the
+// same lifetime the downstream consumer already relies on.
 type Flatten struct {
 	inShape []int
+	fwd     *tensor.Tensor
+	bwd     *tensor.Tensor
 }
 
 var _ Layer = (*Flatten)(nil)
@@ -144,16 +145,32 @@ func (l *Flatten) SetBackend(tensor.Backend) {}
 
 // Forward implements Layer.
 func (l *Flatten) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
-	l.inShape = x.Shape()
-	return x.Clone().Reshape(x.Size())
+	if cap(l.inShape) < x.Dims() {
+		l.inShape = make([]int, x.Dims())
+	}
+	l.inShape = l.inShape[:x.Dims()]
+	for i := range l.inShape {
+		l.inShape[i] = x.Dim(i)
+	}
+	v, err := x.ViewInto(l.fwd, x.Size())
+	if err != nil {
+		return nil, err
+	}
+	l.fwd = v
+	return v, nil
 }
 
 // Backward implements Layer.
 func (l *Flatten) Backward(gy *tensor.Tensor) (*tensor.Tensor, error) {
-	if l.inShape == nil {
+	if len(l.inShape) == 0 {
 		return nil, ErrNoForward
 	}
-	return gy.Clone().Reshape(l.inShape...)
+	v, err := gy.ViewInto(l.bwd, l.inShape...)
+	if err != nil {
+		return nil, err
+	}
+	l.bwd = v
+	return v, nil
 }
 
 // Params implements Layer.

@@ -7,9 +7,37 @@ import (
 	"aergia/internal/tensor"
 )
 
+// softmaxXEntInto computes softmax cross-entropy in float64: d holds the
+// logits, gd receives the gradient (softmax minus one-hot), and the loss is
+// returned. It is numerically stabilized by subtracting the max logit. Both
+// dtypes share this reference arithmetic: float32 logits are widened before
+// the call and the gradient narrowed after, so the float64 path is
+// bit-identical to the historical implementation.
+func softmaxXEntInto(d []float64, label int, gd []float64) float64 {
+	maxv := d[0]
+	for _, v := range d {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range d {
+		gd[i] = math.Exp(v - maxv)
+		sum += gd[i]
+	}
+	for i := range gd {
+		gd[i] /= sum
+	}
+	loss := -math.Log(gd[label] + 1e-12)
+	gd[label]--
+	return loss
+}
+
 // SoftmaxCrossEntropy computes the cross-entropy loss of logits against an
 // integer label and the gradient of the loss with respect to the logits.
-// It is numerically stabilized by subtracting the max logit.
+// The gradient tensor has the logits' element type. Training loops should
+// prefer Network.TrainBatch, which reuses a loss workspace instead of
+// allocating per call.
 func SoftmaxCrossEntropy(logits *tensor.Tensor, label int) (loss float64, grad *tensor.Tensor, err error) {
 	if logits.Dims() != 1 {
 		return 0, nil, fmt.Errorf("nn: loss expects 1-D logits, got %v", logits.Shape())
@@ -18,33 +46,20 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, label int) (loss float64, grad *
 	if label < 0 || label >= n {
 		return 0, nil, fmt.Errorf("nn: label %d out of range [0,%d)", label, n)
 	}
-	d := logits.Data()
-	maxv := d[0]
-	for _, v := range d {
-		if v > maxv {
-			maxv = v
-		}
-	}
-	var sum float64
-	exps := make([]float64, n)
-	for i, v := range d {
-		exps[i] = math.Exp(v - maxv)
-		sum += exps[i]
-	}
-	grad = tensor.MustNew(n)
-	gd := grad.Data()
-	for i := range exps {
-		p := exps[i] / sum
-		gd[i] = p
-	}
-	loss = -math.Log(gd[label] + 1e-12)
-	gd[label] -= 1
+	d := make([]float64, n)
+	logits.CopyToF64(d)
+	gd := make([]float64, n)
+	loss = softmaxXEntInto(d, label, gd)
+	grad = tensor.MustNewOf(logits.DType(), n)
+	grad.CopyFromF64(gd)
 	return loss, grad, nil
 }
 
-// Softmax returns the softmax probabilities of the logits.
+// Softmax returns the softmax probabilities of the logits as a float64
+// tensor.
 func Softmax(logits *tensor.Tensor) *tensor.Tensor {
-	d := logits.Data()
+	d := make([]float64, logits.Size())
+	logits.CopyToF64(d)
 	maxv := d[0]
 	for _, v := range d {
 		if v > maxv {

@@ -26,6 +26,16 @@ type Network struct {
 
 	backend        tensor.Backend
 	featuresFrozen bool
+
+	// inBuf is the cached input-conversion tensor used when the backend's
+	// element type differs from the (float64) dataset tensors.
+	inBuf *tensor.Tensor
+	// lossIn/lossGd/lossGrad are the loss workspace: logits widened to
+	// float64, the gradient computed in float64, then narrowed back into a
+	// tensor of the backend dtype. Reused across samples.
+	lossIn   []float64
+	lossGd   []float64
+	lossGrad *tensor.Tensor
 }
 
 // ErrFrozen is returned when an operation requires trainable features but
@@ -33,7 +43,11 @@ type Network struct {
 var ErrFrozen = errors.New("nn: feature section is frozen")
 
 // NewNetwork assembles a network from feature and classifier sections and
-// validates the shape flow from inShape.
+// validates the shape flow from inShape. Adjacent (conv|dense, relu) pairs
+// are fused: the linear layer applies the activation inside its kernels and
+// the ReLU layer becomes a pass-through. The ReLU stays in the layer list so
+// shape propagation, checkpointing, and the FLOP cost model (which drives
+// the simulation's virtual timing) are exactly as before.
 func NewNetwork(inShape []int, features, classifier []Layer) (*Network, error) {
 	n := &Network{
 		InShape:    append([]int(nil), inShape...),
@@ -43,7 +57,38 @@ func NewNetwork(inShape []int, features, classifier []Layer) (*Network, error) {
 	if _, err := n.OutShape(); err != nil {
 		return nil, err
 	}
+	fuseSection(n.Features)
+	fuseSection(n.Classifier)
+	// The first layer's input gradient is discarded by the training loop;
+	// tell its workspace so fast engines can skip computing it. Parameter
+	// gradients are unaffected, so this never changes trained weights.
+	if len(n.Features) > 0 {
+		if l, ok := n.Features[0].(*Conv2DLayer); ok {
+			l.ws.NoInputGrad = true
+		}
+	}
 	return n, nil
+}
+
+// fuseSection marks every ReLU directly preceded by a convolution or dense
+// layer as fused into that layer's kernels. Fusion is bit-preserving: the
+// fused kernels apply the identical element semantics to each finished
+// output value (see tensor.Activation).
+func fuseSection(layers []Layer) {
+	for i := 0; i+1 < len(layers); i++ {
+		r, ok := layers[i+1].(*ReLU)
+		if !ok || r.fused {
+			continue
+		}
+		switch l := layers[i].(type) {
+		case *Conv2DLayer:
+			l.act = tensor.ActReLU
+			r.fused = true
+		case *DenseLayer:
+			l.act = tensor.ActReLU
+			r.fused = true
+		}
+	}
 }
 
 // OutShape propagates the input shape through every layer, validating that
@@ -64,18 +109,50 @@ func (n *Network) OutShape() ([]int, error) {
 	return shape, nil
 }
 
-// SetBackend installs the compute backend on the network and every layer.
-// A nil backend selects the serial reference. Networks are single-sample
-// sequential machines; the backend only parallelizes within operations, so
-// switching backends never changes results (see tensor.Backend).
+// SetBackend installs the compute backend on the network and every layer,
+// and converts every parameter and gradient tensor to the backend's element
+// type (float64→float32 rounds once; tensor pointers stay stable, so
+// optimizer state keyed by tensor identity survives). A nil backend selects
+// the serial float64 reference. For a fixed element type, switching backends
+// never changes results (see tensor.Backend); switching float64→float32
+// starts training from the narrowed reference weights.
 func (n *Network) SetBackend(be tensor.Backend) {
 	n.backend = be
+	dt := backendOr(be).DType()
 	for _, l := range n.Features {
 		l.SetBackend(be)
+		convertAll(l.Params(), dt)
+		convertAll(l.Grads(), dt)
 	}
 	for _, l := range n.Classifier {
 		l.SetBackend(be)
+		convertAll(l.Params(), dt)
+		convertAll(l.Grads(), dt)
 	}
+}
+
+func convertAll(ts []*tensor.Tensor, dt tensor.DType) {
+	for _, t := range ts {
+		t.ConvertTo(dt)
+	}
+}
+
+// adaptInput returns x converted to the backend's element type, staging the
+// conversion in a cached buffer. Float64 backends see the dataset tensor
+// unchanged.
+func (n *Network) adaptInput(x *tensor.Tensor) *tensor.Tensor {
+	dt := backendOr(n.backend).DType()
+	if x.DType() == dt {
+		return x
+	}
+	if n.inBuf == nil || n.inBuf.DType() != dt || !n.inBuf.SameShape(x) {
+		n.inBuf = tensor.MustNewOf(dt, x.Shape()...)
+	}
+	if err := n.inBuf.CopyFrom(x); err != nil {
+		// Shapes were just matched; CopyFrom cannot fail.
+		panic(err)
+	}
+	return n.inBuf
 }
 
 // Backend returns the network's compute backend (never nil).
@@ -89,9 +166,10 @@ func (n *Network) SetFeaturesFrozen(frozen bool) { n.featuresFrozen = frozen }
 // FeaturesFrozen reports whether the feature section is frozen.
 func (n *Network) FeaturesFrozen() bool { return n.featuresFrozen }
 
-// ForwardFeatures runs the ff phase for one sample.
+// ForwardFeatures runs the ff phase for one sample, converting the input to
+// the backend's element type if needed.
 func (n *Network) ForwardFeatures(x *tensor.Tensor) (*tensor.Tensor, error) {
-	h := x
+	h := n.adaptInput(x)
 	var err error
 	for _, l := range n.Features {
 		if h, err = l.Forward(h); err != nil {
@@ -175,7 +253,7 @@ func (n *Network) TrainBatch(xs []*tensor.Tensor, ys []int, opt *SGD) (float64, 
 		if err != nil {
 			return 0, err
 		}
-		loss, grad, err := SoftmaxCrossEntropy(logits, ys[i])
+		loss, grad, err := n.lossAndGrad(logits, ys[i])
 		if err != nil {
 			return 0, err
 		}
@@ -271,8 +349,35 @@ func (n *Network) classifierGrads() []*tensor.Tensor {
 
 func scaleGrads(be tensor.Backend, gs []*tensor.Tensor, a float64) {
 	for _, g := range gs {
-		be.Scale(a, g.Data())
+		be.ScaleT(a, g)
 	}
+}
+
+// lossAndGrad is the workspace form of SoftmaxCrossEntropy: logits are
+// widened into a cached float64 buffer, the loss and gradient are computed
+// in float64 with the exact reference arithmetic, and the gradient is
+// narrowed back into a cached tensor of the logits' element type. The
+// returned tensor is reused on the next call.
+func (n *Network) lossAndGrad(logits *tensor.Tensor, label int) (float64, *tensor.Tensor, error) {
+	if logits.Dims() != 1 {
+		return 0, nil, fmt.Errorf("nn: loss expects 1-D logits, got %v", logits.Shape())
+	}
+	k := logits.Size()
+	if label < 0 || label >= k {
+		return 0, nil, fmt.Errorf("nn: label %d out of range [0,%d)", label, k)
+	}
+	if cap(n.lossIn) < k {
+		n.lossIn = make([]float64, k)
+		n.lossGd = make([]float64, k)
+	}
+	n.lossIn, n.lossGd = n.lossIn[:k], n.lossGd[:k]
+	logits.CopyToF64(n.lossIn)
+	loss := softmaxXEntInto(n.lossIn, label, n.lossGd)
+	if n.lossGrad == nil || n.lossGrad.DType() != logits.DType() || n.lossGrad.Size() != k {
+		n.lossGrad = tensor.MustNewOf(logits.DType(), k)
+	}
+	n.lossGrad.CopyFromF64(n.lossGd)
+	return loss, n.lossGrad, nil
 }
 
 // ParamCount returns the total number of trainable parameters.

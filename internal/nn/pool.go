@@ -13,6 +13,7 @@ type MaxPoolLayer struct {
 	be        tensor.Backend
 	lastArg   []int
 	lastShape []int
+	ws        tensor.Workspace
 }
 
 var _ Layer = (*MaxPoolLayer)(nil)
@@ -26,14 +27,21 @@ func (l *MaxPoolLayer) Name() string { return fmt.Sprintf("maxpool%d", l.Size) }
 // SetBackend implements Layer.
 func (l *MaxPoolLayer) SetBackend(be tensor.Backend) { l.be = be }
 
-// Forward implements Layer.
+// Forward implements Layer. The output and argmax buffers are staged in the
+// layer workspace and reused across steps.
 func (l *MaxPoolLayer) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
-	y, arg, err := backendOr(l.be).MaxPool2D(x, l.Size)
+	y, arg, err := backendOr(l.be).MaxPool2DWS(x, l.Size, &l.ws)
 	if err != nil {
 		return nil, err
 	}
 	l.lastArg = arg
-	l.lastShape = x.Shape()
+	if cap(l.lastShape) < x.Dims() {
+		l.lastShape = make([]int, x.Dims())
+	}
+	l.lastShape = l.lastShape[:x.Dims()]
+	for i := range l.lastShape {
+		l.lastShape[i] = x.Dim(i)
+	}
 	return y, nil
 }
 
@@ -42,7 +50,7 @@ func (l *MaxPoolLayer) Backward(gy *tensor.Tensor) (*tensor.Tensor, error) {
 	if l.lastArg == nil {
 		return nil, ErrNoForward
 	}
-	return backendOr(l.be).MaxPool2DGrad(gy, l.lastArg, l.lastShape)
+	return backendOr(l.be).MaxPool2DGradWS(gy, l.lastArg, l.lastShape, &l.ws)
 }
 
 // Params implements Layer.

@@ -21,14 +21,21 @@ type ResidualBlock struct {
 var _ Layer = (*ResidualBlock)(nil)
 
 // NewResidualBlock returns a residual block over `channels` feature maps
-// with 3×3 kernels and same-padding.
+// with 3×3 kernels and same-padding. The first conv+relu pair is fused at
+// construction: relu1 is kept only for the FLOP cost model (so phase costs
+// are unchanged) while conv1 applies the activation inside its kernels.
+// relu2 cannot fuse because the skip connection adds into conv2's output
+// before the activation.
 func NewResidualBlock(channels int, rng *tensor.RNG) *ResidualBlock {
-	return &ResidualBlock{
+	b := &ResidualBlock{
 		conv1: NewConv2D(channels, channels, 3, 1, 1, rng),
 		relu1: NewReLU(),
 		conv2: NewConv2D(channels, channels, 3, 1, 1, rng),
 		relu2: NewReLU(),
 	}
+	b.conv1.act = tensor.ActReLU
+	b.relu1.fused = true
+	return b
 }
 
 // Name implements Layer.
@@ -45,13 +52,12 @@ func (l *ResidualBlock) SetBackend(be tensor.Backend) {
 	l.relu2.SetBackend(be)
 }
 
-// Forward implements Layer.
+// Forward implements Layer. conv1 applies its fused ReLU internally; the
+// skip addition mutates conv2's workspace output in place, which is safe
+// because conv2's backward reads only its recorded input, not its output.
 func (l *ResidualBlock) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	h, err := l.conv1.Forward(x)
 	if err != nil {
-		return nil, err
-	}
-	if h, err = l.relu1.Forward(h); err != nil {
 		return nil, err
 	}
 	if h, err = l.conv2.Forward(h); err != nil {
@@ -64,20 +70,19 @@ func (l *ResidualBlock) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	return l.relu2.Forward(h)
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The skip gradient needs no clone: it lives in
+// relu2's workspace, which neither conv backward touches, so the buffer is
+// intact when it is added back in after conv1.
 func (l *ResidualBlock) Backward(gy *tensor.Tensor) (*tensor.Tensor, error) {
 	if l.lastSum == nil {
 		return nil, ErrNoForward
 	}
-	g, err := l.relu2.Backward(gy)
+	skip, err := l.relu2.Backward(gy)
 	if err != nil {
 		return nil, err
 	}
-	skip := g.Clone()
-	if g, err = l.conv2.Backward(g); err != nil {
-		return nil, err
-	}
-	if g, err = l.relu1.Backward(g); err != nil {
+	g, err := l.conv2.Backward(skip)
+	if err != nil {
 		return nil, err
 	}
 	if g, err = l.conv1.Backward(g); err != nil {

@@ -21,9 +21,10 @@ type SGD struct {
 	// reference. Network.TrainBatch fills it in from the network when unset.
 	Backend tensor.Backend
 
-	global   []float64 // flattened reference weights for the proximal term
-	refs     map[*tensor.Tensor]refAssign
-	velocity map[*tensor.Tensor][]float64
+	global     []float64 // flattened reference weights for the proximal term
+	refs       map[*tensor.Tensor]refAssign
+	velocity   map[*tensor.Tensor][]float64
+	velocity32 map[*tensor.Tensor][]float32 // momentum state for float32 params
 }
 
 // ErrNoGlobal is returned when a proximal step runs without a reference.
@@ -39,7 +40,10 @@ func (o *SGD) SetGlobalReference(w Weights) {
 	o.global = append(append([]float64(nil), w.Feature...), w.Classifier...)
 }
 
-// Step applies one update to params given grads.
+// Step applies one update to params given grads. Parameter and gradient
+// tensors of either element type are accepted (they must match pairwise);
+// float32 parameters update with float32 arithmetic and float32 momentum
+// state, keeping the step deterministic per dtype.
 func (o *SGD) Step(params, grads []*tensor.Tensor) error {
 	if len(params) != len(grads) {
 		return fmt.Errorf("nn: %d params vs %d grads", len(params), len(grads))
@@ -49,15 +53,17 @@ func (o *SGD) Step(params, grads []*tensor.Tensor) error {
 		if p.Size() != g.Size() {
 			return fmt.Errorf("nn: param %d size %d vs grad %d", i, p.Size(), g.Size())
 		}
-		pd, gd := p.Data(), g.Data()
 		if o.WeightDecay == 0 && o.Mu == 0 && o.Momentum == 0 {
 			// Plain SGD reduces to one fused axpy: p += (-LR)·g. IEEE-754
 			// negation and subtraction commute exactly (a - b == a + (-b)),
-			// so this is bit-identical to the general loop below.
-			if o.Backend != nil {
-				o.Backend.Axpy(-o.LR, gd, pd)
-			} else {
-				tensor.Serial{}.Axpy(-o.LR, gd, pd)
+			// so this is bit-identical to the general loop below. AxpyT
+			// dispatches on the tensors' own dtype.
+			be := o.Backend
+			if be == nil {
+				be = tensor.Serial{}
+			}
+			if err := be.AxpyT(-o.LR, g, p); err != nil {
+				return err
 			}
 			continue
 		}
@@ -69,6 +75,11 @@ func (o *SGD) Step(params, grads []*tensor.Tensor) error {
 			}
 			prox = ref
 		}
+		if p.DType() == tensor.F32 {
+			o.step32(p, g, prox)
+			continue
+		}
+		pd, gd := p.Data(), g.Data()
 		var vel []float64
 		if o.Momentum > 0 {
 			if o.velocity == nil {
@@ -96,6 +107,39 @@ func (o *SGD) Step(params, grads []*tensor.Tensor) error {
 		}
 	}
 	return nil
+}
+
+// step32 is the float32 general update path. Hyperparameters are narrowed
+// once; the (float64) proximal reference is narrowed per element, since the
+// global snapshot stays in the float64 wire format.
+func (o *SGD) step32(p, g *tensor.Tensor, prox []float64) {
+	pd, gd := p.Data32(), g.Data32()
+	lr, wd, mu, mom := float32(o.LR), float32(o.WeightDecay), float32(o.Mu), float32(o.Momentum)
+	var vel []float32
+	if o.Momentum > 0 {
+		if o.velocity32 == nil {
+			o.velocity32 = make(map[*tensor.Tensor][]float32)
+		}
+		vel = o.velocity32[p]
+		if vel == nil {
+			vel = make([]float32, p.Size())
+			o.velocity32[p] = vel
+		}
+	}
+	for j := range pd {
+		eff := gd[j]
+		if wd > 0 {
+			eff += wd * pd[j]
+		}
+		if prox != nil {
+			eff += mu * (pd[j] - float32(prox[j]))
+		}
+		if vel != nil {
+			vel[j] = mom*vel[j] + eff
+			eff = vel[j]
+		}
+		pd[j] -= lr * eff
+	}
 }
 
 // refAssign maps parameter tensors to their slice of the global reference.

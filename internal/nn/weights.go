@@ -49,18 +49,25 @@ func (n *Network) LoadClassifierWeights(vals []float64) error {
 	return unflatten(n.classifierParams(), vals)
 }
 
+// flatten widens parameters of either element type into the float64 wire
+// format: snapshots, aggregation, and codecs all stay float64 regardless of
+// the training dtype.
 func flatten(ps []*tensor.Tensor) []float64 {
 	total := 0
 	for _, p := range ps {
 		total += p.Size()
 	}
-	out := make([]float64, 0, total)
+	out := make([]float64, total)
+	off := 0
 	for _, p := range ps {
-		out = append(out, p.Data()...)
+		p.CopyToF64(out[off : off+p.Size()])
+		off += p.Size()
 	}
 	return out
 }
 
+// unflatten narrows float64 wire values into parameters of either element
+// type.
 func unflatten(ps []*tensor.Tensor, vals []float64) error {
 	total := 0
 	for _, p := range ps {
@@ -71,7 +78,7 @@ func unflatten(ps []*tensor.Tensor, vals []float64) error {
 	}
 	off := 0
 	for _, p := range ps {
-		copy(p.Data(), vals[off:off+p.Size()])
+		p.CopyFromF64(vals[off : off+p.Size()])
 		off += p.Size()
 	}
 	return nil

@@ -65,6 +65,30 @@ func TestSweepExpandDedupsNormalizedCells(t *testing.T) {
 	}
 }
 
+// TestSweepExpandFloat32Axis pins the dtype sweep axis: the float32
+// backends grid like any other backend name, serial32 collapses its
+// workers like serial, and parallel32 keeps distinct worker cells.
+func TestSweepExpandFloat32Axis(t *testing.T) {
+	jobs, err := Sweep{
+		Experiments: []string{"fig4"},
+		Backends:    []string{"serial32", "parallel32"},
+		Workers:     []int{0, 2},
+		Quick:       []bool{true},
+	}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// serial32 × {0,2} dedups to one job; parallel32 × {0,2} stays two.
+	if len(jobs) != 3 {
+		t.Fatalf("expanded %d jobs, want 3 (serial32 deduped, parallel32 per worker count)", len(jobs))
+	}
+	for _, job := range jobs {
+		if be := job.Options.Backend; be != "serial32" && be != "parallel32" {
+			t.Fatalf("job backend %q, want a float32 backend", be)
+		}
+	}
+}
+
 func TestSweepExpandRejectsBadCells(t *testing.T) {
 	if _, err := (Sweep{}).Expand(); err == nil {
 		t.Fatal("empty sweep accepted")

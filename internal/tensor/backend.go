@@ -3,23 +3,37 @@ package tensor
 import "fmt"
 
 // Backend is the pluggable compute substrate behind every tensor operation
-// the neural-network layers perform. Two implementations exist:
+// the neural-network layers perform. Four configurations exist, all stamped
+// from one generic engine (see kernels.go):
 //
-//   - Serial: the original single-threaded kernels (the correctness
-//     reference); and
-//   - Parallel: a worker-pool implementation with row-blocked matrix
-//     multiplication and im2col-based convolution.
+//   - "serial":     single-threaded float64 — the correctness reference;
+//   - "parallel":   worker-pool float64 with row-blocked matrix
+//     multiplication and im2col-based convolution;
+//   - "serial32":   single-threaded float32;
+//   - "parallel32": worker-pool float32.
 //
-// Both implementations are guaranteed to produce bit-identical results for
-// identical inputs: every output element is accumulated in exactly the same
-// floating-point order by both backends (see DESIGN.md, "Determinism").
-// Parallelism only partitions *independent* output elements across workers;
-// it never splits a single reduction.
+// Determinism: backends of the same dtype are guaranteed to produce
+// bit-identical results for identical inputs — every output element is
+// accumulated in exactly the same floating-point order (see DESIGN.md,
+// "Determinism"). Parallelism only partitions *independent* output elements
+// across workers; it never splits a single reduction. The float64 backends
+// are additionally pinned to the historical golden runs; float32 backends
+// are deterministic run-to-run but numerically distinct from float64
+// (results agree within float32 tolerance).
+//
+// The *Fused and *WS methods are the zero-allocation hot path: they stage
+// outputs, gradients, im2col matrices, activation masks, and argmax indices
+// in a caller-owned Workspace (one per layer) and apply activations in the
+// same pass as the linear kernel. Buffers they return are valid until the
+// next call on the same workspace.
 type Backend interface {
-	// Name identifies the backend ("serial" or "parallel").
+	// Name identifies the backend ("serial", "parallel", "serial32", or
+	// "parallel32").
 	Name() string
-	// Workers reports the parallel width (1 for the serial backend).
+	// Workers reports the parallel width (1 for serial backends).
 	Workers() int
+	// DType reports the element type the backend computes in.
+	DType() DType
 
 	// MatMul computes C = A × B for A (m×k) and B (k×n).
 	MatMul(a, b *Tensor) (*Tensor, error)
@@ -34,6 +48,12 @@ type Backend interface {
 	// DenseBackward computes the gradients of DenseForward: it accumulates
 	// gw += gy ⊗ x and gb += gy, and returns gx = Wᵀ gy.
 	DenseBackward(w, x, gy, gw, gb *Tensor) (*Tensor, error)
+	// DenseForwardFused is DenseForward with a fused activation and
+	// workspace-staged output.
+	DenseForwardFused(w, bias, x *Tensor, act Activation, ws *Workspace) (*Tensor, error)
+	// DenseBackwardFused is DenseBackward with the upstream gradient masked
+	// through the fused activation and gx staged in the workspace.
+	DenseBackwardFused(w, x, gy *Tensor, act Activation, gw, gb *Tensor, ws *Workspace) (*Tensor, error)
 
 	// Conv2D computes a 2-D convolution of x (C,H,W) with kernels
 	// w (F,C,KH,KW) and optional bias b (F).
@@ -41,26 +61,51 @@ type Backend interface {
 	// Conv2DGrads computes the gradients of Conv2D with respect to the
 	// input, kernels, and bias.
 	Conv2DGrads(x, w, gy *Tensor, pad, stride int) (gx, gw, gb *Tensor, err error)
+	// Conv2DFused is Conv2D with a fused activation and workspace-staged
+	// output and im2col scratch.
+	Conv2DFused(x, w, b *Tensor, pad, stride int, act Activation, ws *Workspace) (*Tensor, error)
+	// Conv2DGradsFused computes masked conv gradients, accumulating the
+	// weight/bias gradients into gwAcc/gbAcc and returning workspace-owned
+	// gx.
+	Conv2DGradsFused(x, w, gy *Tensor, pad, stride int, act Activation, gwAcc, gbAcc *Tensor, ws *Workspace) (*Tensor, error)
 
 	// MaxPool2D applies non-overlapping max pooling and returns the pooled
 	// tensor plus the flat argmax indices.
 	MaxPool2D(x *Tensor, size int) (*Tensor, []int, error)
 	// MaxPool2DGrad routes gy back through the argmax indices.
 	MaxPool2DGrad(gy *Tensor, arg []int, inShape []int) (*Tensor, error)
+	// MaxPool2DWS is MaxPool2D with workspace-staged output and argmax.
+	MaxPool2DWS(x *Tensor, size int, ws *Workspace) (*Tensor, []int, error)
+	// MaxPool2DGradWS is MaxPool2DGrad with workspace-staged gx.
+	MaxPool2DGradWS(gy *Tensor, arg []int, inShape []int, ws *Workspace) (*Tensor, error)
 
-	// Axpy computes y += a*x element-wise over raw slices (BLAS axpy). The
-	// slices must have equal length.
+	// ReLUFwd computes relu(x) into the workspace and records the mask.
+	ReLUFwd(x *Tensor, ws *Workspace) (*Tensor, error)
+	// ReLUBwd masks gy through the recorded mask into the workspace.
+	ReLUBwd(gy *Tensor, ws *Workspace) (*Tensor, error)
+
+	// Axpy computes y += a*x element-wise over raw float64 slices (BLAS
+	// axpy). The slices must have equal length.
 	Axpy(a float64, x, y []float64)
-	// Scale computes x *= a element-wise over a raw slice.
+	// Scale computes x *= a element-wise over a raw float64 slice.
 	Scale(a float64, x []float64)
+	// AxpyT computes y += a*x over tensors of either dtype.
+	AxpyT(a float64, x, y *Tensor) error
+	// ScaleT computes x *= a over a tensor of either dtype.
+	ScaleT(a float64, x *Tensor)
 }
 
-// Serial is the single-threaded reference backend. Its methods delegate to
-// the original package-level kernels, so it is byte-for-byte the seed
-// implementation.
-type Serial struct{}
+var (
+	_ Backend = Serial{}
+	_ Backend = (*Parallel)(nil)
+	_ Backend = (*engine[float32])(nil)
+	_ Backend = (*engine[float64])(nil)
+)
 
-var _ Backend = Serial{}
+// Serial is the single-threaded float64 reference backend. Its methods
+// delegate to the shared serial float64 engine, which executes the exact
+// operation sequence of the seed implementation.
+type Serial struct{}
 
 // Name implements Backend.
 func (Serial) Name() string { return "serial" }
@@ -68,57 +113,108 @@ func (Serial) Name() string { return "serial" }
 // Workers implements Backend.
 func (Serial) Workers() int { return 1 }
 
+// DType implements Backend.
+func (Serial) DType() DType { return F64 }
+
 // MatMul implements Backend.
-func (Serial) MatMul(a, b *Tensor) (*Tensor, error) { return MatMul(a, b) }
+func (Serial) MatMul(a, b *Tensor) (*Tensor, error) { return serialRef.MatMul(a, b) }
 
 // MatMulTransA implements Backend.
-func (Serial) MatMulTransA(a, b *Tensor) (*Tensor, error) { return MatMulTransA(a, b) }
+func (Serial) MatMulTransA(a, b *Tensor) (*Tensor, error) { return serialRef.MatMulTransA(a, b) }
 
 // MatMulTransB implements Backend.
-func (Serial) MatMulTransB(a, b *Tensor) (*Tensor, error) { return MatMulTransB(a, b) }
+func (Serial) MatMulTransB(a, b *Tensor) (*Tensor, error) { return serialRef.MatMulTransB(a, b) }
 
 // DenseForward implements Backend.
 func (Serial) DenseForward(w, bias, x *Tensor) (*Tensor, error) {
-	return DenseForward(w, bias, x)
+	return serialRef.DenseForward(w, bias, x)
 }
 
 // DenseBackward implements Backend.
 func (Serial) DenseBackward(w, x, gy, gw, gb *Tensor) (*Tensor, error) {
-	return DenseBackward(w, x, gy, gw, gb)
+	return serialRef.DenseBackward(w, x, gy, gw, gb)
+}
+
+// DenseForwardFused implements Backend.
+func (Serial) DenseForwardFused(w, bias, x *Tensor, act Activation, ws *Workspace) (*Tensor, error) {
+	return serialRef.DenseForwardFused(w, bias, x, act, ws)
+}
+
+// DenseBackwardFused implements Backend.
+func (Serial) DenseBackwardFused(w, x, gy *Tensor, act Activation, gw, gb *Tensor, ws *Workspace) (*Tensor, error) {
+	return serialRef.DenseBackwardFused(w, x, gy, act, gw, gb, ws)
 }
 
 // Conv2D implements Backend.
 func (Serial) Conv2D(x, w, b *Tensor, pad, stride int) (*Tensor, error) {
-	return Conv2D(x, w, b, pad, stride)
+	return serialRef.Conv2D(x, w, b, pad, stride)
 }
 
 // Conv2DGrads implements Backend.
 func (Serial) Conv2DGrads(x, w, gy *Tensor, pad, stride int) (*Tensor, *Tensor, *Tensor, error) {
-	return Conv2DGrads(x, w, gy, pad, stride)
+	return serialRef.Conv2DGrads(x, w, gy, pad, stride)
+}
+
+// Conv2DFused implements Backend.
+func (Serial) Conv2DFused(x, w, b *Tensor, pad, stride int, act Activation, ws *Workspace) (*Tensor, error) {
+	return serialRef.Conv2DFused(x, w, b, pad, stride, act, ws)
+}
+
+// Conv2DGradsFused implements Backend.
+func (Serial) Conv2DGradsFused(x, w, gy *Tensor, pad, stride int, act Activation, gwAcc, gbAcc *Tensor, ws *Workspace) (*Tensor, error) {
+	return serialRef.Conv2DGradsFused(x, w, gy, pad, stride, act, gwAcc, gbAcc, ws)
 }
 
 // MaxPool2D implements Backend.
 func (Serial) MaxPool2D(x *Tensor, size int) (*Tensor, []int, error) {
-	return MaxPool2D(x, size)
+	return serialRef.MaxPool2D(x, size)
 }
 
 // MaxPool2DGrad implements Backend.
 func (Serial) MaxPool2DGrad(gy *Tensor, arg []int, inShape []int) (*Tensor, error) {
-	return MaxPool2DGrad(gy, arg, inShape)
+	return serialRef.MaxPool2DGrad(gy, arg, inShape)
 }
+
+// MaxPool2DWS implements Backend.
+func (Serial) MaxPool2DWS(x *Tensor, size int, ws *Workspace) (*Tensor, []int, error) {
+	return serialRef.MaxPool2DWS(x, size, ws)
+}
+
+// MaxPool2DGradWS implements Backend.
+func (Serial) MaxPool2DGradWS(gy *Tensor, arg []int, inShape []int, ws *Workspace) (*Tensor, error) {
+	return serialRef.MaxPool2DGradWS(gy, arg, inShape, ws)
+}
+
+// ReLUFwd implements Backend.
+func (Serial) ReLUFwd(x *Tensor, ws *Workspace) (*Tensor, error) { return serialRef.ReLUFwd(x, ws) }
+
+// ReLUBwd implements Backend.
+func (Serial) ReLUBwd(gy *Tensor, ws *Workspace) (*Tensor, error) { return serialRef.ReLUBwd(gy, ws) }
 
 // Axpy implements Backend.
-func (Serial) Axpy(a float64, x, y []float64) {
-	for i, v := range x {
-		y[i] += a * v
-	}
-}
+func (Serial) Axpy(a float64, x, y []float64) { serialRef.Axpy(a, x, y) }
 
 // Scale implements Backend.
-func (Serial) Scale(a float64, x []float64) {
-	for i := range x {
-		x[i] *= a
-	}
+func (Serial) Scale(a float64, x []float64) { serialRef.Scale(a, x) }
+
+// AxpyT implements Backend.
+func (Serial) AxpyT(a float64, x, y *Tensor) error { return serialRef.AxpyT(a, x, y) }
+
+// ScaleT implements Backend.
+func (Serial) ScaleT(a float64, x *Tensor) { serialRef.ScaleT(a, x) }
+
+// NewSerial32 returns the single-threaded float32 backend.
+func NewSerial32() Backend { return serialRef32 }
+
+// NewParallel32 returns the worker-pool float32 backend drawing from the
+// shared pool of the given width; workers <= 0 selects GOMAXPROCS.
+func NewParallel32(workers int) Backend {
+	return newEngine32("parallel32", getPool(workers))
+}
+
+// BackendNames lists every registered backend name in canonical order.
+func BackendNames() []string {
+	return []string{"serial", "parallel", "serial32", "parallel32"}
 }
 
 // CanonicalBackend validates a backend name and returns its canonical
@@ -127,85 +223,56 @@ func (Serial) Scale(a float64, x []float64) {
 // can call it on untrusted input.
 func CanonicalBackend(name string) (string, error) {
 	switch name {
-	case "", "serial":
+	case "":
 		return "serial", nil
-	case "parallel":
-		return "parallel", nil
+	case "serial", "parallel", "serial32", "parallel32":
+		return name, nil
 	default:
-		return "", fmt.Errorf("tensor: unknown backend %q (want serial or parallel)", name)
+		return "", fmt.Errorf("tensor: unknown backend %q (want serial, parallel, serial32, or parallel32)", name)
 	}
 }
 
-// NewBackend constructs a backend by name: "" or "serial" select the serial
-// reference, "parallel" selects the worker-pool backend with the given
-// worker count (0 = GOMAXPROCS, capped at MaxWorkers).
+// NewBackend constructs a backend by name: "" or "serial" select the float64
+// serial reference, "parallel" the float64 worker-pool backend, and
+// "serial32"/"parallel32" their float32 counterparts. workers applies to the
+// parallel variants (0 = GOMAXPROCS, capped at MaxWorkers).
 func NewBackend(name string, workers int) (Backend, error) {
 	canonical, err := CanonicalBackend(name)
 	if err != nil {
 		return nil, err
 	}
-	if canonical == "parallel" {
+	switch canonical {
+	case "parallel":
 		return NewParallel(workers), nil
+	case "serial32":
+		return NewSerial32(), nil
+	case "parallel32":
+		return NewParallel32(workers), nil
+	default:
+		return Serial{}, nil
 	}
-	return Serial{}, nil
+}
+
+// ReferenceBackend returns the single-threaded backend of the same dtype as
+// be: the backend whose results be is contractually bit-identical to.
+// Evaluator replicas use this so sharded evaluation reproduces the
+// single-backend bits for every dtype.
+func ReferenceBackend(be Backend) Backend {
+	if be != nil && be.DType() == F32 {
+		return NewSerial32()
+	}
+	return Serial{}
 }
 
 // DenseForward computes y = Wx + bias for W (out×in), x (in) and bias (out);
 // bias may be nil. This is the serial reference kernel for dense layers.
 func DenseForward(w, bias, x *Tensor) (*Tensor, error) {
-	if w.Dims() != 2 {
-		return nil, fmt.Errorf("%w: DenseForward wants 2-D weights, got %v", ErrShapeMismatch, w.shape)
-	}
-	out, in := w.shape[0], w.shape[1]
-	if x.Size() != in {
-		return nil, fmt.Errorf("%w: DenseForward input %d, want %d", ErrShapeMismatch, x.Size(), in)
-	}
-	if bias != nil && bias.Size() != out {
-		return nil, fmt.Errorf("%w: DenseForward bias %d, want %d", ErrShapeMismatch, bias.Size(), out)
-	}
-	y := MustNew(out)
-	wd, xd, yd := w.data, x.data, y.data
-	for o := 0; o < out; o++ {
-		row := wd[o*in : (o+1)*in]
-		var s float64
-		if bias != nil {
-			s = bias.data[o]
-		}
-		for i, v := range xd {
-			s += row[i] * v
-		}
-		yd[o] = s
-	}
-	return y, nil
+	return serialRef.DenseForward(w, bias, x)
 }
 
 // DenseBackward computes the gradients of DenseForward: it accumulates
 // gw += gy ⊗ x and gb += gy in place, and returns gx = Wᵀ gy. This is the
 // serial reference kernel for dense layers.
 func DenseBackward(w, x, gy, gw, gb *Tensor) (*Tensor, error) {
-	if w.Dims() != 2 {
-		return nil, fmt.Errorf("%w: DenseBackward wants 2-D weights, got %v", ErrShapeMismatch, w.shape)
-	}
-	out, in := w.shape[0], w.shape[1]
-	if x.Size() != in || gy.Size() != out || gw.Size() != out*in || gb.Size() != out {
-		return nil, fmt.Errorf("%w: DenseBackward sizes x=%d gy=%d gw=%d gb=%d for (%d×%d)",
-			ErrShapeMismatch, x.Size(), gy.Size(), gw.Size(), gb.Size(), out, in)
-	}
-	gx := MustNew(in)
-	wd, xd := w.data, x.data
-	gyd, gxd, gwd, gbd := gy.data, gx.data, gw.data, gb.data
-	for o := 0; o < out; o++ {
-		g := gyd[o]
-		gbd[o] += g
-		if g == 0 {
-			continue
-		}
-		row := wd[o*in : (o+1)*in]
-		grow := gwd[o*in : (o+1)*in]
-		for i, v := range xd {
-			grow[i] += g * v
-			gxd[i] += g * row[i]
-		}
-	}
-	return gx, nil
+	return serialRef.DenseBackward(w, x, gy, gw, gb)
 }

@@ -1,88 +1,19 @@
 package tensor
 
-import "fmt"
+// The package-level kernels below are the float64 serial reference API:
+// thin wrappers over the shared serial engine instantiation. They execute
+// the exact historical operation sequences (the generic engine's float64
+// stamp preserves every loop structure and accumulation order), so results
+// are bit-identical to the seed implementation.
 
 // MatMul computes C = A × B for 2-D tensors A (m×k) and B (k×n).
-func MatMul(a, b *Tensor) (*Tensor, error) {
-	if a.Dims() != 2 || b.Dims() != 2 {
-		return nil, fmt.Errorf("%w: MatMul needs 2-D tensors, got %v and %v",
-			ErrShapeMismatch, a.shape, b.shape)
-	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		return nil, fmt.Errorf("%w: MatMul inner dims %d vs %d", ErrShapeMismatch, k, k2)
-	}
-	c := MustNew(m, n)
-	ad, bd, cd := a.data, b.data, c.data
-	for i := 0; i < m; i++ {
-		arow := ad[i*k : (i+1)*k]
-		crow := cd[i*n : (i+1)*n]
-		for p, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := bd[p*n : (p+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
-	return c, nil
-}
+func MatMul(a, b *Tensor) (*Tensor, error) { return serialRef.MatMul(a, b) }
 
 // MatMulTransA computes C = Aᵀ × B for A (k×m) and B (k×n), yielding m×n.
-func MatMulTransA(a, b *Tensor) (*Tensor, error) {
-	if a.Dims() != 2 || b.Dims() != 2 {
-		return nil, fmt.Errorf("%w: MatMulTransA needs 2-D tensors", ErrShapeMismatch)
-	}
-	k, m := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		return nil, fmt.Errorf("%w: MatMulTransA inner dims %d vs %d", ErrShapeMismatch, k, k2)
-	}
-	c := MustNew(m, n)
-	for p := 0; p < k; p++ {
-		arow := a.data[p*m : (p+1)*m]
-		brow := b.data[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			crow := c.data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
-	return c, nil
-}
+func MatMulTransA(a, b *Tensor) (*Tensor, error) { return serialRef.MatMulTransA(a, b) }
 
 // MatMulTransB computes C = A × Bᵀ for A (m×k) and B (n×k), yielding m×n.
-func MatMulTransB(a, b *Tensor) (*Tensor, error) {
-	if a.Dims() != 2 || b.Dims() != 2 {
-		return nil, fmt.Errorf("%w: MatMulTransB needs 2-D tensors", ErrShapeMismatch)
-	}
-	m, k := a.shape[0], a.shape[1]
-	n, k2 := b.shape[0], b.shape[1]
-	if k != k2 {
-		return nil, fmt.Errorf("%w: MatMulTransB inner dims %d vs %d", ErrShapeMismatch, k, k2)
-	}
-	c := MustNew(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		crow := c.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.data[j*k : (j+1)*k]
-			var s float64
-			for p, av := range arow {
-				s += av * brow[p]
-			}
-			crow[j] = s
-		}
-	}
-	return c, nil
-}
+func MatMulTransB(a, b *Tensor) (*Tensor, error) { return serialRef.MatMulTransB(a, b) }
 
 // Conv2D computes a same/valid 2-D convolution.
 //
@@ -90,56 +21,7 @@ func MatMulTransB(a, b *Tensor) (*Tensor, error) {
 // shape (F). pad is the symmetric zero padding and stride the step. The
 // output has shape (F, OH, OW) with OH=(H+2*pad-KH)/stride+1.
 func Conv2D(x, w, b *Tensor, pad, stride int) (*Tensor, error) {
-	if x.Dims() != 3 || w.Dims() != 4 {
-		return nil, fmt.Errorf("%w: Conv2D wants x (C,H,W) and w (F,C,KH,KW)", ErrShapeMismatch)
-	}
-	cIn, h, wd := x.shape[0], x.shape[1], x.shape[2]
-	f, cK, kh, kw := w.shape[0], w.shape[1], w.shape[2], w.shape[3]
-	if cIn != cK {
-		return nil, fmt.Errorf("%w: Conv2D channels %d vs kernel %d", ErrShapeMismatch, cIn, cK)
-	}
-	if b != nil && b.Size() != f {
-		return nil, fmt.Errorf("%w: Conv2D bias size %d vs filters %d", ErrShapeMismatch, b.Size(), f)
-	}
-	oh := (h+2*pad-kh)/stride + 1
-	ow := (wd+2*pad-kw)/stride + 1
-	if oh <= 0 || ow <= 0 {
-		return nil, fmt.Errorf("%w: Conv2D output %dx%d", ErrBadShape, oh, ow)
-	}
-	out := MustNew(f, oh, ow)
-	xd, wdta, od := x.data, w.data, out.data
-	for fi := 0; fi < f; fi++ {
-		bias := 0.0
-		if b != nil {
-			bias = b.data[fi]
-		}
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				s := bias
-				iy0 := oy*stride - pad
-				ix0 := ox*stride - pad
-				for c := 0; c < cIn; c++ {
-					for ky := 0; ky < kh; ky++ {
-						iy := iy0 + ky
-						if iy < 0 || iy >= h {
-							continue
-						}
-						xrow := xd[(c*h+iy)*wd:]
-						wrow := wdta[((fi*cIn+c)*kh+ky)*kw:]
-						for kx := 0; kx < kw; kx++ {
-							ix := ix0 + kx
-							if ix < 0 || ix >= wd {
-								continue
-							}
-							s += xrow[ix] * wrow[kx]
-						}
-					}
-				}
-				od[(fi*oh+oy)*ow+ox] = s
-			}
-		}
-	}
-	return out, nil
+	return serialRef.Conv2D(x, w, b, pad, stride)
 }
 
 // Conv2DGrads computes the gradients of a Conv2D operation.
@@ -148,110 +30,18 @@ func Conv2D(x, w, b *Tensor, pad, stride int) (*Tensor, error) {
 // w (F,C,KH,KW), it returns (gx, gw, gb): gradients with respect to the
 // input, kernels, and bias.
 func Conv2DGrads(x, w, gy *Tensor, pad, stride int) (gx, gw, gb *Tensor, err error) {
-	if x.Dims() != 3 || w.Dims() != 4 || gy.Dims() != 3 {
-		return nil, nil, nil, fmt.Errorf("%w: Conv2DGrads ranks", ErrShapeMismatch)
-	}
-	cIn, h, wd := x.shape[0], x.shape[1], x.shape[2]
-	f, _, kh, kw := w.shape[0], w.shape[1], w.shape[2], w.shape[3]
-	oh, ow := gy.shape[1], gy.shape[2]
-	if gy.shape[0] != f {
-		return nil, nil, nil, fmt.Errorf("%w: Conv2DGrads filters %d vs %d",
-			ErrShapeMismatch, gy.shape[0], f)
-	}
-	gx = MustNew(cIn, h, wd)
-	gw = MustNew(f, cIn, kh, kw)
-	gb = MustNew(f)
-	xd, wdta := x.data, w.data
-	gyd, gxd, gwd := gy.data, gx.data, gw.data
-	for fi := 0; fi < f; fi++ {
-		var gbias float64
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				g := gyd[(fi*oh+oy)*ow+ox]
-				if g == 0 {
-					continue
-				}
-				gbias += g
-				iy0 := oy*stride - pad
-				ix0 := ox*stride - pad
-				for c := 0; c < cIn; c++ {
-					for ky := 0; ky < kh; ky++ {
-						iy := iy0 + ky
-						if iy < 0 || iy >= h {
-							continue
-						}
-						xrow := xd[(c*h+iy)*wd:]
-						gxrow := gxd[(c*h+iy)*wd:]
-						wrow := wdta[((fi*cIn+c)*kh+ky)*kw:]
-						gwrow := gwd[((fi*cIn+c)*kh+ky)*kw:]
-						for kx := 0; kx < kw; kx++ {
-							ix := ix0 + kx
-							if ix < 0 || ix >= wd {
-								continue
-							}
-							gxrow[ix] += g * wrow[kx]
-							gwrow[kx] += g * xrow[ix]
-						}
-					}
-				}
-			}
-		}
-		gb.data[fi] = gbias
-	}
-	return gx, gw, gb, nil
+	return serialRef.Conv2DGrads(x, w, gy, pad, stride)
 }
 
 // MaxPool2D applies max pooling with a square window and equal stride.
 // Input x has shape (C,H,W); the output has shape (C,H/size,W/size).
 // It also returns the flat argmax indices used by MaxPool2DGrad.
 func MaxPool2D(x *Tensor, size int) (*Tensor, []int, error) {
-	if x.Dims() != 3 {
-		return nil, nil, fmt.Errorf("%w: MaxPool2D wants (C,H,W)", ErrShapeMismatch)
-	}
-	c, h, w := x.shape[0], x.shape[1], x.shape[2]
-	if h%size != 0 || w%size != 0 {
-		return nil, nil, fmt.Errorf("%w: MaxPool2D %dx%d not divisible by %d",
-			ErrBadShape, h, w, size)
-	}
-	oh, ow := h/size, w/size
-	out := MustNew(c, oh, ow)
-	arg := make([]int, c*oh*ow)
-	for ci := 0; ci < c; ci++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				bestIdx := (ci*h+oy*size)*w + ox*size
-				best := x.data[bestIdx]
-				for py := 0; py < size; py++ {
-					for px := 0; px < size; px++ {
-						idx := (ci*h+oy*size+py)*w + ox*size + px
-						if x.data[idx] > best {
-							best = x.data[idx]
-							bestIdx = idx
-						}
-					}
-				}
-				o := (ci*oh+oy)*ow + ox
-				out.data[o] = best
-				arg[o] = bestIdx
-			}
-		}
-	}
-	return out, arg, nil
+	return serialRef.MaxPool2D(x, size)
 }
 
 // MaxPool2DGrad routes the upstream gradient gy back through the argmax
 // indices produced by MaxPool2D, for an input of the given shape.
 func MaxPool2DGrad(gy *Tensor, arg []int, inShape []int) (*Tensor, error) {
-	if len(arg) != gy.Size() {
-		return nil, fmt.Errorf("%w: MaxPool2DGrad arg %d vs gy %d",
-			ErrShapeMismatch, len(arg), gy.Size())
-	}
-	gx, err := New(inShape...)
-	if err != nil {
-		return nil, err
-	}
-	for i, idx := range arg {
-		gx.data[idx] += gy.data[i]
-	}
-	return gx, nil
+	return serialRef.MaxPool2DGrad(gy, arg, inShape)
 }

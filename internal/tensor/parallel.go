@@ -1,523 +1,128 @@
 package tensor
 
-import "fmt"
-
-// Parallel is the worker-pool compute backend: row-blocked matrix
+// Parallel is the worker-pool float64 compute backend: row-blocked matrix
 // multiplication, im2col-based convolution, and channel-partitioned pooling,
 // all executed on a shared pool sized by GOMAXPROCS (or an explicit worker
-// count).
+// count). It is a thin wrapper over the generic engine's float64 pooled
+// configuration.
 //
-// Determinism contract: Parallel is bit-identical to Serial. Work is
-// partitioned only across *independent output elements*; the accumulation
-// order within every single output element is exactly the serial order. The
-// im2col path preserves this too: the extra zero-padding terms it touches
-// contribute ±0.0 to accumulators that can never themselves be -0.0 (they
-// start from +0.0 or a bias and IEEE-754 addition only yields -0.0 from two
-// -0.0 operands), so x + 0.0 == x bit-for-bit along the whole reduction.
+// Determinism contract: Parallel is bit-identical to Serial (see the engine
+// documentation in kernels.go for the full argument, including why the
+// im2col path's explicit ±0.0 padding terms are bit-preserving).
 type Parallel struct {
-	pool *workerPool
+	eng *engine[float64]
 }
-
-var _ Backend = (*Parallel)(nil)
 
 // NewParallel returns a parallel backend drawing from the shared worker pool
 // of the given width; workers <= 0 selects GOMAXPROCS.
 func NewParallel(workers int) *Parallel {
-	return &Parallel{pool: getPool(workers)}
+	return &Parallel{eng: newEngine64("parallel", getPool(workers))}
 }
 
 // Name implements Backend.
-func (p *Parallel) Name() string { return "parallel" }
+func (p *Parallel) Name() string { return p.eng.Name() }
 
 // Workers implements Backend.
-func (p *Parallel) Workers() int { return p.pool.size }
+func (p *Parallel) Workers() int { return p.eng.Workers() }
+
+// DType implements Backend.
+func (p *Parallel) DType() DType { return p.eng.DType() }
 
 // ParallelFor runs fn over contiguous blocks of [0,n) on the backend's
 // shared worker pool and returns when all blocks complete. Callers outside
 // the tensor package (e.g. the federated evaluator sharding a test set) use
 // this instead of spawning their own goroutines so that total parallelism
 // stays bounded by the pool.
-func (p *Parallel) ParallelFor(n int, fn func(lo, hi int)) {
-	p.pool.parallelFor(n, fn)
-}
+func (p *Parallel) ParallelFor(n int, fn func(lo, hi int)) { p.eng.ParallelFor(n, fn) }
 
 // minParallelWork is the approximate number of scalar multiply-adds below
 // which dispatching to the pool costs more than it saves; smaller operations
 // run inline on the calling goroutine (with identical results).
 const minParallelWork = 1 << 13
 
-// MatMul implements Backend: C = A × B, row-blocked over the rows of C.
-func (p *Parallel) MatMul(a, b *Tensor) (*Tensor, error) {
-	if a.Dims() != 2 || b.Dims() != 2 {
-		return nil, fmt.Errorf("%w: MatMul needs 2-D tensors, got %v and %v",
-			ErrShapeMismatch, a.shape, b.shape)
-	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		return nil, fmt.Errorf("%w: MatMul inner dims %d vs %d", ErrShapeMismatch, k, k2)
-	}
-	if p.pool.size == 1 || m*k*n < minParallelWork {
-		return MatMul(a, b)
-	}
-	c := MustNew(m, n)
-	ad, bd, cd := a.data, b.data, c.data
-	p.pool.parallelFor(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := ad[i*k : (i+1)*k]
-			crow := cd[i*n : (i+1)*n]
-			for pp, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := bd[pp*n : (pp+1)*n]
-				for j, bv := range brow {
-					crow[j] += av * bv
-				}
-			}
-		}
-	})
-	return c, nil
-}
+// MatMul implements Backend.
+func (p *Parallel) MatMul(a, b *Tensor) (*Tensor, error) { return p.eng.MatMul(a, b) }
 
-// MatMulTransA implements Backend: C = Aᵀ × B for A (k×m), B (k×n). Rows of
-// C are independent; each row i accumulates over p in ascending order,
-// matching the serial kernel's per-element order.
-func (p *Parallel) MatMulTransA(a, b *Tensor) (*Tensor, error) {
-	if a.Dims() != 2 || b.Dims() != 2 {
-		return nil, fmt.Errorf("%w: MatMulTransA needs 2-D tensors", ErrShapeMismatch)
-	}
-	k, m := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		return nil, fmt.Errorf("%w: MatMulTransA inner dims %d vs %d", ErrShapeMismatch, k, k2)
-	}
-	if p.pool.size == 1 || m*k*n < minParallelWork {
-		return MatMulTransA(a, b)
-	}
-	c := MustNew(m, n)
-	ad, bd, cd := a.data, b.data, c.data
-	p.pool.parallelFor(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			crow := cd[i*n : (i+1)*n]
-			for pp := 0; pp < k; pp++ {
-				av := ad[pp*m+i]
-				if av == 0 {
-					continue
-				}
-				brow := bd[pp*n : (pp+1)*n]
-				for j, bv := range brow {
-					crow[j] += av * bv
-				}
-			}
-		}
-	})
-	return c, nil
-}
+// MatMulTransA implements Backend.
+func (p *Parallel) MatMulTransA(a, b *Tensor) (*Tensor, error) { return p.eng.MatMulTransA(a, b) }
 
-// MatMulTransB implements Backend: C = A × Bᵀ for A (m×k), B (n×k).
-func (p *Parallel) MatMulTransB(a, b *Tensor) (*Tensor, error) {
-	if a.Dims() != 2 || b.Dims() != 2 {
-		return nil, fmt.Errorf("%w: MatMulTransB needs 2-D tensors", ErrShapeMismatch)
-	}
-	m, k := a.shape[0], a.shape[1]
-	n, k2 := b.shape[0], b.shape[1]
-	if k != k2 {
-		return nil, fmt.Errorf("%w: MatMulTransB inner dims %d vs %d", ErrShapeMismatch, k, k2)
-	}
-	if p.pool.size == 1 || m*k*n < minParallelWork {
-		return MatMulTransB(a, b)
-	}
-	c := MustNew(m, n)
-	ad, bd, cd := a.data, b.data, c.data
-	p.pool.parallelFor(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := ad[i*k : (i+1)*k]
-			crow := cd[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := bd[j*k : (j+1)*k]
-				var s float64
-				for pp, av := range arow {
-					s += av * brow[pp]
-				}
-				crow[j] = s
-			}
-		}
-	})
-	return c, nil
-}
+// MatMulTransB implements Backend.
+func (p *Parallel) MatMulTransB(a, b *Tensor) (*Tensor, error) { return p.eng.MatMulTransB(a, b) }
 
-// DenseForward implements Backend: rows of y are independent dot products.
+// DenseForward implements Backend.
 func (p *Parallel) DenseForward(w, bias, x *Tensor) (*Tensor, error) {
-	if w.Dims() != 2 {
-		return nil, fmt.Errorf("%w: DenseForward wants 2-D weights, got %v", ErrShapeMismatch, w.shape)
-	}
-	out, in := w.shape[0], w.shape[1]
-	if x.Size() != in {
-		return nil, fmt.Errorf("%w: DenseForward input %d, want %d", ErrShapeMismatch, x.Size(), in)
-	}
-	if bias != nil && bias.Size() != out {
-		return nil, fmt.Errorf("%w: DenseForward bias %d, want %d", ErrShapeMismatch, bias.Size(), out)
-	}
-	if p.pool.size == 1 || out*in < minParallelWork {
-		return DenseForward(w, bias, x)
-	}
-	y := MustNew(out)
-	wd, xd, yd := w.data, x.data, y.data
-	p.pool.parallelFor(out, func(lo, hi int) {
-		for o := lo; o < hi; o++ {
-			row := wd[o*in : (o+1)*in]
-			var s float64
-			if bias != nil {
-				s = bias.data[o]
-			}
-			for i, v := range xd {
-				s += row[i] * v
-			}
-			yd[o] = s
-		}
-	})
-	return y, nil
+	return p.eng.DenseForward(w, bias, x)
 }
 
-// DenseBackward implements Backend. The parameter gradients partition over
-// output rows; the input gradient partitions over input columns. Each gx[i]
-// accumulates over o in ascending order with the same g==0 skip as the
-// serial kernel, so the reduction order per element is unchanged.
+// DenseBackward implements Backend.
 func (p *Parallel) DenseBackward(w, x, gy, gw, gb *Tensor) (*Tensor, error) {
-	if w.Dims() != 2 {
-		return nil, fmt.Errorf("%w: DenseBackward wants 2-D weights, got %v", ErrShapeMismatch, w.shape)
-	}
-	out, in := w.shape[0], w.shape[1]
-	if x.Size() != in || gy.Size() != out || gw.Size() != out*in || gb.Size() != out {
-		return nil, fmt.Errorf("%w: DenseBackward sizes x=%d gy=%d gw=%d gb=%d for (%d×%d)",
-			ErrShapeMismatch, x.Size(), gy.Size(), gw.Size(), gb.Size(), out, in)
-	}
-	if p.pool.size == 1 || out*in < minParallelWork {
-		return DenseBackward(w, x, gy, gw, gb)
-	}
-	gx := MustNew(in)
-	wd, xd := w.data, x.data
-	gyd, gxd, gwd, gbd := gy.data, gx.data, gw.data, gb.data
-	paramRows := func(lo, hi int) {
-		for o := lo; o < hi; o++ {
-			g := gyd[o]
-			gbd[o] += g
-			if g == 0 {
-				continue
-			}
-			grow := gwd[o*in : (o+1)*in]
-			for i, v := range xd {
-				grow[i] += g * v
-			}
-		}
-	}
-	inputCols := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			var s float64
-			for o := 0; o < out; o++ {
-				g := gyd[o]
-				if g == 0 {
-					continue
-				}
-				s += g * wd[o*in+i]
-			}
-			gxd[i] = s
-		}
-	}
-	p.pool.parallelFor(out, paramRows)
-	p.pool.parallelFor(in, inputCols)
-	return gx, nil
+	return p.eng.DenseBackward(w, x, gy, gw, gb)
 }
 
-// Conv2D implements Backend using im2col: the input is unrolled into a
-// (C·KH·KW)×(OH·OW) column matrix staged in the scratch arena, and the
-// output is a row-blocked matrix product of the (F)×(C·KH·KW) kernel matrix
-// with it, with each output row seeded by the filter bias.
+// DenseForwardFused implements Backend.
+func (p *Parallel) DenseForwardFused(w, bias, x *Tensor, act Activation, ws *Workspace) (*Tensor, error) {
+	return p.eng.DenseForwardFused(w, bias, x, act, ws)
+}
+
+// DenseBackwardFused implements Backend.
+func (p *Parallel) DenseBackwardFused(w, x, gy *Tensor, act Activation, gw, gb *Tensor, ws *Workspace) (*Tensor, error) {
+	return p.eng.DenseBackwardFused(w, x, gy, act, gw, gb, ws)
+}
+
+// Conv2D implements Backend.
 func (p *Parallel) Conv2D(x, w, b *Tensor, pad, stride int) (*Tensor, error) {
-	if x.Dims() != 3 || w.Dims() != 4 {
-		return nil, fmt.Errorf("%w: Conv2D wants x (C,H,W) and w (F,C,KH,KW)", ErrShapeMismatch)
-	}
-	cIn, h, wd := x.shape[0], x.shape[1], x.shape[2]
-	f, cK, kh, kw := w.shape[0], w.shape[1], w.shape[2], w.shape[3]
-	if cIn != cK {
-		return nil, fmt.Errorf("%w: Conv2D channels %d vs kernel %d", ErrShapeMismatch, cIn, cK)
-	}
-	if b != nil && b.Size() != f {
-		return nil, fmt.Errorf("%w: Conv2D bias size %d vs filters %d", ErrShapeMismatch, b.Size(), f)
-	}
-	oh := (h+2*pad-kh)/stride + 1
-	ow := (wd+2*pad-kw)/stride + 1
-	if oh <= 0 || ow <= 0 {
-		return nil, fmt.Errorf("%w: Conv2D output %dx%d", ErrBadShape, oh, ow)
-	}
-	ckk := cIn * kh * kw
-	ohw := oh * ow
-
-	colsBuf := getScratch(ckk * ohw)
-	defer putScratch(colsBuf)
-	cols := *colsBuf
-	xd := x.data
-	fill := func(lo, hi int) {
-		for pp := lo; pp < hi; pp++ {
-			c := pp / (kh * kw)
-			rem := pp % (kh * kw)
-			ky := rem / kw
-			kx := rem % kw
-			colrow := cols[pp*ohw : (pp+1)*ohw]
-			for oy := 0; oy < oh; oy++ {
-				iy := oy*stride - pad + ky
-				dst := colrow[oy*ow : (oy+1)*ow]
-				if iy < 0 || iy >= h {
-					for ox := range dst {
-						dst[ox] = 0
-					}
-					continue
-				}
-				xrow := xd[(c*h+iy)*wd : (c*h+iy+1)*wd]
-				for ox := 0; ox < ow; ox++ {
-					ix := ox*stride - pad + kx
-					if ix < 0 || ix >= wd {
-						dst[ox] = 0
-					} else {
-						dst[ox] = xrow[ix]
-					}
-				}
-			}
-		}
-	}
-	out := MustNew(f, oh, ow)
-	wdta, od := w.data, out.data
-	mul := func(lo, hi int) {
-		for fi := lo; fi < hi; fi++ {
-			crow := od[fi*ohw : (fi+1)*ohw]
-			if b != nil {
-				bias := b.data[fi]
-				for j := range crow {
-					crow[j] = bias
-				}
-			}
-			wrow := wdta[fi*ckk : (fi+1)*ckk]
-			for pp, av := range wrow {
-				if av == 0 {
-					continue
-				}
-				colrow := cols[pp*ohw : (pp+1)*ohw]
-				for j, cv := range colrow {
-					crow[j] += av * cv
-				}
-			}
-		}
-	}
-	if f*ckk*ohw < minParallelWork {
-		fill(0, ckk)
-		mul(0, f)
-	} else {
-		p.pool.parallelFor(ckk, fill)
-		p.pool.parallelFor(f, mul)
-	}
-	return out, nil
+	return p.eng.Conv2D(x, w, b, pad, stride)
 }
 
-// Conv2DGrads implements Backend. The kernel and bias gradients partition
-// over filters (each filter's gradient is written by exactly one worker);
-// the input gradient partitions over input channels, with every worker
-// scanning filters in ascending order so each gx element sees its
-// contributions in the serial order (fi, oy, ox, ky, kx).
+// Conv2DGrads implements Backend.
 func (p *Parallel) Conv2DGrads(x, w, gy *Tensor, pad, stride int) (gx, gw, gb *Tensor, err error) {
-	if x.Dims() != 3 || w.Dims() != 4 || gy.Dims() != 3 {
-		return nil, nil, nil, fmt.Errorf("%w: Conv2DGrads ranks", ErrShapeMismatch)
-	}
-	cIn, h, wd := x.shape[0], x.shape[1], x.shape[2]
-	f, _, kh, kw := w.shape[0], w.shape[1], w.shape[2], w.shape[3]
-	oh, ow := gy.shape[1], gy.shape[2]
-	if gy.shape[0] != f {
-		return nil, nil, nil, fmt.Errorf("%w: Conv2DGrads filters %d vs %d",
-			ErrShapeMismatch, gy.shape[0], f)
-	}
-	// The split into a filters pass and a channels pass rescans gy once per
-	// input channel; that only pays when the passes actually run on several
-	// workers, so low-parallelism cases use the combined serial kernel.
-	if p.pool.size == 1 || f*cIn*kh*kw*oh*ow < minParallelWork {
-		return Conv2DGrads(x, w, gy, pad, stride)
-	}
-	gx = MustNew(cIn, h, wd)
-	gw = MustNew(f, cIn, kh, kw)
-	gb = MustNew(f)
-	xd, wdta := x.data, w.data
-	gyd, gxd, gwd := gy.data, gx.data, gw.data
-
-	filters := func(lo, hi int) {
-		for fi := lo; fi < hi; fi++ {
-			var gbias float64
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					g := gyd[(fi*oh+oy)*ow+ox]
-					if g == 0 {
-						continue
-					}
-					gbias += g
-					iy0 := oy*stride - pad
-					ix0 := ox*stride - pad
-					for c := 0; c < cIn; c++ {
-						for ky := 0; ky < kh; ky++ {
-							iy := iy0 + ky
-							if iy < 0 || iy >= h {
-								continue
-							}
-							xrow := xd[(c*h+iy)*wd:]
-							gwrow := gwd[((fi*cIn+c)*kh+ky)*kw:]
-							for kx := 0; kx < kw; kx++ {
-								ix := ix0 + kx
-								if ix < 0 || ix >= wd {
-									continue
-								}
-								gwrow[kx] += g * xrow[ix]
-							}
-						}
-					}
-				}
-			}
-			gb.data[fi] = gbias
-		}
-	}
-	channels := func(lo, hi int) {
-		for c := lo; c < hi; c++ {
-			for fi := 0; fi < f; fi++ {
-				for oy := 0; oy < oh; oy++ {
-					for ox := 0; ox < ow; ox++ {
-						g := gyd[(fi*oh+oy)*ow+ox]
-						if g == 0 {
-							continue
-						}
-						iy0 := oy*stride - pad
-						ix0 := ox*stride - pad
-						for ky := 0; ky < kh; ky++ {
-							iy := iy0 + ky
-							if iy < 0 || iy >= h {
-								continue
-							}
-							gxrow := gxd[(c*h+iy)*wd:]
-							wrow := wdta[((fi*cIn+c)*kh+ky)*kw:]
-							for kx := 0; kx < kw; kx++ {
-								ix := ix0 + kx
-								if ix < 0 || ix >= wd {
-									continue
-								}
-								gxrow[ix] += g * wrow[kx]
-							}
-						}
-					}
-				}
-			}
-		}
-	}
-	p.pool.parallelFor(f, filters)
-	p.pool.parallelFor(cIn, channels)
-	return gx, gw, gb, nil
+	return p.eng.Conv2DGrads(x, w, gy, pad, stride)
 }
 
-// MaxPool2D implements Backend, partitioned over channels.
+// Conv2DFused implements Backend.
+func (p *Parallel) Conv2DFused(x, w, b *Tensor, pad, stride int, act Activation, ws *Workspace) (*Tensor, error) {
+	return p.eng.Conv2DFused(x, w, b, pad, stride, act, ws)
+}
+
+// Conv2DGradsFused implements Backend.
+func (p *Parallel) Conv2DGradsFused(x, w, gy *Tensor, pad, stride int, act Activation, gwAcc, gbAcc *Tensor, ws *Workspace) (*Tensor, error) {
+	return p.eng.Conv2DGradsFused(x, w, gy, pad, stride, act, gwAcc, gbAcc, ws)
+}
+
+// MaxPool2D implements Backend.
 func (p *Parallel) MaxPool2D(x *Tensor, size int) (*Tensor, []int, error) {
-	if x.Dims() != 3 {
-		return nil, nil, fmt.Errorf("%w: MaxPool2D wants (C,H,W)", ErrShapeMismatch)
-	}
-	c, h, w := x.shape[0], x.shape[1], x.shape[2]
-	if h%size != 0 || w%size != 0 {
-		return nil, nil, fmt.Errorf("%w: MaxPool2D %dx%d not divisible by %d",
-			ErrBadShape, h, w, size)
-	}
-	if p.pool.size == 1 || c*h*w < minParallelWork {
-		return MaxPool2D(x, size)
-	}
-	oh, ow := h/size, w/size
-	out := MustNew(c, oh, ow)
-	arg := make([]int, c*oh*ow)
-	chans := func(lo, hi int) {
-		for ci := lo; ci < hi; ci++ {
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					bestIdx := (ci*h+oy*size)*w + ox*size
-					best := x.data[bestIdx]
-					for py := 0; py < size; py++ {
-						for px := 0; px < size; px++ {
-							idx := (ci*h+oy*size+py)*w + ox*size + px
-							if x.data[idx] > best {
-								best = x.data[idx]
-								bestIdx = idx
-							}
-						}
-					}
-					o := (ci*oh+oy)*ow + ox
-					out.data[o] = best
-					arg[o] = bestIdx
-				}
-			}
-		}
-	}
-	p.pool.parallelFor(c, chans)
-	return out, arg, nil
+	return p.eng.MaxPool2D(x, size)
 }
 
-// MaxPool2DGrad implements Backend. Argmax indices never cross channel
-// boundaries, so partitioning the scatter over channels is race-free and
-// preserves the serial accumulation order within each element.
+// MaxPool2DGrad implements Backend.
 func (p *Parallel) MaxPool2DGrad(gy *Tensor, arg []int, inShape []int) (*Tensor, error) {
-	if len(arg) != gy.Size() {
-		return nil, fmt.Errorf("%w: MaxPool2DGrad arg %d vs gy %d",
-			ErrShapeMismatch, len(arg), gy.Size())
-	}
-	// Non-3-D layouts (or ones whose argmax count does not split evenly by
-	// channel) cannot be partitioned safely; use the serial scatter.
-	if p.pool.size == 1 || len(arg) < minParallelWork ||
-		len(inShape) != 3 || inShape[0] <= 0 || len(arg)%inShape[0] != 0 {
-		return MaxPool2DGrad(gy, arg, inShape)
-	}
-	gx, err := New(inShape...)
-	if err != nil {
-		return nil, err
-	}
-	c := inShape[0]
-	perChan := len(arg) / c
-	chans := func(lo, hi int) {
-		for ci := lo; ci < hi; ci++ {
-			for i := ci * perChan; i < (ci+1)*perChan; i++ {
-				gx.data[arg[i]] += gy.data[i]
-			}
-		}
-	}
-	p.pool.parallelFor(c, chans)
-	return gx, nil
+	return p.eng.MaxPool2DGrad(gy, arg, inShape)
 }
 
-// Axpy implements Backend: y += a*x, chunked across workers.
-func (p *Parallel) Axpy(a float64, x, y []float64) {
-	if len(x) < minParallelWork {
-		for i, v := range x {
-			y[i] += a * v
-		}
-		return
-	}
-	p.pool.parallelFor(len(x), func(lo, hi int) {
-		xs, ys := x[lo:hi], y[lo:hi]
-		for i, v := range xs {
-			ys[i] += a * v
-		}
-	})
+// MaxPool2DWS implements Backend.
+func (p *Parallel) MaxPool2DWS(x *Tensor, size int, ws *Workspace) (*Tensor, []int, error) {
+	return p.eng.MaxPool2DWS(x, size, ws)
 }
 
-// Scale implements Backend: x *= a, chunked across workers.
-func (p *Parallel) Scale(a float64, x []float64) {
-	if len(x) < minParallelWork {
-		for i := range x {
-			x[i] *= a
-		}
-		return
-	}
-	p.pool.parallelFor(len(x), func(lo, hi int) {
-		xs := x[lo:hi]
-		for i := range xs {
-			xs[i] *= a
-		}
-	})
+// MaxPool2DGradWS implements Backend.
+func (p *Parallel) MaxPool2DGradWS(gy *Tensor, arg []int, inShape []int, ws *Workspace) (*Tensor, error) {
+	return p.eng.MaxPool2DGradWS(gy, arg, inShape, ws)
 }
+
+// ReLUFwd implements Backend.
+func (p *Parallel) ReLUFwd(x *Tensor, ws *Workspace) (*Tensor, error) { return p.eng.ReLUFwd(x, ws) }
+
+// ReLUBwd implements Backend.
+func (p *Parallel) ReLUBwd(gy *Tensor, ws *Workspace) (*Tensor, error) { return p.eng.ReLUBwd(gy, ws) }
+
+// Axpy implements Backend.
+func (p *Parallel) Axpy(a float64, x, y []float64) { p.eng.Axpy(a, x, y) }
+
+// Scale implements Backend.
+func (p *Parallel) Scale(a float64, x []float64) { p.eng.Scale(a, x) }
+
+// AxpyT implements Backend.
+func (p *Parallel) AxpyT(a float64, x, y *Tensor) error { return p.eng.AxpyT(a, x, y) }
+
+// ScaleT implements Backend.
+func (p *Parallel) ScaleT(a float64, x *Tensor) { p.eng.ScaleT(a, x) }

@@ -107,12 +107,16 @@ func (p *workerPool) parallelFor(n int, fn func(lo, hi int)) {
 	}
 }
 
-// scratch is a process-wide arena of float64 buffers backed by sync.Pool.
-// The parallel backend stages im2col matrices here so steady-state training
-// performs no per-operation allocations for scratch space.
-var scratch = sync.Pool{New: func() any { b := make([]float64, 0, 1024); return &b }}
+// scratch and scratch32 are process-wide arenas of per-dtype buffers backed
+// by sync.Pool. Pooled backends stage im2col matrices here on the non-fused
+// Conv2D path, so even direct backend calls perform no steady-state scratch
+// allocations; the fused layer path stages in per-layer Workspaces instead.
+var (
+	scratch   = sync.Pool{New: func() any { b := make([]float64, 0, 1024); return &b }}
+	scratch32 = sync.Pool{New: func() any { b := make([]float32, 0, 1024); return &b }}
+)
 
-// getScratch returns a buffer with length n (contents unspecified).
+// getScratch returns a float64 buffer with length n (contents unspecified).
 func getScratch(n int) *[]float64 {
 	bp, ok := scratch.Get().(*[]float64)
 	if !ok || cap(*bp) < n {
@@ -123,5 +127,19 @@ func getScratch(n int) *[]float64 {
 	return bp
 }
 
-// putScratch returns a buffer to the arena.
+// putScratch returns a float64 buffer to the arena.
 func putScratch(bp *[]float64) { scratch.Put(bp) }
+
+// getScratch32 returns a float32 buffer with length n (contents unspecified).
+func getScratch32(n int) *[]float32 {
+	bp, ok := scratch32.Get().(*[]float32)
+	if !ok || cap(*bp) < n {
+		b := make([]float32, n)
+		return &b
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// putScratch32 returns a float32 buffer to the arena.
+func putScratch32(bp *[]float32) { scratch32.Put(bp) }

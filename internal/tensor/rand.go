@@ -88,15 +88,32 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())
 }
 
-// FillNormal fills t with N(0, std²) variates.
+// FillNormal fills t with N(0, std²) variates. Variates are always drawn in
+// float64 and narrowed into float32 storage, so a float32 tensor is filled
+// with exactly the rounded float64 initialization (same RNG stream, same
+// values modulo one rounding) — float32 training starts from the narrowed
+// float64 reference init.
 func (t *Tensor) FillNormal(r *RNG, std float64) {
+	if t.dt == F32 {
+		for i := range t.f32 {
+			t.f32[i] = float32(r.NormFloat64() * std)
+		}
+		return
+	}
 	for i := range t.data {
 		t.data[i] = r.NormFloat64() * std
 	}
 }
 
-// FillUniform fills t with U[lo,hi) variates.
+// FillUniform fills t with U[lo,hi) variates (drawn in float64; see
+// FillNormal for the float32 narrowing contract).
 func (t *Tensor) FillUniform(r *RNG, lo, hi float64) {
+	if t.dt == F32 {
+		for i := range t.f32 {
+			t.f32[i] = float32(lo + r.Float64()*(hi-lo))
+		}
+		return
+	}
 	for i := range t.data {
 		t.data[i] = lo + r.Float64()*(hi-lo)
 	}
