@@ -13,6 +13,8 @@
 //	aergia -list                                  # list experiment IDs
 //	aergia -sweep '{"experiments":["fig6"],"seeds":[1,2,3]}' -store out.jsonl
 //	aergia -sweep @grid.json -store out.jsonl -jobs 4
+//	aergia -experiment fig4 -quick -trace-out run.json   # Perfetto-loadable timeline
+//	aergia -experiment fig4 -quick -metrics-out metrics.prom  # final metrics scrape
 //
 // The -backend flag selects the compute backend for all model math: serial
 // and parallel are the float64 pair, serial32 and parallel32 the float32
@@ -68,7 +70,9 @@ import (
 	"aergia/internal/experiments"
 	"aergia/internal/fl"
 	"aergia/internal/metrics"
+	"aergia/internal/obs"
 	"aergia/internal/runner"
+	"aergia/internal/trace"
 )
 
 func main() {
@@ -94,11 +98,15 @@ func run(args []string, out io.Writer) error {
 			"fault schedule spec, e.g. 'churn=0.3,rejoin=1,window=2s' (keys: "+chaos.SpecKeys()+")")
 		codecName = fs.String("codec", "none",
 			"wire codec for model-update payloads: "+codec.Names())
-		jsonOut   = fs.Bool("json", false, "emit canonical JSON result records instead of text reports")
-		sweepSpec = fs.String("sweep", "", "run a sweep grid: inline JSON spec or @file")
-		storePath = fs.String("store", "", "result store for -sweep (JSONL, append-only, resumable)")
-		jobs      = fs.Int("jobs", 0, "concurrent jobs for -sweep (0 = GOMAXPROCS)")
-		list      = fs.Bool("list", false, "list available experiments")
+		jsonOut    = fs.Bool("json", false, "emit canonical JSON result records instead of text reports")
+		sweepSpec  = fs.String("sweep", "", "run a sweep grid: inline JSON spec or @file")
+		storePath  = fs.String("store", "", "result store for -sweep (JSONL, append-only, resumable)")
+		jobs       = fs.Int("jobs", 0, "concurrent jobs for -sweep (0 = GOMAXPROCS)")
+		list       = fs.Bool("list", false, "list available experiments")
+		metricsOut = fs.String("metrics-out", "",
+			"write a final Prometheus text-format metrics dump to this file")
+		traceOut = fs.String("trace-out", "",
+			"write the run's event timeline as Chrome trace-event JSON (Perfetto/chrome://tracing) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -132,7 +140,9 @@ func run(args []string, out io.Writer) error {
 		var conflicts []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "experiment", "quick", "seed", "backend", "workers", "transport", "transport-timeout", "chaos", "codec":
+			// -trace-out conflicts too: one trace file cannot attribute
+			// events across a grid of concurrent runs.
+			case "experiment", "quick", "seed", "backend", "workers", "transport", "transport-timeout", "chaos", "codec", "trace-out":
 				conflicts = append(conflicts, "-"+f.Name)
 			}
 		})
@@ -140,7 +150,10 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-sweep defines its own grid; drop %s and put the axes in the spec",
 				strings.Join(conflicts, ", "))
 		}
-		return runSweep(*sweepSpec, *storePath, *jobs, *jsonOut, out)
+		if err := runSweep(*sweepSpec, *storePath, *jobs, *jsonOut, out); err != nil {
+			return err
+		}
+		return dumpMetrics(*metricsOut)
 	}
 	if *storePath != "" || *jobs != 0 {
 		// Persistence and job slots belong to sweep mode; silently ignoring
@@ -156,6 +169,9 @@ func run(args []string, out io.Writer) error {
 		Backend: *backend, Workers: *workers,
 		Transport: *transport, TransportTimeout: *transportTimeout,
 		Chaos: chaosPlan, Codec: *codecName,
+	}
+	if *traceOut != "" {
+		opt.Trace = trace.NewLog()
 	}
 	names := []string{*experiment}
 	if *experiment == "all" {
@@ -182,6 +198,48 @@ func run(args []string, out io.Writer) error {
 		if err := rec.Render(out); err != nil {
 			return fmt.Errorf("experiment %s: %w", name, err)
 		}
+	}
+	if err := dumpTrace(*traceOut, opt.Trace); err != nil {
+		return err
+	}
+	return dumpMetrics(*metricsOut)
+}
+
+// dumpTrace writes the collected timeline as Chrome trace-event JSON.
+func dumpTrace(path string, log *trace.Log) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace out: %w", err)
+	}
+	if err := log.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace out: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace out: %w", err)
+	}
+	return nil
+}
+
+// dumpMetrics writes a final scrape of the process registry — the batch
+// counterpart of aergiad's GET /metrics.
+func dumpMetrics(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics out: %w", err)
+	}
+	if err := obs.Default.WriteText(f); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics out: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("metrics out: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunTraceAndMetricsOut covers the observability dump flags: the trace
+// file is Chrome trace-event JSON with a populated timeline, and the
+// metrics file is a Prometheus text scrape including the bandwidth ledger
+// and round families the run must have moved.
+func TestRunTraceAndMetricsOut(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.json")
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	var out bytes.Buffer
+	err := run([]string{
+		"-experiment", "fig6", "-quick", "-seed", "11",
+		"-trace-out", tracePath, "-metrics-out", metricsPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exported struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceData, &exported); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if exported.DisplayTimeUnit != "ms" || len(exported.TraceEvents) == 0 {
+		t.Fatalf("trace export = unit %q with %d events",
+			exported.DisplayTimeUnit, len(exported.TraceEvents))
+	}
+	var sawRound bool
+	for _, e := range exported.TraceEvents {
+		if e.Name == "round-start" && e.Phase == "X" {
+			sawRound = true
+		}
+	}
+	if !sawRound {
+		t.Fatal("trace export has no round spans")
+	}
+
+	metricsData, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape := string(metricsData)
+	for _, family := range []string{
+		`aergia_bandwidth_bytes_total{class="dispatch"}`,
+		`aergia_bandwidth_bytes_total{class="update"}`,
+		"# TYPE aergia_round_duration_seconds histogram",
+		"# TYPE aergia_comm_messages_total counter",
+	} {
+		if !strings.Contains(scrape, family) {
+			t.Fatalf("metrics dump missing %q:\n%s", family, scrape)
+		}
+	}
+}
+
+// TestRunTraceOutConflictsWithSweep: one trace file cannot attribute
+// events across a concurrent grid, so the flag pair is a loud error.
+func TestRunTraceOutConflictsWithSweep(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-sweep", `{"experiments":["fig4"],"quick":[true]}`,
+		"-trace-out", filepath.Join(t.TempDir(), "run.json"),
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-trace-out") {
+		t.Fatalf("err = %v, want a -trace-out conflict", err)
+	}
+}

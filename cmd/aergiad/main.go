@@ -16,6 +16,8 @@
 //	GET  /jobs        list jobs; ?status=done&experiment=fig6 filters
 //	GET  /jobs/{id}   one job with its result record
 //	GET  /healthz     liveness + queue counters
+//	GET  /metrics     Prometheus text exposition (runner queue, bandwidth ledger, ...)
+//	GET  /debug/pprof/*  runtime profiles (opt-in via -pprof)
 package main
 
 import (
@@ -26,29 +28,32 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"aergia/internal/experiments"
+	"aergia/internal/obs"
 	"aergia/internal/runner"
 )
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		store = flag.String("store", "aergiad.jsonl", "append-only JSONL result store path")
-		jobs  = flag.Int("jobs", 0, "concurrent job slots (0 = GOMAXPROCS)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		store     = flag.String("store", "aergiad.jsonl", "append-only JSONL result store path")
+		jobs      = flag.Int("jobs", 0, "concurrent job slots (0 = GOMAXPROCS)")
+		withPprof = flag.Bool("pprof", false, "serve /debug/pprof/* runtime profiles")
 	)
 	flag.Parse()
-	if err := serve(*addr, *store, *jobs); err != nil {
+	if err := serve(*addr, *store, *jobs, *withPprof); err != nil {
 		fmt.Fprintln(os.Stderr, "aergiad:", err)
 		os.Exit(1)
 	}
 }
 
-func serve(addr, storePath string, jobs int) error {
+func serve(addr, storePath string, jobs int, withPprof bool) error {
 	st, err := runner.Open(storePath)
 	if err != nil {
 		return err
@@ -74,7 +79,7 @@ func serve(addr, storePath string, jobs int) error {
 
 	srv := &http.Server{
 		Addr:    addr,
-		Handler: newServer(r, st),
+		Handler: newServer(r, st, withPprof),
 		// Requests and responses are small JSON; generous deadlines still
 		// stop a slow or stalled client from pinning a connection forever.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -109,14 +114,23 @@ type server struct {
 }
 
 // newServer builds the daemon's HTTP handler; split from serve so tests
-// can mount it on httptest servers.
-func newServer(r *runner.Runner, st *runner.Store) http.Handler {
+// can mount it on httptest servers. The pprof endpoints are opt-in: the
+// daemon may face a shared network, and profiles leak more than metrics.
+func newServer(r *runner.Runner, st *runner.Store, withPprof bool) http.Handler {
 	s := &server{runner: r, store: st, start: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", obs.Handler(obs.Default))
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

@@ -75,7 +75,7 @@ func newTestServer(t *testing.T, storePath string, opts ...runner.Option) (*http
 		t.Fatal(err)
 	}
 	r := runner.New(st, 4, opts...)
-	ts := httptest.NewServer(newServer(r, st))
+	ts := httptest.NewServer(newServer(r, st, false))
 	var once sync.Once
 	stop := func() {
 		once.Do(func() {

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"aergia/internal/runner"
+)
+
+func getBody(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.String()
+}
+
+// TestDaemonMetricsEndpoint covers GET /metrics: valid Prometheus text
+// with the runner families present and moving as jobs finish.
+func TestDaemonMetricsEndpoint(t *testing.T) {
+	ts, _, _ := newTestServer(t, filepath.Join(t.TempDir(), "store.jsonl"),
+		runner.WithExecutor(func(j runner.Job) (json.RawMessage, error) {
+			return json.RawMessage(`{"ok":true}`), nil
+		}))
+
+	resp, body := getBody(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	if resp, _ := postJSON(t, ts.URL+"/jobs",
+		`{"sweep":{"experiments":["fig4","table1"],"quick":[true]}}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	waitDone(t, ts.URL, 2)
+
+	_, body = getBody(t, ts.URL+"/metrics")
+	for _, family := range []string{
+		"# TYPE aergia_runner_queue_depth gauge",
+		"# TYPE aergia_runner_active_jobs gauge",
+		"# TYPE aergia_runner_jobs_total counter",
+		"# TYPE aergia_runner_job_seconds histogram",
+		`aergia_runner_jobs_total{status="done"}`,
+	} {
+		if !strings.Contains(body, family) {
+			t.Fatalf("metrics missing %q:\n%s", family, body)
+		}
+	}
+	// Every non-comment line must parse as `name{labels} value`.
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+}
+
+// TestDaemonPprofOptIn pins that /debug/pprof is absent by default and
+// served when the flag enables it.
+func TestDaemonPprofOptIn(t *testing.T) {
+	st, err := runner.Open(filepath.Join(t.TempDir(), "store.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	r := runner.New(st, 1)
+	defer r.Close()
+
+	off := httptest.NewServer(newServer(r, st, false))
+	defer off.Close()
+	if resp, _ := getBody(t, off.URL+"/debug/pprof/"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof off = %d, want 404", resp.StatusCode)
+	}
+
+	on := httptest.NewServer(newServer(r, st, true))
+	defer on.Close()
+	resp, body := getBody(t, on.URL+"/debug/pprof/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof on = %d, body %q", resp.StatusCode, body)
+	}
+}
+
+// TestDaemonHealthzJobLifecycle asserts the /healthz queue counters move
+// across a job's life: queued behind a blocked slot, running while the
+// executor holds it, and done after release — not just a 200.
+func TestDaemonHealthzJobLifecycle(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan string, 8)
+	st, err := runner.Open(filepath.Join(t.TempDir(), "store.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	r := runner.New(st, 1, runner.WithExecutor(func(j runner.Job) (json.RawMessage, error) {
+		started <- j.ID()
+		<-release
+		return json.RawMessage(`{"ok":true}`), nil
+	}))
+	defer r.Close()
+	ts := httptest.NewServer(newServer(r, st, false))
+	defer ts.Close()
+
+	counts := func() map[string]int {
+		var health struct {
+			Status string         `json:"status"`
+			Jobs   map[string]int `json:"jobs"`
+		}
+		if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+			t.Fatalf("healthz = %d", code)
+		}
+		if health.Status != "ok" {
+			t.Fatalf("healthz status = %q", health.Status)
+		}
+		return health.Jobs
+	}
+
+	if got := counts(); len(got) != 0 {
+		t.Fatalf("fresh daemon jobs = %v, want none", got)
+	}
+
+	// Two distinct jobs on one slot: the first occupies it, the second
+	// queues behind it.
+	for seed := 1; seed <= 2; seed++ {
+		body := fmt.Sprintf(`{"experiment":"fig4","options":{"quick":true,"seed":%d}}`, seed)
+		if resp, out := postJSON(t, ts.URL+"/jobs", body); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit = %d: %s", resp.StatusCode, out)
+		}
+	}
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("executor never started")
+	}
+	got := counts()
+	if got["running"] != 1 || got["queued"] != 1 {
+		t.Fatalf("mid-flight jobs = %v, want 1 running and 1 queued", got)
+	}
+
+	close(release)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got = counts()
+		if got["done"] == 2 && got["running"] == 0 && got["queued"] == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("final jobs = %v, want 2 done", got)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"aergia/internal/nn"
 	"aergia/internal/sim"
 	"aergia/internal/tensor"
+	"aergia/internal/trace"
 )
 
 // Options tunes the experiment scale. The JSON encoding is part of the
@@ -68,6 +69,11 @@ type Options struct {
 	// their content-hash job IDs) stay byte-identical to the pre-codec
 	// schema and existing result stores keep deduping and resuming.
 	Codec string `json:"codec,omitempty"`
+	// Trace, when set, collects the full event timeline of every
+	// synchronous FL run in the experiment (the CLI's -trace-out). It is
+	// excluded from the JSON encoding — observation must never split the
+	// record schema or the content-hash job IDs.
+	Trace *trace.Log `json:"-"`
 }
 
 // seed resolves the default seed through the one normalization rule every
@@ -223,6 +229,7 @@ func (o Options) baseConfig(kind dataset.Kind, strat fl.Strategy) (fl.Config, er
 		Codec:            o.Codec,
 		Transport:        o.Transport,
 		TransportTimeout: o.TransportTimeout,
+		Trace:            o.Trace,
 	}, nil
 }
 

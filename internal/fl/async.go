@@ -204,6 +204,7 @@ func (f *AsyncFederator) dispatch(env comm.Env, to comm.NodeID) {
 		if f.finished || f.pending[to] != seq || f.down[to] {
 			return
 		}
+		flm().redispatch.Inc()
 		f.logf("async: client %d silent for %v, re-dispatching", to, f.RedispatchAfter)
 		f.dispatch(env, to)
 	})
@@ -283,6 +284,9 @@ func (f *AsyncFederator) OnMessage(env comm.Env, msg comm.Message) {
 	f.version++
 	f.absorbed++
 	f.results.stalenessSum += staleness
+	m := flm()
+	m.asyncUpdates.Inc()
+	m.staleness.Observe(float64(staleness))
 
 	if f.Evaluate != nil && (f.absorbed%f.EvalEvery == 0 || f.absorbed == f.TotalUpdates) {
 		acc, err := f.Evaluate(f.global.SnapshotWeights())
@@ -323,10 +327,12 @@ func (f *AsyncFederator) OnMessage(env comm.Env, msg comm.Message) {
 func (f *AsyncFederator) onFault(env comm.Env, p comm.FaultPayload) {
 	if p.Down {
 		f.down[p.Node] = true
+		flm().downAsync.Inc()
 		f.logf("async: client %d crashed", p.Node)
 		return
 	}
 	delete(f.down, p.Node)
+	flm().rejoinAsync.Inc()
 	f.logf("async: client %d rejoined", p.Node)
 	if !f.finished {
 		f.dispatch(env, p.Node)

@@ -7,6 +7,7 @@ import (
 	"aergia/internal/cluster"
 	"aergia/internal/dataset"
 	"aergia/internal/nn"
+	"aergia/internal/obs"
 	"aergia/internal/sim"
 	"aergia/internal/tensor"
 )
@@ -92,8 +93,10 @@ func RunAsync(cfg AsyncConfig) (*AsyncResults, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Same fault-layer wrap as Run; a zero plan is a pass-through.
+	// Same fault-layer wrap as Run; a zero plan is a pass-through, and the
+	// obs wrap outermost is passive instrumentation (see internal/obs).
 	transport = chaos.Wrap(transport, cl.Topology.Chaos, cl.Topology.Seed)
+	transport = obs.WrapTransport(transport, obs.Default)
 	dep := &Deployment{Cluster: cl, Transport: transport}
 	res, err := dep.RunAsync()
 	if cerr := transport.Close(); err == nil {

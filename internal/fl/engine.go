@@ -8,6 +8,7 @@ import (
 	"aergia/internal/cluster"
 	"aergia/internal/dataset"
 	"aergia/internal/nn"
+	"aergia/internal/obs"
 	"aergia/internal/sim"
 	"aergia/internal/tensor"
 	"aergia/internal/trace"
@@ -144,6 +145,10 @@ func Run(cfg Config) (*Results, error) {
 	// untouched (chaos.Wrap returns the inner transport), keeping the
 	// fault-free path bit-identical. Build normalized the plan.
 	transport = chaos.Wrap(transport, cl.Topology.Chaos, cl.Topology.Seed)
+	// Instrumentation wraps outermost so sent counts what actors emit and
+	// delivered counts what survived the fault layer; it is passive and
+	// keeps the run bit-identical (see internal/obs).
+	transport = obs.WrapTransport(transport, obs.Default)
 	dep := &Deployment{Cluster: cl, Transport: transport}
 	res, err := dep.Run()
 	if cerr := transport.Close(); err == nil {

@@ -87,6 +87,11 @@ type Federator struct {
 	deadline    comm.Timer
 	finished    bool
 
+	// firstUpdateAt is the round's first update-arrival time; the gap to
+	// finalizeRound is the straggler wait the metrics expose.
+	firstUpdateAt   time.Duration
+	haveFirstUpdate bool
+
 	// Liveness (fault notifications, comm.KindFault). down is the current
 	// membership view; deadRound marks selected clients lost to this round
 	// — a client that crashed mid-round stays lost even if it rejoins
@@ -161,6 +166,7 @@ func (f *Federator) startRound(env comm.Env) {
 	f.features = make(map[comm.NodeID][]float64)
 	f.finished = false
 	f.pastDeadline = false
+	f.haveFirstUpdate = false
 	f.deadRound = make(map[comm.NodeID]bool)
 	for _, id := range f.selected {
 		if f.down[id] {
@@ -297,6 +303,10 @@ func (f *Federator) OnMessage(env comm.Env, msg comm.Message) {
 				return
 			}
 			u.Weights = w
+		}
+		if !f.haveFirstUpdate {
+			f.haveFirstUpdate = true
+			f.firstUpdateAt = env.Now()
 		}
 		f.updates[u.Client] = u
 		f.maybeFinalize(env)
@@ -472,6 +482,7 @@ func (f *Federator) maybeFinalize(env comm.Env) {
 func (f *Federator) onFault(env comm.Env, p comm.FaultPayload) {
 	if !p.Down {
 		delete(f.down, p.Node)
+		flm().rejoinSync.Inc()
 		f.logf("federator: client %d rejoined", p.Node)
 		f.Trace.Record(env.Now(), comm.FederatorID, f.round, trace.NodeRejoin,
 			fmt.Sprintf("client %d rejoined", p.Node))
@@ -492,6 +503,7 @@ func (f *Federator) onFault(env comm.Env, p comm.FaultPayload) {
 		return
 	}
 	f.down[p.Node] = true
+	flm().downSync.Inc()
 	f.Trace.Record(env.Now(), comm.FederatorID, f.round, trace.NodeCrash,
 		fmt.Sprintf("client %d crashed", p.Node))
 	if f.finished || !f.selectedSet[p.Node] {
@@ -568,6 +580,7 @@ func (f *Federator) reassignOffload(env comm.Env, weak comm.NodeID, pair sched.P
 	newPair := pair
 	newPair.Strong = strong
 	f.pairs[weak] = newPair
+	flm().reassigned.Inc()
 	f.Trace.Record(env.Now(), comm.FederatorID, f.round, trace.OffloadReassigned,
 		fmt.Sprintf("weak %d: strong %d -> %d", weak, pair.Strong, strong))
 	for _, d := range []sched.Directive{
@@ -648,6 +661,13 @@ func (f *Federator) finalizeRound(env comm.Env) {
 			stats.Accuracy = acc
 			f.results.FinalAccuracy = acc
 		}
+	}
+	m := flm()
+	m.rounds.Inc()
+	m.roundDur.Observe(stats.Duration.Seconds())
+	m.offloads.Add(float64(stats.Offloads))
+	if f.haveFirstUpdate {
+		m.stragglerWait.Observe((env.Now() - f.firstUpdateAt).Seconds())
 	}
 	f.Trace.Record(env.Now(), comm.FederatorID, f.round, trace.RoundEnd,
 		fmt.Sprintf("duration %v, %d updates, %d offloads",

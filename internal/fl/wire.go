@@ -124,22 +124,30 @@ type Bandwidth struct {
 
 // Count records one sent message. It is called at every actor send site
 // with the message's true encoded Size, so the counters measure exactly
-// what the transports charge for (sim bandwidth delay) or move (TCP).
+// what the transports charge for (sim bandwidth delay) or move (TCP). Each
+// count also feeds the process-wide aergia_bandwidth_bytes_total family, so
+// a /metrics scrape mid-run sees the ledger move live.
 func (b *Bandwidth) Count(kind comm.Kind, size int) {
 	if b == nil {
 		return
 	}
+	m := flm()
 	switch kind {
 	case comm.KindTrain:
 		b.dispatch.Add(int64(size))
+		m.bwDispatch.Add(float64(size))
 	case comm.KindUpdate:
 		b.update.Add(int64(size))
+		m.bwUpdate.Add(float64(size))
 	case comm.KindOffload:
 		b.offload.Add(int64(size))
+		m.bwOffload.Add(float64(size))
 	case comm.KindOffloadResult:
 		b.result.Add(int64(size))
+		m.bwResult.Add(float64(size))
 	default:
 		b.control.Add(int64(size))
+		m.bwControl.Add(float64(size))
 	}
 }
 

@@ -35,14 +35,21 @@ func Summarize(xs []float64) (Summary, error) {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
-	var sum, sq float64
+	var sum float64
 	for _, v := range sorted {
 		sum += v
-		sq += v * v
 	}
 	n := float64(len(sorted))
 	mean := sum / n
-	variance := sq/n - mean*mean
+	// Two-pass variance: E[(x-mean)^2]. The one-pass E[x^2]-mean^2 form
+	// cancels catastrophically when the spread is tiny relative to the
+	// magnitude (e.g. wall-clock timestamps), collapsing Std to 0.
+	var sq float64
+	for _, v := range sorted {
+		d := v - mean
+		sq += d * d
+	}
+	variance := sq / n
 	if variance < 0 {
 		variance = 0
 	}

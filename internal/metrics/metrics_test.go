@@ -21,6 +21,39 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+// TestSummarizeOffsetVariance is a regression test for catastrophic
+// cancellation: with samples at a large offset (1e8) and small spread,
+// the old one-pass E[x^2]-mean^2 variance lost every significant digit
+// and reported Std = 0. The two-pass form must keep full precision.
+func TestSummarizeOffsetVariance(t *testing.T) {
+	const offset = 1e8
+	noise := []float64{-2, -1, 0, 1, 2} // variance 2, std sqrt(2)
+	xs := make([]float64, len(noise))
+	for i, v := range noise {
+		xs[i] = offset + v
+	}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Mean-offset) > 1e-6 {
+		t.Fatalf("mean = %v, want %v", s.Mean, offset)
+	}
+	want := math.Sqrt(2)
+	if math.Abs(s.Std-want) > 1e-9 {
+		t.Fatalf("std = %v, want %v (catastrophic cancellation?)", s.Std, want)
+	}
+
+	// A constant sample stays exactly zero, not a small negative sqrt'd.
+	s, err = Summarize([]float64{offset, offset, offset})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Std != 0 {
+		t.Fatalf("constant-sample std = %v, want 0", s.Std)
+	}
+}
+
 func TestSummarizeEmpty(t *testing.T) {
 	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
 		t.Fatalf("err = %v, want ErrEmpty", err)

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText writes the registry in the Prometheus text exposition format
+// (version 0.0.4): families sorted by name, children sorted by label
+// values, histograms with cumulative buckets plus _sum and _count. The
+// output is deterministic for a fixed registry state, so scrapes diff
+// cleanly and the CI smoke can assert on exact family lines.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	families := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		families = append(families, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(families, func(i, j int) bool { return families[i].name < families[j].name })
+	for _, f := range families {
+		if err := f.writeText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sample is one (labels, instrument) pair snapshotted under the family
+// lock.
+type sample struct {
+	values []string
+	inst   any
+}
+
+func (f *family) writeText(w io.Writer) error {
+	f.mu.Lock()
+	samples := make([]sample, 0, len(f.order))
+	for _, key := range f.order {
+		var values []string
+		if key != "" || len(f.labels) > 0 {
+			values = strings.Split(key, "\x1f")
+		}
+		samples = append(samples, sample{values: values, inst: f.children[key]})
+	}
+	fn := f.fn
+	f.mu.Unlock()
+	sort.Slice(samples, func(i, j int) bool {
+		return strings.Join(samples[i].values, "\x1f") < strings.Join(samples[j].values, "\x1f")
+	})
+
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+		f.name, escapeHelp(f.help), f.name, f.typ); err != nil {
+		return err
+	}
+	if fn != nil {
+		_, err := fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(fn()))
+		return err
+	}
+	for _, s := range samples {
+		if err := f.writeSample(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeSample(w io.Writer, s sample) error {
+	labels := labelString(f.labels, s.values)
+	switch inst := s.inst.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatFloat(inst.Value()))
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatFloat(inst.Value()))
+		return err
+	case *Histogram:
+		// Bucket counts are cumulative in the exposition; the le label joins
+		// any family labels.
+		var cum uint64
+		for i, ub := range inst.upper {
+			cum += inst.counts[i].Load()
+			le := labelString(append(f.labels, "le"), append(s.values, formatFloat(ub)))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, le, cum); err != nil {
+				return err
+			}
+		}
+		le := labelString(append(f.labels, "le"), append(s.values, "+Inf"))
+		count := inst.Count()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, le, count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labels, formatFloat(inst.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labels, count)
+		return err
+	default:
+		return fmt.Errorf("obs: unknown instrument %T in family %s", s.inst, f.name)
+	}
+}
+
+// labelString renders `{a="x",b="y"}` or "" for an unlabeled sample.
+func labelString(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a sample value: integral floats without an exponent
+// (counters read naturally), everything else in Go's shortest round-trip
+// form. Prometheus accepts both.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry as a Prometheus scrape endpoint.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"aergia/internal/comm"
+)
+
+// Comm metric directions.
+const (
+	// DirSent counts messages as actors hand them to Env.Send — before any
+	// fault layer below may drop them.
+	DirSent = "sent"
+	// DirDelivered counts messages as they reach a handler — after link
+	// loss and crashed-node discards, so sent-minus-delivered is the loss
+	// the run actually saw.
+	DirDelivered = "delivered"
+)
+
+// commMetrics is the instrument bundle of one wrapped transport, with
+// children pre-resolved per message kind so the per-message hot path is a
+// handful of atomic adds and no map lookups.
+type commMetrics struct {
+	msgs    *CounterVec
+	bytes   *CounterVec
+	handle  *HistogramVec
+	sentM   map[comm.Kind]*Counter
+	sentB   map[comm.Kind]*Counter
+	delivM  map[comm.Kind]*Counter
+	delivB  map[comm.Kind]*Counter
+	handleH map[comm.Kind]*Histogram
+}
+
+// commKinds is the closed set of protocol message kinds (comm.Kind is an
+// enum; KindFault is delivered by the fault layer's direct handler call and
+// still counts as traffic here).
+var commKinds = []comm.Kind{
+	comm.KindTrain, comm.KindProfile, comm.KindSchedule, comm.KindOffload,
+	comm.KindUpdate, comm.KindOffloadResult, comm.KindSimilarity, comm.KindFault,
+}
+
+func newCommMetrics(reg *Registry) *commMetrics {
+	m := &commMetrics{
+		msgs: reg.CounterVec("aergia_comm_messages_total",
+			"Protocol messages by payload kind and direction (sent = handed to the transport, delivered = reached a handler).",
+			"kind", "dir"),
+		bytes: reg.CounterVec("aergia_comm_bytes_total",
+			"On-the-wire payload bytes by kind and direction (encoded sizes, matching the bandwidth ledger).",
+			"kind", "dir"),
+		handle: reg.HistogramVec("aergia_comm_handle_seconds",
+			"Wall-clock handler service time per delivered message, by payload kind.",
+			nil, "kind"),
+		sentM:   make(map[comm.Kind]*Counter),
+		sentB:   make(map[comm.Kind]*Counter),
+		delivM:  make(map[comm.Kind]*Counter),
+		delivB:  make(map[comm.Kind]*Counter),
+		handleH: make(map[comm.Kind]*Histogram),
+	}
+	for _, k := range commKinds {
+		name := k.String()
+		m.sentM[k] = m.msgs.With(name, DirSent)
+		m.sentB[k] = m.bytes.With(name, DirSent)
+		m.delivM[k] = m.msgs.With(name, DirDelivered)
+		m.delivB[k] = m.bytes.With(name, DirDelivered)
+		m.handleH[k] = m.handle.With(name)
+	}
+	return m
+}
+
+func (m *commMetrics) sent(msg comm.Message) {
+	c, ok := m.sentM[msg.Kind]
+	if !ok { // unknown kind: fall back to the vec (registers a child)
+		c = m.msgs.With(msg.Kind.String(), DirSent)
+	}
+	c.Inc()
+	b, ok := m.sentB[msg.Kind]
+	if !ok {
+		b = m.bytes.With(msg.Kind.String(), DirSent)
+	}
+	b.Add(float64(msg.Size))
+}
+
+func (m *commMetrics) delivered(msg comm.Message, service time.Duration) {
+	c, ok := m.delivM[msg.Kind]
+	if !ok {
+		c = m.msgs.With(msg.Kind.String(), DirDelivered)
+	}
+	c.Inc()
+	b, ok := m.delivB[msg.Kind]
+	if !ok {
+		b = m.bytes.With(msg.Kind.String(), DirDelivered)
+	}
+	b.Add(float64(msg.Size))
+	h, ok := m.handleH[msg.Kind]
+	if !ok {
+		h = m.handle.With(msg.Kind.String())
+	}
+	h.Observe(service.Seconds())
+}
+
+// WrapTransport wraps a comm.Transport with passive instrumentation,
+// mirroring chaos.Wrap: message and byte counters per payload kind and
+// direction, and a wall-clock handler-latency histogram per kind. A nil
+// registry returns inner unchanged, so observation stays strictly opt-out
+// at the wrap site. Wrap outermost (after the fault layer) so sent counts
+// see what actors emitted and delivered counts see what survived.
+//
+// Timing is read with the wall clock only — never the transport's virtual
+// clock — and nothing is delayed or reordered, so a wrapped run's virtual
+// time and results are bit-identical to an unwrapped one.
+func WrapTransport(inner comm.Transport, reg *Registry) comm.Transport {
+	if reg == nil {
+		return inner
+	}
+	return &instTransport{
+		inner: inner,
+		m:     newCommMetrics(reg),
+		envs:  make(map[comm.Env]comm.Env),
+	}
+}
+
+// instTransport is the instrumented transport.
+type instTransport struct {
+	inner comm.Transport
+	m     *commMetrics
+
+	mu   sync.Mutex
+	envs map[comm.Env]comm.Env
+}
+
+var (
+	_ comm.Transport       = (*instTransport)(nil)
+	_ comm.PayloadRegistry = (*instTransport)(nil)
+)
+
+// RegisterPayload forwards to serializing inner transports.
+func (t *instTransport) RegisterPayload(v any) {
+	if reg, ok := t.inner.(comm.PayloadRegistry); ok {
+		reg.RegisterPayload(v)
+	}
+}
+
+// Register implements comm.Transport; deliveries to h are timed and
+// counted.
+func (t *instTransport) Register(id comm.NodeID, h comm.Handler) {
+	t.inner.Register(id, &instHandler{t: t, h: h})
+}
+
+// Seal implements comm.Transport.
+func (t *instTransport) Seal() error { return t.inner.Seal() }
+
+// Env implements comm.Transport.
+func (t *instTransport) Env(id comm.NodeID) comm.Env {
+	return t.wrapEnv(t.inner.Env(id))
+}
+
+// Invoke implements comm.Transport; fn sees the instrumented env.
+func (t *instTransport) Invoke(id comm.NodeID, fn func(comm.Env)) {
+	t.inner.Invoke(id, func(env comm.Env) { fn(t.wrapEnv(env)) })
+}
+
+// Drive implements comm.Transport.
+func (t *instTransport) Drive(done <-chan struct{}) error { return t.inner.Drive(done) }
+
+// Close implements comm.Transport.
+func (t *instTransport) Close() error { return t.inner.Close() }
+
+// wrapEnv returns the instrumented env over inner, cached per identity so
+// repeated deliveries do not allocate.
+func (t *instTransport) wrapEnv(inner comm.Env) comm.Env {
+	if ie, ok := inner.(*instEnv); ok && ie.t == t {
+		return inner
+	}
+	// Inner envs are per-node singletons on both transports (and on the
+	// chaos wrapper), so caching by the env's own identity is equivalent to
+	// caching by node without needing the node ID here.
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.envs[inner]; ok {
+		return e
+	}
+	e := &instEnv{t: t, inner: inner}
+	t.envs[inner] = e
+	return e
+}
+
+// instEnv counts sends; Now and After pass straight through.
+type instEnv struct {
+	t     *instTransport
+	inner comm.Env
+}
+
+var _ comm.Env = (*instEnv)(nil)
+
+func (e *instEnv) Now() time.Duration { return e.inner.Now() }
+
+func (e *instEnv) Send(msg comm.Message) {
+	e.t.m.sent(msg)
+	e.inner.Send(msg)
+}
+
+func (e *instEnv) After(d time.Duration, fn func()) comm.Timer {
+	return e.inner.After(d, fn)
+}
+
+// instHandler times and counts deliveries.
+type instHandler struct {
+	t *instTransport
+	h comm.Handler
+}
+
+func (p *instHandler) OnMessage(env comm.Env, msg comm.Message) {
+	start := time.Now()
+	p.h.OnMessage(p.t.wrapEnv(env), msg)
+	p.t.m.delivered(msg, time.Since(start))
+}

@@ -1,0 +1,51 @@
+package runner
+
+import (
+	"sync"
+	"time"
+
+	"aergia/internal/obs"
+)
+
+// runnerInstruments is the runner's always-on metric surface on
+// obs.Default. The instruments are process-global and shared by every
+// Runner instance — tests that spin up several runners aggregate into the
+// same families, which is also why the queue depth is a plain gauge moved
+// by enqueue/dequeue rather than a per-runner GaugeFunc.
+type runnerInstruments struct {
+	queueDepth *obs.Gauge
+	activeJobs *obs.Gauge
+	jobsDone   *obs.Counter
+	jobsFailed *obs.Counter
+	jobSeconds *obs.Histogram
+}
+
+var rm = sync.OnceValue(func() *runnerInstruments {
+	reg := obs.Default
+	jobs := reg.CounterVec("aergia_runner_jobs_total",
+		"Jobs finished by the runner, by terminal status.",
+		"status")
+	return &runnerInstruments{
+		queueDepth: reg.Gauge("aergia_runner_queue_depth",
+			"Jobs waiting for a worker slot."),
+		activeJobs: reg.Gauge("aergia_runner_active_jobs",
+			"Jobs currently executing in a worker slot."),
+		jobsDone:   jobs.With(string(StatusDone)),
+		jobsFailed: jobs.With(string(StatusFailed)),
+		jobSeconds: reg.Histogram("aergia_runner_job_seconds",
+			"Wall-clock execution time per finished job.",
+			obs.ExpBuckets(0.001, 4, 12)),
+	}
+})
+
+// observeFinished records one finished job against the terminal-status
+// counters and the duration histogram.
+func (m *runnerInstruments) observeFinished(status Status, elapsed time.Duration) {
+	switch status {
+	case StatusDone:
+		m.jobsDone.Inc()
+	case StatusFailed:
+		m.jobsFailed.Inc()
+	}
+	m.jobSeconds.Observe(elapsed.Seconds())
+}

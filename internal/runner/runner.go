@@ -142,6 +142,7 @@ func (r *Runner) SubmitAll(jobs []Job) ([]JobState, error) {
 
 func (r *Runner) enqueue(job Job) {
 	r.queue = append(r.queue, job)
+	rm().queueDepth.Inc()
 	// Broadcast, not Signal: Wait and the workers share the condition
 	// variable, so a single wakeup could land on a waiter that is not a
 	// worker and strand the queue.
@@ -164,6 +165,8 @@ func (r *Runner) worker() {
 		st := r.jobs[job.ID()]
 		st.Status = StatusRunning
 		r.active++
+		rm().queueDepth.Dec()
+		rm().activeJobs.Inc()
 		r.mu.Unlock()
 
 		start := time.Now()
@@ -207,6 +210,8 @@ func (r *Runner) worker() {
 			st.Result = nil
 		}
 		r.active--
+		rm().activeJobs.Dec()
+		rm().observeFinished(rec.Status, rec.Elapsed)
 		r.cond.Broadcast()
 		r.mu.Unlock()
 	}
@@ -287,6 +292,7 @@ func (r *Runner) Wait() {
 func (r *Runner) Close() {
 	r.mu.Lock()
 	r.closed = true
+	rm().queueDepth.Add(-float64(len(r.queue)))
 	r.queue = nil
 	r.cond.Broadcast()
 	r.mu.Unlock()

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"aergia/internal/comm"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format (the
+// "JSON Array Format" chrome://tracing and Perfetto load). Timestamps and
+// durations are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// chromePid is the single process all lanes live under.
+const chromePid = 0
+
+// chromeTid maps a node to its thread lane. Thread IDs must be
+// non-negative, so the federator (comm.FederatorID, -1) takes lane 0 and
+// client i takes lane i+1.
+func chromeTid(id comm.NodeID) int {
+	if id == comm.FederatorID {
+		return 0
+	}
+	return int(id) + 1
+}
+
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// spanEnd maps a span-opening event kind to the kind that closes it on the
+// same node: rounds on the federator lane, local training and helper jobs
+// on client lanes. Everything else exports as an instant.
+func spanEnd(k Kind) (Kind, bool) {
+	switch k {
+	case RoundStart:
+		return RoundEnd, true
+	case TrainStart:
+		return UpdateSent, true
+	case HelperStart:
+		return HelperDone, true
+	}
+	return 0, false
+}
+
+// WriteChromeTrace exports the log in the Chrome trace-event JSON format:
+// one process, one thread lane per node (metadata-named), duration spans
+// for round / train / helper intervals, instants for everything else. The
+// virtual timeline maps one-to-one onto the trace clock (1 virtual µs = 1
+// trace µs), so the Figure-5 view opens directly in Perfetto or
+// chrome://tracing.
+func (l *Log) WriteChromeTrace(w io.Writer) error {
+	events := l.Events()
+
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Phase: "M", Pid: chromePid,
+		Args: map[string]any{"name": "aergia"},
+	})
+	named := make(map[comm.NodeID]bool)
+	for _, e := range events {
+		if named[e.Node] {
+			continue
+		}
+		named[e.Node] = true
+		name := "client " + strconv.Itoa(int(e.Node))
+		if e.Node == comm.FederatorID {
+			name = "federator"
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", Pid: chromePid, Tid: chromeTid(e.Node),
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	// open tracks the span-opening event per (node, round, closing kind);
+	// a re-opened span (e.g. a crash-rejoin re-dispatch) restarts it.
+	type spanKey struct {
+		node  comm.NodeID
+		round int
+		end   Kind
+	}
+	open := make(map[spanKey]Event)
+	emit := func(e Event, dur time.Duration, span bool) {
+		ce := chromeEvent{
+			Name: e.Kind.String(), Phase: "i",
+			Ts: micros(e.Time), Pid: chromePid, Tid: chromeTid(e.Node),
+			Scope: "t",
+			Args:  map[string]any{"round": e.Round},
+		}
+		if e.Detail != "" {
+			ce.Args["detail"] = e.Detail
+		}
+		if span {
+			d := micros(dur)
+			ce.Phase, ce.Scope, ce.Dur = "X", "", &d
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	for _, e := range events {
+		if end, ok := spanEnd(e.Kind); ok {
+			open[spanKey{e.Node, e.Round, end}] = e
+			continue
+		}
+		key := spanKey{e.Node, e.Round, e.Kind}
+		if start, ok := open[key]; ok {
+			delete(open, key)
+			emit(start, e.Time-start.Time, true)
+			continue
+		}
+		emit(e, 0, false)
+	}
+	// Unclosed spans (a cut-off run, a crashed client's training) surface
+	// as instants rather than vanishing; sorted so the export stays
+	// deterministic despite the map.
+	unclosed := make([]Event, 0, len(open))
+	for _, start := range open {
+		unclosed = append(unclosed, start)
+	}
+	sort.Slice(unclosed, func(i, j int) bool {
+		a, b := unclosed[i], unclosed[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Kind < b.Kind
+	})
+	for _, start := range unclosed {
+		emit(start, 0, false)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(out)
+}

@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"aergia/internal/comm"
+)
+
+// decodedTrace mirrors the Chrome trace-event JSON shape for assertions.
+type decodedTrace struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name  string         `json:"name"`
+		Phase string         `json:"ph"`
+		Ts    float64        `json:"ts"`
+		Dur   *float64       `json:"dur"`
+		Pid   int            `json:"pid"`
+		Tid   int            `json:"tid"`
+		Scope string         `json:"s"`
+		Args  map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func sampleLog() *Log {
+	l := NewLog()
+	l.Record(0, comm.FederatorID, 0, RoundStart, "2 clients selected")
+	l.Record(1*time.Millisecond, 1, 0, TrainStart, "")
+	l.Record(1*time.Millisecond, 2, 0, TrainStart, "")
+	l.Record(2*time.Millisecond, 1, 0, ProfileSent, "")
+	l.Record(3*time.Millisecond, 2, 0, NodeCrash, "client 2 crashed")
+	l.Record(5*time.Millisecond, 1, 0, UpdateSent, "")
+	l.Record(6*time.Millisecond, comm.FederatorID, 0, RoundEnd, "duration 6ms")
+	return l
+}
+
+// TestWriteChromeTraceShape validates the schema the viewers require:
+// top-level traceEvents array, known phases, non-negative pid/tid,
+// microsecond timestamps, metadata names, and spans with durations.
+func TestWriteChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleLog().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got decodedTrace
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if got.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", got.DisplayTimeUnit)
+	}
+	if len(got.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+
+	var threadNames []string
+	spans := map[string]float64{}
+	instants := map[string]bool{}
+	for _, e := range got.TraceEvents {
+		if e.Name == "" {
+			t.Fatalf("event with empty name: %+v", e)
+		}
+		if e.Pid < 0 || e.Tid < 0 {
+			t.Fatalf("negative pid/tid: %+v", e)
+		}
+		switch e.Phase {
+		case "M":
+			if e.Name == "thread_name" {
+				threadNames = append(threadNames, e.Args["name"].(string))
+			}
+		case "X":
+			if e.Dur == nil || *e.Dur < 0 {
+				t.Fatalf("span without duration: %+v", e)
+			}
+			spans[e.Name] = *e.Dur
+		case "i":
+			if e.Scope != "t" {
+				t.Fatalf("instant without thread scope: %+v", e)
+			}
+			instants[e.Name] = true
+		default:
+			t.Fatalf("unknown phase %q: %+v", e.Phase, e)
+		}
+		if e.Ts < 0 {
+			t.Fatalf("negative timestamp: %+v", e)
+		}
+	}
+	joined := strings.Join(threadNames, ",")
+	for _, want := range []string{"federator", "client 1", "client 2"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("thread names %v missing %q", threadNames, want)
+		}
+	}
+	// The round span covers 0..6ms and client 1's training 1..5ms, in µs.
+	if d := spans["round-start"]; d != 6000 {
+		t.Fatalf("round span dur = %v µs, want 6000", d)
+	}
+	if d := spans["train-start"]; d != 4000 {
+		t.Fatalf("train span dur = %v µs, want 4000", d)
+	}
+	// Client 2 crashed mid-training: its unclosed span degrades to an
+	// instant, as does the crash itself.
+	for _, want := range []string{"profile-sent", "node-crash", "train-start"} {
+		if !instants[want] {
+			t.Fatalf("missing instant %q (have %v)", want, instants)
+		}
+	}
+}
+
+// TestWriteChromeTraceDeterministic pins byte-identical exports for the
+// same log — unclosed-span handling must not leak map order.
+func TestWriteChromeTraceDeterministic(t *testing.T) {
+	l := NewLog()
+	// Three unclosed training spans force the map-drain path.
+	for node := 1; node <= 3; node++ {
+		l.Record(time.Duration(node)*time.Millisecond, comm.NodeID(node), 0, TrainStart, "")
+	}
+	var a, b bytes.Buffer
+	if err := l.WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("exports differ:\n%s\n%s", a.String(), b.String())
+	}
+}
+
+// TestWriteChromeTraceEmpty: an empty log still yields a loadable trace.
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewLog().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got decodedTrace
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceEvents == nil {
+		t.Fatal("traceEvents must be an array, not null")
+	}
+}
+
+// TestLaneGlyphsComplete: every defined event kind has a dedicated lane
+// glyph (no '?') and the fault glyphs appear in the legend.
+func TestLaneGlyphsComplete(t *testing.T) {
+	kinds := []Kind{
+		RoundStart, TrainStart, ProfileSent, ScheduleSent, ModelFrozen,
+		OffloadSent, HelperStart, HelperDone, UpdateSent, RoundEnd,
+		NodeCrash, NodeRejoin, OffloadReassigned,
+	}
+	for _, k := range kinds {
+		if g := laneGlyph(k); g == '?' {
+			t.Errorf("kind %s has no lane glyph", k)
+		}
+	}
+	if laneGlyph(NodeCrash) != 'x' || laneGlyph(NodeRejoin) != 'r' || laneGlyph(OffloadReassigned) != 'R' {
+		t.Fatalf("fault glyphs = %c/%c/%c, want x/r/R",
+			laneGlyph(NodeCrash), laneGlyph(NodeRejoin), laneGlyph(OffloadReassigned))
+	}
+
+	l := NewLog()
+	l.Record(0, comm.FederatorID, 0, RoundStart, "")
+	l.Record(1*time.Millisecond, 1, 0, NodeCrash, "")
+	l.Record(2*time.Millisecond, 1, 0, NodeRejoin, "")
+	l.Record(3*time.Millisecond, 1, 0, OffloadReassigned, "")
+	var buf bytes.Buffer
+	if err := l.Lanes(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"x crash", "r rejoin", "R reassign"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("legend missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "?") {
+		t.Fatalf("lanes render '?':\n%s", out)
+	}
+}

@@ -160,6 +160,12 @@ func laneGlyph(k Kind) byte {
 		return 'u'
 	case RoundEnd:
 		return '#'
+	case NodeCrash:
+		return 'x'
+	case NodeRejoin:
+		return 'r'
+	case OffloadReassigned:
+		return 'R'
 	default:
 		return '?'
 	}
@@ -189,7 +195,7 @@ func (l *Log) Lanes(w io.Writer, width int) error {
 		nodes[e.Node] = append(nodes[e.Node], e)
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
-	legend := "legend: | start  p profile  s schedule  f freeze  o offload  h/H helper  u update  # round-end\n"
+	legend := "legend: | start  p profile  s schedule  f freeze  o offload  h/H helper  u update  # round-end  x crash  r rejoin  R reassign\n"
 	if _, err := io.WriteString(w, legend); err != nil {
 		return err
 	}
