@@ -10,6 +10,8 @@
 //	aergia -experiment fig-churn -chaos 'churn=0.3,rejoin=1'  # faulted run
 //	aergia -experiment fig-bandwidth -quick       # bandwidth-vs-accuracy per codec
 //	aergia -experiment fig6 -codec topk           # sparsified update payloads
+//	aergia -experiment fig6 -sample 0.25          # 25% client cohort per round
+//	aergia -experiment fig6 -sample 0.25 -tiers 4 # + edge aggregation tiers
 //	aergia -list                                  # list experiment IDs
 //	aergia -sweep '{"experiments":["fig6"],"seeds":[1,2,3]}' -store out.jsonl
 //	aergia -sweep @grid.json -store out.jsonl -jobs 4
@@ -46,6 +48,15 @@
 // transport's modeled links, in training time. Like -transport and -chaos
 // it is validated at flag-parse time.
 //
+// The -sample and -tiers flags enable the scale-out path (DESIGN.md §11):
+// -sample draws a seed-deterministic client cohort each round (a fraction
+// in [0, 1]; 0 and 1 both mean everyone participates), and -tiers inserts
+// that many edge aggregators between the clients and the root federator,
+// so the root combines a handful of pre-aggregated deltas instead of one
+// update per client. Unsampled clients stay lazy profiles — no model, no
+// shard — until a round first selects them. Like -transport, -chaos, and
+// -codec, both are validated at flag-parse time.
+//
 // -json swaps the text report for one canonical JSON record per experiment
 // — the same bytes the result store and the aergiad daemon persist, so
 // outputs are diffable across entry points.
@@ -69,6 +80,7 @@ import (
 	"aergia/internal/codec"
 	"aergia/internal/experiments"
 	"aergia/internal/fl"
+	"aergia/internal/hier"
 	"aergia/internal/metrics"
 	"aergia/internal/obs"
 	"aergia/internal/runner"
@@ -98,6 +110,10 @@ func run(args []string, out io.Writer) error {
 			"fault schedule spec, e.g. 'churn=0.3,rejoin=1,window=2s' (keys: "+chaos.SpecKeys()+")")
 		codecName = fs.String("codec", "none",
 			"wire codec for model-update payloads: "+codec.Names())
+		sample = fs.Float64("sample", 0,
+			"per-round client sampling fraction in [0, 1] (0 or 1 = everyone participates)")
+		tiers = fs.Int("tiers", 0,
+			"edge aggregation tiers between clients and the root federator (0 = flat)")
 		jsonOut    = fs.Bool("json", false, "emit canonical JSON result records instead of text reports")
 		sweepSpec  = fs.String("sweep", "", "run a sweep grid: inline JSON spec or @file")
 		storePath  = fs.String("store", "", "result store for -sweep (JSONL, append-only, resumable)")
@@ -121,6 +137,16 @@ func run(args []string, out io.Writer) error {
 	if _, err := codec.Canonical(*codecName); err != nil {
 		return fmt.Errorf("invalid -codec %q (allowed values: %s)", *codecName, codec.Names())
 	}
+	if *sample < 0 || *sample > 1 {
+		return fmt.Errorf("invalid -sample %v (allowed values: 0 through 1)", *sample)
+	}
+	if *tiers < 0 {
+		return fmt.Errorf("invalid -tiers %d (allowed values: 0 or more)", *tiers)
+	}
+	hierOpts, err := hier.Options{Sample: *sample, Tiers: *tiers}.Normalized()
+	if err != nil {
+		return fmt.Errorf("invalid -sample/-tiers: %v", err)
+	}
 	// ParseSpec errors already name the offending key/value and list the
 	// accepted keys where that helps.
 	chaosPlan, err := chaos.ParseSpec(*chaosSpec)
@@ -142,7 +168,7 @@ func run(args []string, out io.Writer) error {
 			switch f.Name {
 			// -trace-out conflicts too: one trace file cannot attribute
 			// events across a grid of concurrent runs.
-			case "experiment", "quick", "seed", "backend", "workers", "transport", "transport-timeout", "chaos", "codec", "trace-out":
+			case "experiment", "quick", "seed", "backend", "workers", "transport", "transport-timeout", "chaos", "codec", "sample", "tiers", "trace-out":
 				conflicts = append(conflicts, "-"+f.Name)
 			}
 		})
@@ -169,6 +195,7 @@ func run(args []string, out io.Writer) error {
 		Backend: *backend, Workers: *workers,
 		Transport: *transport, TransportTimeout: *transportTimeout,
 		Chaos: chaosPlan, Codec: *codecName,
+		Hier: hierOpts,
 	}
 	if *traceOut != "" {
 		opt.Trace = trace.NewLog()

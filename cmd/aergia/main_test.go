@@ -123,6 +123,54 @@ func TestRunBadCodecFailsLoudly(t *testing.T) {
 	}
 }
 
+// TestRunBadHierFailsLoudly pins the -sample/-tiers contract shared with
+// -transport, -chaos, and -codec: out-of-range values fail at flag-parse
+// time with a one-line error naming the allowed values, before any
+// experiment work starts — and even in modes that never run an experiment.
+func TestRunBadHierFailsLoudly(t *testing.T) {
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{"-experiment", "fig4", "-quick", "-sample", "1.5"},
+		{"-experiment", "fig4", "-quick", "-sample", "-0.1"},
+		{"-list", "-sample", "2"},
+	} {
+		err := run(args, &buf)
+		if err == nil || !strings.Contains(err.Error(), "allowed values: 0 through 1") {
+			t.Fatalf("args %v: err = %v, want a one-line error naming the sample range", args, err)
+		}
+	}
+	for _, args := range [][]string{
+		{"-experiment", "fig4", "-quick", "-tiers", "-3"},
+		{"-list", "-tiers", "-1"},
+	} {
+		err := run(args, &buf)
+		if err == nil || !strings.Contains(err.Error(), "allowed values: 0 or more") {
+			t.Fatalf("args %v: err = %v, want a one-line error naming the tiers range", args, err)
+		}
+	}
+}
+
+// TestRunHierLandsInRecord checks the -sample/-tiers choice reaches the
+// canonical record (and thus the result store's dedup key), while the flat
+// default — including the inert -sample 1 — stays collapsed out of the
+// encoding, keeping pre-hier records and job IDs byte-identical.
+func TestRunHierLandsInRecord(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "table1", "-quick", "-sample", "0.25", "-tiers", "4", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"hier":{"sample":0.25,"tiers":4}`) {
+		t.Fatalf("record does not carry the hier options:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"-experiment", "table1", "-quick", "-sample", "1", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"hier"`) {
+		t.Fatalf("inert hier options leaked into the record:\n%s", buf.String())
+	}
+}
+
 // TestRunCodecLandsInRecord checks the -codec choice reaches the canonical
 // record (and thus the result store's dedup key), while the default stays
 // collapsed out of the encoding.
@@ -271,6 +319,8 @@ func TestRunSweepBadSpecs(t *testing.T) {
 		{"-sweep", `{"experiments":["fig4"]}`, "-seed", "5"},
 		{"-sweep", `{"experiments":["fig4"]}`, "-chaos", "churn=0.5"},
 		{"-sweep", `{"experiments":["fig4"]}`, "-codec", "topk"},
+		{"-sweep", `{"experiments":["fig4"]}`, "-sample", "0.5"},
+		{"-sweep", `{"experiments":["fig4"]}`, "-tiers", "2"},
 		{"-sweep", `{"experiments":["fig4"]} {"experiments":["table1"]}`},
 		{"-experiment", "fig4", "-quick", "-store", "x.jsonl"},
 		{"-experiment", "fig4", "-quick", "-jobs", "2"},

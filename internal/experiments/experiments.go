@@ -15,6 +15,7 @@ import (
 	"aergia/internal/codec"
 	"aergia/internal/dataset"
 	"aergia/internal/fl"
+	"aergia/internal/hier"
 	"aergia/internal/metrics"
 	"aergia/internal/nn"
 	"aergia/internal/sim"
@@ -69,6 +70,14 @@ type Options struct {
 	// their content-hash job IDs) stay byte-identical to the pre-codec
 	// schema and existing result stores keep deduping and resuming.
 	Codec string `json:"codec,omitempty"`
+	// Hier carries the scale-out options for every FL run of the
+	// experiment: per-round client sampling and edge aggregation tiers
+	// (internal/hier, DESIGN.md §11). The zero value (and the inert
+	// Sample 1.0, which normalization collapses to it) is omitted from
+	// the encoding entirely, so flat records (and their content-hash job
+	// IDs) stay byte-identical to the pre-hier schema and existing
+	// result stores keep deduping and resuming.
+	Hier hier.Options `json:"hier,omitzero"`
 	// Trace, when set, collects the full event timeline of every
 	// synchronous FL run in the experiment (the CLI's -trace-out). It is
 	// excluded from the JSON encoding — observation must never split the
@@ -111,6 +120,11 @@ func (o Options) Normalize() (Options, error) {
 		return Options{}, err
 	}
 	o.Chaos = plan
+	hierOpts, err := o.Hier.Normalized()
+	if err != nil {
+		return Options{}, err
+	}
+	o.Hier = hierOpts
 	o.Seed = o.seed()
 	o.Backend = name
 	o.Transport = transport
@@ -227,6 +241,7 @@ func (o Options) baseConfig(kind dataset.Kind, strat fl.Strategy) (fl.Config, er
 		Chaos:            o.Chaos,
 		Backend:          be,
 		Codec:            o.Codec,
+		Hier:             o.Hier,
 		Transport:        o.Transport,
 		TransportTimeout: o.TransportTimeout,
 		Trace:            o.Trace,

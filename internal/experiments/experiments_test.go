@@ -2,13 +2,26 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
 
 	"aergia/internal/dataset"
+	"aergia/internal/hier"
 	"aergia/internal/nn"
 )
+
+// mustNormalize is a test helper for encoding comparisons on canonical
+// option values.
+func mustNormalize(t *testing.T, o Options) Options {
+	t.Helper()
+	norm, err := o.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return norm
+}
 
 var quick = Options{Quick: true, Seed: 7}
 
@@ -317,5 +330,47 @@ func TestArchForCoversKinds(t *testing.T) {
 		if got := archFor(kind); got != want {
 			t.Fatalf("archFor(%s) = %s, want %s", kind, got, want)
 		}
+	}
+}
+
+// TestOptionsNormalizeHier pins the scale-out record contract: the inert
+// sampling fraction 1.0 collapses to the flat zero value, out-of-range
+// values are rejected, and the zero value is omitted from the JSON encoding
+// entirely, so pre-hier records (and the content-hash job IDs derived from
+// them) stay byte-identical.
+func TestOptionsNormalizeHier(t *testing.T) {
+	norm, err := (Options{Hier: hier.Options{Sample: 1}}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !norm.Hier.IsZero() {
+		t.Fatalf("inert sample normalized to %+v, want the zero value", norm.Hier)
+	}
+	if _, err := (Options{Hier: hier.Options{Sample: 1.5}}).Normalize(); err == nil {
+		t.Fatal("out-of-range sampling fraction normalized")
+	}
+	if _, err := (Options{Hier: hier.Options{Tiers: -1}}).Normalize(); err == nil {
+		t.Fatal("negative tier count normalized")
+	}
+	flat, err := json.Marshal(norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(flat, []byte("hier")) {
+		t.Fatalf("zero hier options leaked into the encoding: %s", flat)
+	}
+	pre, err := json.Marshal(mustNormalize(t, Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(flat, pre) {
+		t.Fatalf("inert-hier encoding diverged from the pre-hier schema:\n%s\n%s", flat, pre)
+	}
+	enabled, err := json.Marshal(Options{Hier: hier.Options{Sample: 0.25, Tiers: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(enabled, []byte(`"hier":{"sample":0.25,"tiers":4}`)) {
+		t.Fatalf("enabled hier options missing from the encoding: %s", enabled)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"aergia/internal/chaos"
 	"aergia/internal/cluster"
 	"aergia/internal/dataset"
+	"aergia/internal/hier"
 	"aergia/internal/nn"
 	"aergia/internal/obs"
 	"aergia/internal/sim"
@@ -45,6 +46,11 @@ type AsyncConfig struct {
 	// Codec selects the wire codec for model-update payloads: "" or
 	// "none" (raw), "q8", or "topk" — see internal/codec and DESIGN.md §8.
 	Codec string
+	// Hier carries the scale-out options (internal/hier) for record
+	// compatibility; the async engine rejects an enabled value at Build
+	// (hierarchical aggregation is sync-only for now), while the inert
+	// Sample 1.0 normalizes to the zero value and runs flat.
+	Hier hier.Options
 	// Transport selects the message transport: "" or "sim" for the
 	// virtual-time simulator, "tcp" for real TCP on loopback.
 	Transport string
@@ -78,6 +84,7 @@ func (c AsyncConfig) Topology() Topology {
 		Chaos:         c.Chaos,
 		Backend:       c.Backend,
 		Codec:         c.Codec,
+		Hier:          c.Hier,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"aergia/internal/comm"
+	"aergia/internal/hier"
 	"aergia/internal/rpc"
 	"aergia/internal/sim"
 )
@@ -69,13 +70,32 @@ type Deployment struct {
 	Transport comm.Transport
 }
 
-// bind registers the cluster's actors on the transport and seals it.
+// bind registers the cluster's actors on the transport and seals it. For
+// hierarchical clusters it registers the lazy shells and edge aggregators
+// instead of materialized clients and, when edge tiers exist, wraps the
+// transport with the hier.Route actor router so client uplinks reach their
+// owning edge; the wrapped transport replaces d.Transport for the rest of
+// the run (the router forwards Close to the inner transport, so callers
+// closing the original are unaffected).
 func (d *Deployment) bind(fed comm.Handler) error {
+	hc := d.Cluster.Hier
+	if hc != nil && hc.Options.Tiers > 0 {
+		d.Transport = hier.Route(d.Transport, hc.Options.Tiers, d.Cluster.Topology.Seed)
+	}
 	if reg, ok := d.Transport.(comm.PayloadRegistry); ok {
 		RegisterPayloads(reg.RegisterPayload)
 	}
-	for _, c := range d.Cluster.Clients {
-		d.Transport.Register(c.ID, c)
+	if hc != nil {
+		for _, s := range hc.Shells {
+			d.Transport.Register(s.Profile.ID, s)
+		}
+		for _, e := range hc.Edges {
+			d.Transport.Register(e.ID, e)
+		}
+	} else {
+		for _, c := range d.Cluster.Clients {
+			d.Transport.Register(c.ID, c)
+		}
 	}
 	d.Transport.Register(comm.FederatorID, fed)
 	return d.Transport.Seal()

@@ -7,6 +7,7 @@ import (
 	"aergia/internal/chaos"
 	"aergia/internal/cluster"
 	"aergia/internal/dataset"
+	"aergia/internal/hier"
 	"aergia/internal/nn"
 	"aergia/internal/obs"
 	"aergia/internal/sim"
@@ -80,6 +81,10 @@ type Config struct {
 	// "none" (raw, the pre-codec wire format), "q8", or "topk" — see
 	// internal/codec and DESIGN.md §8.
 	Codec string
+	// Hier selects the scale-out behavior (per-round client sampling and
+	// edge aggregation tiers — internal/hier, DESIGN.md §11). The zero
+	// value keeps the flat topology bit-identical to the pre-hier path.
+	Hier hier.Options
 	// Transport selects the message transport: "" or "sim" for the
 	// deterministic virtual-time simulator, "tcp" for real TCP on loopback
 	// (same model math, wall-clock timings).
@@ -121,6 +126,7 @@ func (c Config) Topology() Topology {
 		Chaos:          c.Chaos,
 		Backend:        c.Backend,
 		Codec:          c.Codec,
+		Hier:           c.Hier,
 		Trace:          c.Trace,
 	}
 }

@@ -122,6 +122,11 @@ func RegisterPayloads(reg func(any)) {
 	reg(OffloadPayload{})
 	reg(UpdatePayload{})
 	reg(OffloadResultPayload{})
+	// Fault notices stay process-local in flat runs (the chaos layer calls
+	// the federator handler directly), but the hier router tees them to the
+	// owning edge as real sends, which can cross a wire in a tiered rpc
+	// deployment.
+	reg(comm.FaultPayload{})
 }
 
 // RoundStats records the outcome of one global round.

@@ -1,0 +1,646 @@
+package fl
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"aergia/internal/cluster"
+	"aergia/internal/codec"
+	"aergia/internal/comm"
+	"aergia/internal/dataset"
+	"aergia/internal/hier"
+	"aergia/internal/nn"
+	"aergia/internal/tensor"
+	"aergia/internal/trace"
+)
+
+// HierCluster is the scale-out half of a hierarchically built Cluster
+// (Topology.Hier enabled): the lazy shells standing in for the client
+// population and the edge aggregators that own them. Deployment.bind
+// registers these instead of Cluster.Clients and, when edge tiers exist,
+// wraps the transport with the hier.Route actor router.
+type HierCluster struct {
+	// Options is the normalized scale-out selection the cluster was built
+	// with.
+	Options hier.Options
+	// Shells are the lazy client stand-ins, indexed by NodeID. Each
+	// hydrates into a full Client on its first training dispatch.
+	Shells []*hier.LazyClient
+	// Edges are the edge aggregators (empty when Tiers is 0). Edges with
+	// no assigned clients are dropped at build time.
+	Edges []*EdgeAggregator
+}
+
+// EdgeAggregator is the mid-tier actor of the two-tier federation: it owns
+// a hash-assigned cohort of clients, re-dispatches the root's training
+// round to the round's sampled sub-cohort, combines their decoded updates
+// locally with the FedAvg rule, and ships one codec-compressed aggregate
+// delta upstream. The root federator therefore sees one child per edge
+// instead of the cohort — its per-round bookkeeping is O(tiers), not O(N).
+//
+// The exactness argument: weightedAverage is a sample-weighted mean, and a
+// weighted mean of per-edge weighted means (each weighted by its cohort's
+// total samples) equals the flat weighted mean over all clients — so for
+// FedAvg-family aggregation the hierarchy changes where the adds happen,
+// not what the root computes (modulo codec loss on the extra hop).
+type EdgeAggregator struct {
+	// ID is the edge's node identity (hier.EdgeID(k)).
+	ID comm.NodeID
+	// Cohort is the full membership this edge owns.
+	Cohort []ClientInfo
+	// Sampler picks each round's participating sub-cohort; its pure
+	// (seed, round, id) hash means the edge never coordinates membership
+	// with the root or its siblings.
+	Sampler hier.Sampler
+	// Codec decodes client uplinks and encodes the upstream aggregate as a
+	// delta against the round's dispatched base; nil ships raw snapshots.
+	Codec codec.Codec
+	// BW, when set, counts the bytes this edge puts on the wire.
+	BW *Bandwidth
+	// Timeout cuts the round: an edge whose sampled clients went silent
+	// flushes what arrived instead of wedging the tier. 0 waits forever
+	// (the root's own RoundTimeout/quorum is then the only backstop).
+	Timeout time.Duration
+	// Logf, when set, receives debug traces.
+	Logf func(format string, args ...any)
+	// Trace, when set, records timeline events.
+	Trace *trace.Log
+
+	// updFeature/updClassifier encode the upstream aggregate stream; for
+	// sparsifying codecs they carry the edge's own residual error feedback,
+	// mirroring the client-side streams (DESIGN.md §8).
+	updFeature    codec.Codec
+	updClassifier codec.Codec
+
+	// Per-round state.
+	round   int
+	base    nn.Weights
+	trainP  TrainPayload
+	sampled []comm.NodeID
+	pending map[comm.NodeID]bool
+	// dead holds sampled clients written off by a crash notice whose update
+	// has not arrived: the round no longer waits on them, but a rejoin (or
+	// an update that was already in flight) can still fold them back in.
+	dead map[comm.NodeID]bool
+	// down is the edge's persistent liveness view of its cohort (the root
+	// federator keeps the same map over its selection): a client sampled
+	// while down is written off at round start, its dispatch unsent.
+	down    map[comm.NodeID]bool
+	updates []Update
+	timer   comm.Timer
+	closed  bool
+}
+
+var _ comm.Handler = (*EdgeAggregator)(nil)
+
+// Init prepares the edge's codec streams. Call once before messages flow.
+func (e *EdgeAggregator) Init() {
+	e.round = -1
+	e.closed = true
+	e.down = make(map[comm.NodeID]bool)
+	e.updFeature, e.updClassifier = e.Codec, e.Codec
+	if e.Codec != nil && e.Codec.Name() == codec.TopK {
+		e.updFeature = codec.NewResidual(e.Codec)
+		e.updClassifier = codec.NewResidual(e.Codec)
+	}
+}
+
+// OnRejoin implements the chaos rejoin handshake: the crash wiped the open
+// round and the residual streams, so re-derive both from static config and
+// idle until the root's next dispatch.
+func (e *EdgeAggregator) OnRejoin(env comm.Env) {
+	if e.timer != nil {
+		e.timer.Cancel()
+		e.timer = nil
+	}
+	e.base = nn.Weights{}
+	e.trainP = TrainPayload{}
+	e.sampled, e.pending, e.dead, e.updates = nil, nil, nil, nil
+	e.Init()
+	e.Trace.Record(env.Now(), e.ID, -1, trace.NodeRejoin, "edge state re-seeded")
+}
+
+func (e *EdgeAggregator) logf(format string, args ...any) {
+	if e.Logf != nil {
+		e.Logf(format, args...)
+	}
+}
+
+// OnMessage implements comm.Handler.
+func (e *EdgeAggregator) OnMessage(env comm.Env, msg comm.Message) {
+	switch msg.Kind {
+	case comm.KindTrain:
+		p, ok := msg.Payload.(TrainPayload)
+		if !ok {
+			e.logf("edge %d: bad train payload %T", e.ID, msg.Payload)
+			return
+		}
+		e.startRound(env, p)
+	case comm.KindUpdate:
+		e.onUpdate(env, msg)
+	case comm.KindFault:
+		if p, ok := msg.Payload.(comm.FaultPayload); ok {
+			e.onFault(env, p)
+		}
+	default:
+		// Client traffic the hierarchy does not speak (profiles, offload
+		// results) lands here via the router; the hierarchical build only
+		// runs non-offloading strategies, so this is stale or misdirected.
+		e.logf("edge %d: unexpected message kind %s", e.ID, msg.Kind)
+	}
+}
+
+// startRound samples the round's sub-cohort and fans the root's dispatch
+// out to it. The global snapshot is forwarded by reference: clients treat
+// TrainPayload.Global as read-only, so one in-process copy serves the whole
+// cohort (serializing transports copy per send anyway).
+func (e *EdgeAggregator) startRound(env comm.Env, p TrainPayload) {
+	if e.timer != nil {
+		e.timer.Cancel()
+		e.timer = nil
+	}
+	e.round = p.Config.Round
+	e.base = p.Global
+	e.trainP = p
+	e.closed = false
+	e.dead = make(map[comm.NodeID]bool)
+	e.updates = e.updates[:0]
+	ids := make([]comm.NodeID, len(e.Cohort))
+	for i, c := range e.Cohort {
+		ids[i] = c.ID
+	}
+	e.sampled = e.Sampler.Cohort(e.round, ids)
+	hier.ObserveCohort(len(e.sampled))
+	e.pending = make(map[comm.NodeID]bool, len(e.sampled))
+	for _, id := range e.sampled {
+		if e.down[id] {
+			// Sampled while crashed: the dispatch is guaranteed lost, so
+			// the round must not wait for it — the root makes the same
+			// call over its selection. A rejoin can still re-enroll it.
+			e.dead[id] = true
+			continue
+		}
+		e.pending[id] = true
+	}
+	e.Trace.Record(env.Now(), e.ID, e.round, trace.RoundStart,
+		fmt.Sprintf("edge cohort %d/%d sampled", len(e.sampled), len(e.Cohort)))
+	size := p.Global.ByteSize()
+	for _, id := range e.sampled {
+		if e.dead[id] {
+			continue
+		}
+		e.BW.Count(comm.KindTrain, size)
+		env.Send(comm.Message{
+			To:      id,
+			Round:   e.round,
+			Kind:    comm.KindTrain,
+			Size:    size,
+			Payload: p,
+		})
+	}
+	if e.Timeout > 0 {
+		round := e.round
+		e.timer = env.After(e.Timeout, func() {
+			if e.round != round || e.closed {
+				return
+			}
+			e.logf("edge %d: round %d timeout with %d/%d updates",
+				e.ID, round, len(e.updates), len(e.sampled))
+			e.flush(env)
+		})
+	}
+}
+
+// onUpdate absorbs one sampled client's update; the edge flushes upstream
+// when the sub-cohort is complete.
+func (e *EdgeAggregator) onUpdate(env comm.Env, msg comm.Message) {
+	p, ok := msg.Payload.(UpdatePayload)
+	if !ok {
+		return
+	}
+	u := p.Update
+	if msg.Round != e.round || e.closed || (!e.pending[u.Client] && !e.dead[u.Client]) {
+		e.logf("edge %d: stray update from %d round %d", e.ID, u.Client, msg.Round)
+		return
+	}
+	hier.CountUpdateBytes("edge", msg.Size)
+	if !p.Encoded.IsZero() {
+		if e.Codec == nil {
+			e.logf("edge %d: encoded update from %d on a codec-free run", e.ID, u.Client)
+			return
+		}
+		w, err := decodeWeights(e.Codec, p.Encoded, e.base)
+		if err != nil {
+			e.logf("edge %d: decode update from %d: %v", e.ID, u.Client, err)
+			return
+		}
+		u.Weights = w
+	}
+	delete(e.pending, u.Client)
+	delete(e.dead, u.Client)
+	e.updates = append(e.updates, u)
+	if len(e.pending) == 0 {
+		e.flush(env)
+	}
+}
+
+// onFault folds a cohort member's liveness change into the open round,
+// mirroring the root federator's churn semantics at edge scope: a crashed
+// sampled client is written off — its in-memory round state is gone, so
+// barring an update already in flight nothing more will arrive from it,
+// and the crash may have been the one thing the round was waiting on — and
+// a rejoining client whose round is still open and whose update was lost
+// is re-enrolled mid-round with a fresh dispatch of the stored round
+// payload. The hier router tees the chaos layer's federator-addressed
+// client notices to the owning edge, so this fires without the edge
+// subscribing to the fault plan.
+func (e *EdgeAggregator) onFault(env comm.Env, p comm.FaultPayload) {
+	if !p.Down {
+		delete(e.down, p.Node)
+		// Re-enroll when the round is open and the node's update cannot
+		// otherwise arrive. A node still marked pending here means its
+		// crash notice was missed (the edge itself crashed in between);
+		// its round state is equally gone, so the dispatch is owed either
+		// way.
+		if e.closed || (!e.dead[p.Node] && !e.pending[p.Node]) {
+			return
+		}
+		delete(e.dead, p.Node)
+		e.pending[p.Node] = true
+		e.Trace.Record(env.Now(), e.ID, e.round, trace.NodeRejoin,
+			fmt.Sprintf("cohort client %d re-enrolled", p.Node))
+		size := e.trainP.Global.ByteSize()
+		e.BW.Count(comm.KindTrain, size)
+		env.Send(comm.Message{
+			To:      p.Node,
+			Round:   e.round,
+			Kind:    comm.KindTrain,
+			Size:    size,
+			Payload: e.trainP,
+		})
+		return
+	}
+	e.down[p.Node] = true
+	if e.closed || !e.pending[p.Node] {
+		return
+	}
+	e.dead[p.Node] = true
+	delete(e.pending, p.Node)
+	e.Trace.Record(env.Now(), e.ID, e.round, trace.NodeCrash,
+		fmt.Sprintf("cohort client %d written off", p.Node))
+	// Flush only if something arrived: a round where every sampled client
+	// died stays open, so the first rejoin re-enrolls into it — the same
+	// liveness path out of a full blackout the flat federator takes in
+	// deadline-free runs. Closing on empty would wedge the root instead.
+	if len(e.pending) == 0 && len(e.updates) > 0 {
+		e.flush(env)
+	}
+}
+
+// flush combines the arrived updates into one upstream aggregate. With
+// nothing arrived the edge sends nothing — the root's round timeout and
+// quorum grace decide what to do about a silent edge.
+func (e *EdgeAggregator) flush(env comm.Env) {
+	e.closed = true
+	if e.timer != nil {
+		e.timer.Cancel()
+		e.timer = nil
+	}
+	if len(e.updates) == 0 {
+		return
+	}
+	agg, err := weightedAverage(e.updates)
+	if err != nil {
+		e.logf("edge %d: aggregate: %v", e.ID, err)
+		return
+	}
+	samples := 0
+	var steps float64
+	for _, u := range e.updates {
+		samples += u.NumSamples
+		steps += float64(u.NumSamples) * float64(u.Steps)
+	}
+	meanSteps := int(steps / float64(samples))
+	if meanSteps < 1 {
+		meanSteps = 1
+	}
+	upd := Update{
+		Client:     e.ID,
+		Round:      e.round,
+		NumSamples: samples,
+		Steps:      meanSteps,
+	}
+	payload := UpdatePayload{}
+	size := agg.ByteSize()
+	if e.Codec == nil {
+		upd.Weights = agg
+	} else {
+		enc, err := encodeWeights(e.Codec.Name(), e.updFeature, e.updClassifier, agg, e.base)
+		if err != nil {
+			e.logf("edge %d: encode aggregate: %v", e.ID, err)
+			return
+		}
+		payload.Encoded = enc
+		size = enc.WireSize()
+	}
+	payload.Update = upd
+	hier.CountUpdateBytes("root", size)
+	e.BW.Count(comm.KindUpdate, size)
+	e.Trace.Record(env.Now(), e.ID, e.round, trace.UpdateSent,
+		fmt.Sprintf("aggregate of %d clients, %d samples", len(e.updates), samples))
+	env.Send(comm.Message{
+		To:      comm.FederatorID,
+		Round:   e.round,
+		Kind:    comm.KindUpdate,
+		Size:    size,
+		Payload: payload,
+	})
+}
+
+// hierRootStrategy adapts the configured strategy to the root of a tiered
+// federation: the root's "clients" are the edge aggregators, every edge
+// participates in every round (sampling happens inside each edge), and the
+// offload protocol is off — profiling and peer pairing across a tier
+// boundary is future work. Aggregation and deadlines delegate, so the
+// FedAvg-family math is the strategy's own.
+type hierRootStrategy struct {
+	inner Strategy
+}
+
+var _ Strategy = (*hierRootStrategy)(nil)
+
+func (s *hierRootStrategy) Name() string { return s.inner.Name() }
+func (s *hierRootStrategy) Caps() Caps   { return s.inner.Caps() }
+
+func (s *hierRootStrategy) Select(_ int, clients []ClientInfo, _ *tensor.RNG) []comm.NodeID {
+	ids := make([]comm.NodeID, len(clients))
+	for i, c := range clients {
+		ids[i] = c.ID
+	}
+	return ids
+}
+
+func (s *hierRootStrategy) LocalMu() float64 { return s.inner.LocalMu() }
+
+func (s *hierRootStrategy) Aggregate(prev nn.Weights, updates []Update) (nn.Weights, error) {
+	return s.inner.Aggregate(prev, updates)
+}
+
+func (s *hierRootStrategy) Deadline(r int) time.Duration { return s.inner.Deadline(r) }
+func (s *hierRootStrategy) Offloading() bool             { return false }
+
+// sampledStrategy adapts the configured strategy to a flat sampled
+// topology (Sample set, Tiers 0): the deterministic sampler narrows the
+// population to the round's cohort, then the strategy's own selection runs
+// within it. Offloading is off for the same reason as the tiered root —
+// unsampled peers are dormant shells.
+type sampledStrategy struct {
+	inner   Strategy
+	sampler hier.Sampler
+}
+
+var _ Strategy = (*sampledStrategy)(nil)
+
+func (s *sampledStrategy) Name() string { return s.inner.Name() }
+func (s *sampledStrategy) Caps() Caps   { return s.inner.Caps() }
+
+func (s *sampledStrategy) Select(r int, clients []ClientInfo, rng *tensor.RNG) []comm.NodeID {
+	ids := make([]comm.NodeID, len(clients))
+	for i, c := range clients {
+		ids[i] = c.ID
+	}
+	cohort := s.sampler.Cohort(r, ids)
+	hier.ObserveCohort(len(cohort))
+	inCohort := make(map[comm.NodeID]bool, len(cohort))
+	for _, id := range cohort {
+		inCohort[id] = true
+	}
+	narrowed := make([]ClientInfo, 0, len(cohort))
+	for _, c := range clients {
+		if inCohort[c.ID] {
+			narrowed = append(narrowed, c)
+		}
+	}
+	return s.inner.Select(r, narrowed, rng)
+}
+
+func (s *sampledStrategy) LocalMu() float64 { return s.inner.LocalMu() }
+
+func (s *sampledStrategy) Aggregate(prev nn.Weights, updates []Update) (nn.Weights, error) {
+	return s.inner.Aggregate(prev, updates)
+}
+
+func (s *sampledStrategy) Deadline(r int) time.Duration { return s.inner.Deadline(r) }
+func (s *sampledStrategy) Offloading() bool             { return false }
+
+// buildHier is Build's scale-out path (Topology.Hier enabled): instead of
+// materializing N clients it creates N lazy profiles plus shells, the edge
+// aggregators that own them, and a root federator whose children are the
+// edges (or, with Tiers 0, the sampled population). Per-client shards are
+// synthesized on hydration from the seed and the client's dataset Variant
+// (2+ID; the test set holds Variant 1), so the build cost and resident
+// memory follow the sampled cohort, not the population.
+func (t Topology) buildHier(wireCodec codec.Codec, bw *Bandwidth) (*Cluster, error) {
+	if t.Async {
+		return nil, fmt.Errorf("fl: hierarchical topology does not support the async engine yet")
+	}
+	if t.DirichletAlpha > 0 {
+		return nil, fmt.Errorf("fl: hierarchical topology synthesizes shards per client; Dirichlet partitioning is unsupported (use NonIIDClasses)")
+	}
+	if t.Strategy.Offloading() {
+		return nil, fmt.Errorf("fl: hierarchical topology does not support offloading strategies yet (peer pairing within a cohort is future work)")
+	}
+
+	test, err := dataset.Generate(dataset.Config{
+		Kind: t.Dataset, N: t.TestSamples, Seed: t.Seed, Small: t.SmallImages,
+		NoiseStd: t.NoiseStd, Variant: 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fl: test data: %w", err)
+	}
+	evaluate, err := newEvaluator(t.Arch, t.Backend, test.Inputs(), test.Labels())
+	if err != nil {
+		return nil, err
+	}
+
+	speeds := t.Speeds
+	if speeds == nil {
+		speeds = cluster.UniformSpeeds(t.Clients, tensor.NewRNG(t.Seed^0x5eed))
+	}
+	if len(speeds) != t.Clients {
+		return nil, fmt.Errorf("fl: %d speeds for %d clients", len(speeds), t.Clients)
+	}
+
+	samplesPer := t.TrainSamples / t.Clients
+	if samplesPer < 1 {
+		samplesPer = 1
+	}
+
+	hydrate := func(p hier.Profile) (comm.Handler, error) {
+		shard, err := hierShard(t, p, samplesPer)
+		if err != nil {
+			return nil, err
+		}
+		c := &Client{
+			ID:               p.ID,
+			Arch:             t.Arch,
+			Data:             shard,
+			Speed:            p.Speed,
+			Jitter:           t.SpeedJitter,
+			JitterSeed:       t.Seed,
+			Cost:             t.Cost,
+			Backend:          t.Backend,
+			Codec:            wireCodec,
+			BW:               bw,
+			ProfilerOverhead: -1,
+			Logf:             t.Logf,
+			Trace:            t.Trace,
+		}
+		if err := c.Init(); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+
+	shells := make([]*hier.LazyClient, t.Clients)
+	infosAll := make([]ClientInfo, t.Clients)
+	numClasses := t.Dataset.Classes()
+	for i := 0; i < t.Clients; i++ {
+		id := comm.NodeID(i)
+		var classes []int
+		if t.NonIIDClasses > 0 {
+			// Per-client class skew from a hash-derived stream, so a client's
+			// class set depends only on (seed, id) — never on build order or
+			// which siblings hydrate.
+			rng := tensor.NewRNG(t.Seed ^ 0xc1a55 ^ (uint64(id+1) * 0x9e3779b97f4a7c15))
+			perm := rng.Perm(numClasses)
+			k := t.NonIIDClasses
+			if k > numClasses {
+				k = numClasses
+			}
+			classes = append(classes, perm[:k]...)
+			sort.Ints(classes)
+		}
+		shells[i] = &hier.LazyClient{
+			Profile: hier.Profile{
+				ID: id, Speed: speeds[i], Samples: samplesPer,
+				Classes: classes, Seed: t.Seed,
+			},
+			Hydrate: hydrate,
+		}
+		infosAll[i] = ClientInfo{ID: id, Samples: samplesPer, Speed: speeds[i]}
+	}
+
+	sampler := hier.Sampler{Seed: t.Seed, Fraction: t.Hier.Sample}
+	var edges []*EdgeAggregator
+	var infos []ClientInfo
+	var strategy Strategy
+	if t.Hier.Tiers > 0 {
+		cohorts := make([][]ClientInfo, t.Hier.Tiers)
+		for _, info := range infosAll {
+			k := hier.Assign(t.Seed, info.ID, t.Hier.Tiers)
+			cohorts[k] = append(cohorts[k], info)
+		}
+		for k, cohort := range cohorts {
+			if len(cohort) == 0 {
+				continue
+			}
+			e := &EdgeAggregator{
+				ID:      hier.EdgeID(k),
+				Cohort:  cohort,
+				Sampler: sampler,
+				Codec:   wireCodec,
+				BW:      bw,
+				Timeout: t.Chaos.RoundTimeout,
+				Logf:    t.Logf,
+				Trace:   t.Trace,
+			}
+			e.Init()
+			edges = append(edges, e)
+			samples := 0
+			for _, c := range cohort {
+				samples += c.Samples
+			}
+			infos = append(infos, ClientInfo{ID: e.ID, Samples: samples, Speed: 1})
+		}
+		strategy = &hierRootStrategy{inner: t.Strategy}
+	} else {
+		infos = infosAll
+		strategy = &sampledStrategy{inner: t.Strategy, sampler: sampler}
+	}
+
+	fed := &Federator{
+		Arch:     t.Arch,
+		Strategy: strategy,
+		Clients:  infos,
+		Local: LocalConfig{
+			Epochs:    t.LocalEpochs,
+			BatchSize: t.BatchSize,
+			LR:        t.LR,
+		},
+		Rounds:       t.Rounds,
+		EvalEvery:    t.EvalEvery,
+		Evaluate:     evaluate,
+		QuorumFrac:   t.Chaos.Quorum,
+		RoundTimeout: t.Chaos.RoundTimeout,
+		Seed:         t.Seed,
+		Codec:        wireCodec,
+		BW:           bw,
+		Logf:         t.Logf,
+		Trace:        t.Trace,
+	}
+	if err := fed.Init(); err != nil {
+		return nil, err
+	}
+	return &Cluster{
+		Topology:  t,
+		Federator: fed,
+		Infos:     infos,
+		Bandwidth: bw,
+		Hier:      &HierCluster{Options: t.Hier, Shells: shells, Edges: edges},
+	}, nil
+}
+
+// hierShard synthesizes one client's private shard on hydration. Every
+// client draws from the same class prototypes as the flat build (the
+// prototypes depend only on the seed) with its own noise stream (Variant
+// 2+ID), so shards are disjoint by construction and deterministic per
+// (seed, id). Class-skewed clients over-generate and keep the first
+// `want` samples of their class set.
+func hierShard(t Topology, p hier.Profile, want int) (*dataset.Dataset, error) {
+	n := want
+	numClasses := t.Dataset.Classes()
+	if len(p.Classes) > 0 && len(p.Classes) < numClasses {
+		// Generation is class-balanced, so n*|classes|/numClasses samples
+		// survive the filter; double it for slack.
+		n = 2 * want * numClasses / len(p.Classes)
+	}
+	ds, err := dataset.Generate(dataset.Config{
+		Kind: t.Dataset, N: n, Seed: p.Seed, Small: t.SmallImages,
+		NoiseStd: t.NoiseStd, Variant: 2 + uint64(p.ID),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fl: client %d shard: %w", p.ID, err)
+	}
+	if len(p.Classes) == 0 || len(p.Classes) >= numClasses {
+		return ds, nil
+	}
+	allowed := make(map[int]bool, len(p.Classes))
+	for _, c := range p.Classes {
+		allowed[c] = true
+	}
+	idx := make([]int, 0, want)
+	for i, label := range ds.Labels() {
+		if allowed[label] {
+			idx = append(idx, i)
+			if len(idx) == want {
+				break
+			}
+		}
+	}
+	if len(idx) == 0 {
+		return nil, fmt.Errorf("fl: client %d shard has no samples of classes %v", p.ID, p.Classes)
+	}
+	return ds.Subset(idx), nil
+}

@@ -1,0 +1,327 @@
+package fl
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"aergia/internal/chaos"
+	"aergia/internal/cluster"
+	"aergia/internal/comm"
+	"aergia/internal/hier"
+)
+
+// hierTopology is a small hierarchical experiment: 12 clients behind edge
+// aggregators with per-round sampling.
+func hierTopology(tiers int, sample float64) Topology {
+	return Topology{
+		Strategy:     NewFedAvg(0),
+		Arch:         archForParity,
+		Dataset:      parityConfig(nil).Dataset,
+		SmallImages:  true,
+		Clients:      12,
+		Rounds:       3,
+		BatchSize:    4,
+		TrainSamples: 96,
+		TestSamples:  40,
+		EvalEvery:    1,
+		Seed:         7,
+		Hier:         hier.Options{Sample: sample, Tiers: tiers},
+	}
+}
+
+// runHier builds and drives a hierarchical topology on the named transport,
+// returning the results and the cluster (for shell inspection).
+func runHier(t *testing.T, top Topology, transport string) (*Results, *Cluster) {
+	t.Helper()
+	cl, err := top.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTransport(transport, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	res, err := (&Deployment{Cluster: cl, Transport: tr}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, cl
+}
+
+// hydratedSet returns the IDs of the shells that materialized.
+func hydratedSet(cl *Cluster) map[comm.NodeID]bool {
+	out := make(map[comm.NodeID]bool)
+	for _, s := range cl.Hier.Shells {
+		if s.Hydrations() > 0 {
+			out[s.Profile.ID] = true
+		}
+	}
+	return out
+}
+
+func sameIDSet(a, b map[comm.NodeID]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id := range a {
+		if !b[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestHierInertMatchesGoldens is the golden parity pin: sampling fraction
+// 1.0 with 0 edge tiers normalizes to the flat build and must reproduce the
+// PR 7 goldens bit-identically — sync (fedavg and aergia), async, and under
+// a zero chaos plan through an explicit chaos.Transport.
+func TestHierInertMatchesGoldens(t *testing.T) {
+	inert := hier.Options{Sample: 1}
+	for _, mk := range []struct {
+		name  string
+		strat func() Strategy
+	}{
+		{"fedavg", func() Strategy { return NewFedAvg(0) }},
+		{"aergia", func() Strategy { return NewAergia(0, 1) }},
+	} {
+		cfg := parityConfig(mk.strat())
+		cfg.Hier = inert
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertMatchesGolden(t, "hier-inert/"+mk.name, mk.name, res)
+
+		chaosCfg := parityConfig(mk.strat())
+		chaosCfg.Hier = inert
+		dep, _ := buildChaosDeployment(t, chaosCfg, chaos.Plan{})
+		res, err = dep.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertMatchesGolden(t, "hier-inert-chaos/"+mk.name, mk.name, res)
+	}
+
+	acfg := asyncParityConfig()
+	acfg.Hier = inert
+	got, err := RunAsync(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits := math.Float64bits(got.FinalAccuracy); bits != 0x3fe3333333333333 {
+		t.Fatalf("async accuracy bits %#x diverged from the pre-hier golden", bits)
+	}
+	if got.TotalTime != 661177269 {
+		t.Fatalf("async total time %v diverged from the pre-hier golden", got.TotalTime)
+	}
+}
+
+// TestHierBuildRejections pins the loud failures of the scale-out path.
+func TestHierBuildRejections(t *testing.T) {
+	top := hierTopology(2, 0.5)
+	top.Async = true
+	top.Strategy = nil
+	top.TotalUpdates = 8
+	if _, err := top.Build(); err == nil || !strings.Contains(err.Error(), "async") {
+		t.Fatalf("async hier build: %v", err)
+	}
+	top = hierTopology(2, 0.5)
+	top.DirichletAlpha = 0.5
+	if _, err := top.Build(); err == nil || !strings.Contains(err.Error(), "Dirichlet") {
+		t.Fatalf("dirichlet hier build: %v", err)
+	}
+	top = hierTopology(2, 0.5)
+	top.Strategy = NewAergia(0, 1)
+	if _, err := top.Build(); err == nil || !strings.Contains(err.Error(), "offloading") {
+		t.Fatalf("offloading hier build: %v", err)
+	}
+	top = hierTopology(0, -0.2)
+	if _, err := top.Build(); err == nil || !strings.Contains(err.Error(), "sampling fraction") {
+		t.Fatalf("bad fraction build: %v", err)
+	}
+}
+
+// TestHierTieredDeterministicAcrossRuns replays a tiered sampled run on the
+// simulator: two builds of the same topology must agree bit-for-bit on
+// every round stat and materialize exactly the same shells.
+func TestHierTieredDeterministicAcrossRuns(t *testing.T) {
+	resA, clA := runHier(t, hierTopology(3, 0.5), TransportSim)
+	resB, clB := runHier(t, hierTopology(3, 0.5), TransportSim)
+	assertResultsIdentical(t, "tiered replay", resA, resB)
+	if !sameIDSet(hydratedSet(clA), hydratedSet(clB)) {
+		t.Fatal("replayed runs hydrated different shells")
+	}
+	if len(clA.Hier.Edges) == 0 || len(clA.Hier.Edges) > 3 {
+		t.Fatalf("%d edges for 3 tiers", len(clA.Hier.Edges))
+	}
+	// The root saw one child per edge, not one per client.
+	for _, r := range resA.Rounds {
+		if r.Completed != len(clA.Hier.Edges) {
+			t.Fatalf("round %d completed %d, want %d edge aggregates",
+				r.Round, r.Completed, len(clA.Hier.Edges))
+		}
+	}
+	// Sampling at 0.5 must leave some shells dormant and hydrate others.
+	hyd := len(hydratedSet(clA))
+	if hyd == 0 || hyd == clA.Topology.Clients {
+		t.Fatalf("hydrated %d of %d shells — sampling inert", hyd, clA.Topology.Clients)
+	}
+	if resA.FinalAccuracy <= 0 {
+		t.Fatalf("accuracy %v — model never trained", resA.FinalAccuracy)
+	}
+	if resA.Bandwidth.UpdateBytes == 0 || resA.Bandwidth.DispatchBytes == 0 {
+		t.Fatalf("bandwidth ledger empty: %+v", resA.Bandwidth)
+	}
+}
+
+// TestHierFlatSamplingDeterministic covers the Tiers-0 path: the sampler
+// narrows the federator's selection directly and unsampled shells stay
+// dormant profiles.
+func TestHierFlatSamplingDeterministic(t *testing.T) {
+	resA, clA := runHier(t, hierTopology(0, 0.4), TransportSim)
+	resB, clB := runHier(t, hierTopology(0, 0.4), TransportSim)
+	assertResultsIdentical(t, "flat-sampled replay", resA, resB)
+	if !sameIDSet(hydratedSet(clA), hydratedSet(clB)) {
+		t.Fatal("replayed runs hydrated different shells")
+	}
+	if clA.Hier == nil || len(clA.Hier.Edges) != 0 {
+		t.Fatal("flat sampling built edges")
+	}
+	hyd := len(hydratedSet(clA))
+	if hyd == 0 || hyd == clA.Topology.Clients {
+		t.Fatalf("hydrated %d of %d shells — sampling inert", hyd, clA.Topology.Clients)
+	}
+	for _, r := range resA.Rounds {
+		if r.Completed == 0 || r.Completed >= clA.Topology.Clients {
+			t.Fatalf("round %d completed %d of %d — cohort not applied",
+				r.Round, r.Completed, clA.Topology.Clients)
+		}
+	}
+}
+
+// TestHierCodecRun drives the tiered path with a wire codec: client uplinks
+// decode at the edge, the edge's aggregate delta re-encodes upstream.
+func TestHierCodecRun(t *testing.T) {
+	top := hierTopology(2, 0.5)
+	top.Codec = "q8"
+	resA, _ := runHier(t, top, TransportSim)
+	resB, _ := runHier(t, top, TransportSim)
+	assertResultsIdentical(t, "tiered q8 replay", resA, resB)
+	raw, _ := runHier(t, hierTopology(2, 0.5), TransportSim)
+	if resA.Bandwidth.UpdateBytes >= raw.Bandwidth.UpdateBytes {
+		t.Fatalf("q8 update bytes %d not below raw %d",
+			resA.Bandwidth.UpdateBytes, raw.Bandwidth.UpdateBytes)
+	}
+}
+
+// TestHierSamplingAgreesAcrossTransports pins the cross-transport half of
+// the sampling contract: the same seed materializes the same shells on the
+// virtual-time simulator and over real TCP, because cohort membership is a
+// pure hash, never a timing artifact.
+func TestHierSamplingAgreesAcrossTransports(t *testing.T) {
+	top := hierTopology(2, 0.6)
+	top.Clients = 8
+	top.TrainSamples = 32
+	top.Rounds = 2
+	top.Cost = cluster.CostModel{FLOPSPerSecond: 2e9}
+	_, simCl := runHier(t, top, TransportSim)
+	_, tcpCl := runHier(t, top, TransportTCP)
+	simSet, tcpSet := hydratedSet(simCl), hydratedSet(tcpCl)
+	if len(simSet) == 0 {
+		t.Fatal("no shells hydrated")
+	}
+	if !sameIDSet(simSet, tcpSet) {
+		t.Fatalf("hydrated sets diverged across transports: sim %v vs tcp %v", simSet, tcpSet)
+	}
+}
+
+// TestHierHydrationUnderChaos pins the crash/rejoin contract for lazy
+// shells: a hydrated client that crashes dehydrates back to its profile on
+// rejoin (through the router and instrumentation proxies), and the next
+// round's dispatch rebuilds it from the seed — exactly one extra hydration,
+// and the run still completes every round.
+func TestHierHydrationUnderChaos(t *testing.T) {
+	top := hierTopology(2, 0) // everyone participates: hydration count is exact
+	top.Speeds = []float64{0.25, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+
+	// Baseline round duration, bounded by the straggler (client 0).
+	base, _ := runHier(t, top, TransportSim)
+	d0 := base.Rounds[0].Duration
+
+	cl, err := top.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := NewTransport(TransportSim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	ct := chaos.New(inner, cl.Topology.Chaos, cl.Topology.Seed)
+	// Crash a fast client after its round-0 update (~d0/4 at speed 1 vs
+	// 0.25) and rejoin it before the straggler closes the round: the rejoin
+	// must dehydrate the shell, and round 1's dispatch re-hydrates it.
+	const victim = comm.NodeID(5)
+	ct.ScheduleCrash(victim, d0/2, d0/4)
+	res, err := (&Deployment{Cluster: cl, Transport: ct}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != top.Rounds {
+		t.Fatalf("completed %d rounds under churn, want %d", len(res.Rounds), top.Rounds)
+	}
+	for _, s := range cl.Hier.Shells {
+		want := 1
+		if s.Profile.ID == victim {
+			want = 2
+		}
+		if got := s.Hydrations(); got != want {
+			t.Fatalf("shell %d hydrated %d times, want %d", s.Profile.ID, got, want)
+		}
+	}
+}
+
+// TestHierChurnWithoutTimeoutCompletes is the regression pin for the
+// tiered churn stall: with no deadline anywhere (strategy, plan, or edge),
+// a crash/rejoin churn plan must not wedge a tiered sampled run. The hier
+// router tees the chaos layer's client fault notices to the owning edge,
+// which writes crashed cohort members off and re-enrolls rejoiners —
+// without the tee an edge waits forever on a dead client and the simulator
+// runs out of events. The faulted run must also replay bit-identically.
+func TestHierChurnWithoutTimeoutCompletes(t *testing.T) {
+	run := func() (*Results, *Cluster) {
+		t.Helper()
+		top := hierTopology(2, 0.5)
+		top.Chaos = chaos.Plan{Churn: 0.5, Rejoin: 1, Window: 200 * time.Millisecond}
+		cl, err := top.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner, err := NewTransport(TransportSim, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer inner.Close()
+		ct := chaos.New(inner, cl.Topology.Chaos, cl.Topology.Seed)
+		res, err := (&Deployment{Cluster: cl, Transport: ct}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := ct.Stats(); s.Crashes == 0 {
+			t.Fatal("churn plan injected no crashes — the stall path went unexercised")
+		}
+		return res, cl
+	}
+	resA, clA := run()
+	resB, clB := run()
+	if len(resA.Rounds) != clA.Topology.Rounds {
+		t.Fatalf("completed %d rounds under churn, want %d", len(resA.Rounds), clA.Topology.Rounds)
+	}
+	assertResultsIdentical(t, "tiered churn replay", resA, resB)
+	if !sameIDSet(hydratedSet(clA), hydratedSet(clB)) {
+		t.Fatal("replayed faulted runs hydrated different shells")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"aergia/internal/comm"
 	"aergia/internal/dataset"
 	"aergia/internal/enclave"
+	"aergia/internal/hier"
 	"aergia/internal/nn"
 	"aergia/internal/sched"
 	"aergia/internal/similarity"
@@ -113,6 +114,12 @@ type Topology struct {
 	// evaluator; nil means the serial reference. Results are bit-identical
 	// across backends and worker counts (see DESIGN.md §2).
 	Backend tensor.Backend
+	// Hier selects the scale-out behavior (internal/hier, DESIGN.md §11):
+	// Sample picks a deterministic per-round cohort fraction, Tiers inserts
+	// edge aggregators between the clients and the root. The zero value —
+	// and Sample 1.0, which normalizes to it — keeps the flat
+	// everyone-participates topology bit-identical to the pre-hier path.
+	Hier hier.Options
 	// Codec selects the wire codec that shrinks model-update payloads
 	// (updates, offload shipments, feature returns): "" or "none" ships
 	// raw float64 snapshots — byte-for-byte the pre-codec wire format —
@@ -185,6 +192,10 @@ type Cluster struct {
 	// Bandwidth is the run's shared byte counter; every actor records its
 	// sends here and Deployment snapshots it into the results.
 	Bandwidth *Bandwidth
+	// Hier is the scale-out half of a hierarchically built cluster (lazy
+	// shells and edge aggregators); nil for flat topologies, in which case
+	// Clients holds the materialized actors.
+	Hier *HierCluster
 }
 
 // Build materializes the cluster: it generates and partitions the dataset,
@@ -206,6 +217,11 @@ func (t Topology) Build() (*Cluster, error) {
 		return nil, fmt.Errorf("fl: chaos plan: %w", err)
 	}
 	t.Chaos = plan
+	hierOpts, err := t.Hier.Normalized()
+	if err != nil {
+		return nil, fmt.Errorf("fl: %w", err)
+	}
+	t.Hier = hierOpts
 	codecName, err := codec.Canonical(t.Codec)
 	if err != nil {
 		return nil, fmt.Errorf("fl: %w", err)
@@ -221,6 +237,11 @@ func (t Topology) Build() (*Cluster, error) {
 		}
 	}
 	bw := &Bandwidth{}
+	if t.Hier.Enabled() {
+		// The scale-out path: lazy profiles and edge aggregators instead of
+		// N materialized clients (see hier.go and DESIGN.md §11).
+		return t.buildHier(wireCodec, bw)
+	}
 
 	// Data: disjoint client shards plus a held-out test set drawn from the
 	// same class prototypes but a different noise stream.

@@ -1,0 +1,88 @@
+package hier
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"aergia/internal/comm"
+)
+
+// Profile is the lazy stand-in for an unmaterialized client: the metadata
+// the schedulers and samplers need (speed, data skew) without any of the
+// state that makes a live client expensive (model weights, training shard,
+// optimizer buffers). A 100k-client topology holds 100k profiles but only
+// materializes the sampled cohort.
+type Profile struct {
+	// ID is the client's actor identity.
+	ID comm.NodeID
+	// Speed is the relative compute speed (1 = nominal).
+	Speed float64
+	// Samples is the nominal size of the client's training shard; it weighs
+	// the client in edge aggregates before the shard ever exists.
+	Samples int
+	// Classes is the client's label skew (non-IID class set); empty means
+	// the full label space.
+	Classes []int
+	// Seed derives the client's shard and jitter streams on hydration.
+	Seed uint64
+}
+
+// Hydrator materializes a full client actor from its profile. It must be a
+// pure function of the profile — hydrating the same profile twice (e.g.
+// after a crash/rejoin dropped the first incarnation) must yield an
+// identically initialized actor, or determinism breaks.
+type Hydrator func(Profile) (comm.Handler, error)
+
+// LazyClient is the registered shell of an unmaterialized client. It
+// satisfies the transport's "every node registers before Seal" contract at
+// the cost of one Profile, and swaps in the real actor the first time a
+// training dispatch reaches it. A chaos rejoin dehydrates the shell back to
+// its profile — the crashed incarnation's state is gone, exactly as a
+// client process restart would lose it — and the next dispatch rebuilds it
+// from the seed, so recovery needs no persisted checkpoint.
+type LazyClient struct {
+	// Profile is the dormant state.
+	Profile Profile
+	// Hydrate materializes the full client.
+	Hydrate Hydrator
+
+	inner      comm.Handler
+	hydrations atomic.Int64
+}
+
+// Hydrated reports whether the full client is currently materialized.
+func (c *LazyClient) Hydrated() bool { return c.inner != nil }
+
+// Hydrations returns how many times this shell materialized its client
+// (more than once only after a rejoin dehydrated it).
+func (c *LazyClient) Hydrations() int { return int(c.hydrations.Load()) }
+
+// OnMessage implements comm.Handler. A dormant shell answers only a
+// training dispatch — anything else is protocol traffic for a client that
+// was never selected this incarnation, and dropping it is the lazy
+// contract: unsampled clients cost no work.
+func (c *LazyClient) OnMessage(env comm.Env, msg comm.Message) {
+	if c.inner == nil {
+		if msg.Kind != comm.KindTrain {
+			return
+		}
+		h, err := c.Hydrate(c.Profile)
+		if err != nil {
+			panic(fmt.Sprintf("hier: hydrating client %d: %v", c.Profile.ID, err))
+		}
+		c.inner = h
+		c.hydrations.Add(1)
+		hm().hydrations.Add(1)
+	}
+	c.inner.OnMessage(env, msg)
+}
+
+// OnRejoin implements the chaos layer's Rejoiner: the rejoined incarnation
+// starts dormant again, holding only the profile.
+func (c *LazyClient) OnRejoin(comm.Env) {
+	if c.inner == nil {
+		return
+	}
+	c.inner = nil
+	hm().dehydrations.Add(1)
+}

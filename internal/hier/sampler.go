@@ -1,0 +1,58 @@
+package hier
+
+import "aergia/internal/comm"
+
+// Sampler picks each round's participating cohort. Membership is a pure
+// stateless function of (Seed, round, client id): a client is in round r's
+// cohort iff a seed-derived hash of the pair maps below Fraction. No state
+// crosses rounds and no messages cross tiers, so a sampler constructed with
+// the same seed computes identical cohorts on every run, every process, and
+// every transport — the sampling contract the hierarchy is built on.
+type Sampler struct {
+	// Seed derives the hash stream. Two samplers agree iff their seeds do.
+	Seed uint64
+	// Fraction is the expected cohort fraction in (0,1). Values outside
+	// that open interval select everyone — sampling disabled.
+	Fraction float64
+}
+
+// point maps (round, id) to a uniform value in [0,1).
+func (s Sampler) point(round int, id comm.NodeID) float64 {
+	h := mix(s.Seed^0x5a3b1e, mix(uint64(round), uint64(id)))
+	return float64(h>>11) / (1 << 53)
+}
+
+// Selected reports whether id participates in round.
+func (s Sampler) Selected(round int, id comm.NodeID) bool {
+	if s.Fraction <= 0 || s.Fraction >= 1 {
+		return true
+	}
+	return s.point(round, id) < s.Fraction
+}
+
+// Cohort filters ids down to round's cohort, preserving order. A round
+// never goes empty: when the hash selects nobody from ids, the member with
+// the minimal hash point is drafted, so every edge contributes at least one
+// update per round regardless of how small Fraction * len(ids) gets.
+func (s Sampler) Cohort(round int, ids []comm.NodeID) []comm.NodeID {
+	if s.Fraction <= 0 || s.Fraction >= 1 {
+		return ids
+	}
+	out := make([]comm.NodeID, 0, int(float64(len(ids))*s.Fraction)+1)
+	for _, id := range ids {
+		if s.Selected(round, id) {
+			out = append(out, id)
+		}
+	}
+	if len(out) == 0 && len(ids) > 0 {
+		best := ids[0]
+		bestPt := s.point(round, best)
+		for _, id := range ids[1:] {
+			if pt := s.point(round, id); pt < bestPt {
+				best, bestPt = id, pt
+			}
+		}
+		out = append(out, best)
+	}
+	return out
+}

@@ -215,3 +215,15 @@ func (p *instHandler) OnMessage(env comm.Env, msg comm.Message) {
 	p.h.OnMessage(p.t.wrapEnv(env), msg)
 	p.t.m.delivered(msg, time.Since(start))
 }
+
+// OnRejoin forwards the fault layer's rejoin notification through the
+// instrumentation proxy. The fault layer sits below this wrapper, so the
+// handler it holds for a node is this proxy, and the wrapped actor's own
+// rejoin hook is unreachable unless the proxy forwards it. The assertion is
+// structural rather than on chaos.Rejoiner to keep obs free of a chaos
+// import.
+func (p *instHandler) OnRejoin(env comm.Env) {
+	if r, ok := p.h.(interface{ OnRejoin(comm.Env) }); ok {
+		r.OnRejoin(p.t.wrapEnv(env))
+	}
+}

@@ -77,7 +77,7 @@ func TestRegisterPayloadsCoversProtocol(t *testing.T) {
 		rpc.RegisterPayload(v)
 		count++
 	})
-	if count != 6 {
-		t.Fatalf("RegisterPayloads announced %d types, want 6 (one per protocol kind)", count)
+	if count != 7 {
+		t.Fatalf("RegisterPayloads announced %d types, want 7 (one per protocol kind, plus the routed fault notice)", count)
 	}
 }

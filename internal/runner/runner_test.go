@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"aergia/internal/experiments"
+	"aergia/internal/hier"
 )
 
 // countingExecutor returns an executor that counts executions and yields a
@@ -536,5 +537,49 @@ func TestSweepExpandCodecAxis(t *testing.T) {
 	}
 	if _, err := (Sweep{Experiments: []string{"fig4"}, Codecs: []string{"gzip"}}).Expand(); err == nil {
 		t.Fatal("bad codec accepted")
+	}
+}
+
+// TestSweepExpandHierAxes pins the scale-out sweep axes: sampling fractions
+// and edge tiers grid like any other axis, the inert cells (sample 0 or 1,
+// tiers 0) normalize to the flat default with the pre-hier job ID, and an
+// out-of-range fraction fails the expansion.
+func TestSweepExpandHierAxes(t *testing.T) {
+	jobs, err := Sweep{
+		Experiments: []string{"fig4"},
+		Quick:       []bool{true},
+		Samples:     []float64{0, 1, 0.25},
+		Tiers:       []int{0, 4},
+	}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 samples x 2 tiers = 6 cells; 0 and 1 sample dedup, so 4 survive.
+	if len(jobs) != 4 {
+		t.Fatalf("expanded %d jobs, want 4 after inert-sample dedup", len(jobs))
+	}
+	if !jobs[0].Options.Hier.IsZero() {
+		t.Fatalf("first cell should be flat: %+v", jobs[0].Options.Hier)
+	}
+	want := []hier.Options{{}, {Tiers: 4}, {Sample: 0.25}, {Sample: 0.25, Tiers: 4}}
+	for i, job := range jobs {
+		if job.Options.Hier != want[i] {
+			t.Fatalf("cell %d hier = %+v, want %+v", i, job.Options.Hier, want[i])
+		}
+	}
+	// The flat cell is the same job as a sweep without the axes, so stores
+	// populated before they existed still dedup.
+	plain, err := Sweep{Experiments: []string{"fig4"}, Quick: []bool{true}}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain[0].ID() != jobs[0].ID() {
+		t.Fatalf("flat cell id %s != pre-hier id %s", jobs[0].ID(), plain[0].ID())
+	}
+	if _, err := (Sweep{Experiments: []string{"fig4"}, Samples: []float64{1.5}}).Expand(); err == nil {
+		t.Fatal("out-of-range sampling fraction accepted")
+	}
+	if _, err := (Sweep{Experiments: []string{"fig4"}, Tiers: []int{-1}}).Expand(); err == nil {
+		t.Fatal("negative tier count accepted")
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"aergia/internal/chaos"
 	"aergia/internal/experiments"
+	"aergia/internal/hier"
 )
 
 // Sweep is a parameter grid over the experiment options. Expand takes the
@@ -24,6 +25,13 @@ type Sweep struct {
 	// Codecs lists wire codecs ("none", "q8", "topk"); "" is the raw
 	// default. Bandwidth sweeps grid over it like any other axis.
 	Codecs []string `json:"codecs,omitempty"`
+	// Samples lists per-round client sampling fractions in [0, 1]; 0 (and
+	// the inert 1.0) is the flat everyone-participates run. Scale-out
+	// sweeps grid over it like any other axis (internal/hier).
+	Samples []float64 `json:"samples,omitempty"`
+	// Tiers lists edge-aggregator counts; 0 is the flat two-level
+	// topology. Scale-out sweeps grid over it like any other axis.
+	Tiers []int `json:"tiers,omitempty"`
 }
 
 // Expand materializes the grid as jobs, validating every cell. Cells that
@@ -57,6 +65,14 @@ func (s Sweep) Expand() ([]Job, error) {
 	if len(codecs) == 0 {
 		codecs = []string{""}
 	}
+	samples := s.Samples
+	if len(samples) == 0 {
+		samples = []float64{0}
+	}
+	tiers := s.Tiers
+	if len(tiers) == 0 {
+		tiers = []int{0}
+	}
 	plans := make([]chaos.Plan, len(chaosSpecs))
 	for i, spec := range chaosSpecs {
 		plan, err := chaos.ParseSpec(spec)
@@ -74,20 +90,25 @@ func (s Sweep) Expand() ([]Job, error) {
 					for _, w := range workers {
 						for _, plan := range plans {
 							for _, wireCodec := range codecs {
-								job, err := NewJob(exp, experiments.Options{
-									Quick:   quick,
-									Seed:    seed,
-									Backend: backend,
-									Workers: w,
-									Chaos:   plan,
-									Codec:   wireCodec,
-								})
-								if err != nil {
-									return nil, err
-								}
-								if id := job.ID(); !seen[id] {
-									seen[id] = true
-									jobs = append(jobs, job)
+								for _, sample := range samples {
+									for _, tier := range tiers {
+										job, err := NewJob(exp, experiments.Options{
+											Quick:   quick,
+											Seed:    seed,
+											Backend: backend,
+											Workers: w,
+											Chaos:   plan,
+											Codec:   wireCodec,
+											Hier:    hier.Options{Sample: sample, Tiers: tier},
+										})
+										if err != nil {
+											return nil, err
+										}
+										if id := job.ID(); !seen[id] {
+											seen[id] = true
+											jobs = append(jobs, job)
+										}
+									}
 								}
 							}
 						}
