@@ -16,7 +16,8 @@
 //	aergia -sweep '{"experiments":["fig6"],"seeds":[1,2,3]}' -store out.jsonl
 //	aergia -sweep @grid.json -store out.jsonl -jobs 4
 //	aergia -experiment fig4 -quick -trace-out run.json   # Perfetto-loadable timeline
-//	aergia -experiment fig4 -quick -metrics-out metrics.prom  # final metrics scrape
+//	aergia -experiment fig4 -quick -metrics-out metrics.prom  # final metrics scrape + quantile summary
+//	aergia -experiment fig4 -quick -spans-out spans.jsonl     # causal message spans as JSONL
 //
 // The -backend flag selects the compute backend for all model math: serial
 // and parallel are the float64 pair, serial32 and parallel32 the float32
@@ -74,7 +75,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"syscall"
 
 	"aergia/internal/chaos"
 	"aergia/internal/codec"
@@ -88,6 +92,19 @@ import (
 )
 
 func main() {
+	// SIGQUIT is the wedged-run post-mortem: dump the flight recorder's
+	// recent span/fault events plus all goroutine stacks (installing a
+	// handler replaces Go's default dump) and exit.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		<-quit
+		obs.FlightDefault.Dump(os.Stderr)
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		_, _ = os.Stderr.Write(buf[:n])
+		os.Exit(2)
+	}()
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "aergia:", err)
 		os.Exit(1)
@@ -120,9 +137,11 @@ func run(args []string, out io.Writer) error {
 		jobs       = fs.Int("jobs", 0, "concurrent jobs for -sweep (0 = GOMAXPROCS)")
 		list       = fs.Bool("list", false, "list available experiments")
 		metricsOut = fs.String("metrics-out", "",
-			"write a final Prometheus text-format metrics dump to this file")
+			"write a final Prometheus text-format metrics dump to this file, plus a p50/p95/p99 quantile summary per latency family to stdout")
 		traceOut = fs.String("trace-out", "",
 			"write the run's event timeline as Chrome trace-event JSON (Perfetto/chrome://tracing) to this file")
+		spansOut = fs.String("spans-out", "",
+			"write the run's causal message spans as JSONL (one span per line) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -166,9 +185,9 @@ func run(args []string, out io.Writer) error {
 		var conflicts []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			// -trace-out conflicts too: one trace file cannot attribute
-			// events across a grid of concurrent runs.
-			case "experiment", "quick", "seed", "backend", "workers", "transport", "transport-timeout", "chaos", "codec", "sample", "tiers", "trace-out":
+			// -trace-out and -spans-out conflict too: one trace/span file
+			// cannot attribute events across a grid of concurrent runs.
+			case "experiment", "quick", "seed", "backend", "workers", "transport", "transport-timeout", "chaos", "codec", "sample", "tiers", "trace-out", "spans-out":
 				conflicts = append(conflicts, "-"+f.Name)
 			}
 		})
@@ -200,6 +219,9 @@ func run(args []string, out io.Writer) error {
 	if *traceOut != "" {
 		opt.Trace = trace.NewLog()
 	}
+	if *spansOut != "" {
+		opt.Spans = obs.NewSpanLog()
+	}
 	names := []string{*experiment}
 	if *experiment == "all" {
 		names = experiments.Names()
@@ -229,7 +251,10 @@ func run(args []string, out io.Writer) error {
 	if err := dumpTrace(*traceOut, opt.Trace); err != nil {
 		return err
 	}
-	return dumpMetrics(*metricsOut)
+	if err := dumpSpans(*spansOut, opt.Spans); err != nil {
+		return err
+	}
+	return dumpMetricsSummary(*metricsOut, out)
 }
 
 // dumpTrace writes the collected timeline as Chrome trace-event JSON.
@@ -247,6 +272,25 @@ func dumpTrace(path string, log *trace.Log) error {
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("trace out: %w", err)
+	}
+	return nil
+}
+
+// dumpSpans writes the collected causal spans as JSONL.
+func dumpSpans(path string, log *obs.SpanLog) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("spans out: %w", err)
+	}
+	if err := log.WriteJSONL(f); err != nil {
+		f.Close()
+		return fmt.Errorf("spans out: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("spans out: %w", err)
 	}
 	return nil
 }
@@ -269,6 +313,21 @@ func dumpMetrics(path string) error {
 		return fmt.Errorf("metrics out: %w", err)
 	}
 	return nil
+}
+
+// dumpMetricsSummary is dumpMetrics plus the human-readable half: a
+// p50/p95/p99 line per histogram family printed to the report writer, so
+// "how slow were the links" doesn't require pasting exposition text into a
+// Prometheus server.
+func dumpMetricsSummary(path string, out io.Writer) error {
+	if err := dumpMetrics(path); err != nil {
+		return err
+	}
+	if path == "" {
+		return nil
+	}
+	fmt.Fprintln(out, "\nlatency quantiles (p50/p95/p99 interpolated from histogram buckets):")
+	return obs.Default.WriteQuantiles(out)
 }
 
 // runSweep drives a parameter grid through the in-process runner — the

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aergia/internal/obs"
+	"aergia/internal/runner"
+)
+
+// TestDaemonEventsSSE pins the live-stream contract of
+// GET /jobs/{id}/events: a consumer attached before the job runs receives
+// one "event: round" per published round (as obs.RoundEvent JSON) and an
+// "event: done" terminator when the job finishes.
+func TestDaemonEventsSSE(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	exec := func(j runner.Job) (json.RawMessage, error) {
+		close(started)
+		<-release
+		j.Options.Events.Publish(obs.RoundEvent{Run: 9, Round: 1, Accuracy: 0.25, Cohort: 4})
+		j.Options.Events.Publish(obs.RoundEvent{Run: 9, Round: 2, Accuracy: 0.5, Cohort: 4, Straggler: 3})
+		return json.RawMessage(`{}`), nil
+	}
+	ts, _, _ := newTestServer(t, filepath.Join(t.TempDir(), "store.jsonl"),
+		runner.WithExecutor(exec))
+
+	resp, body := postJSON(t, ts.URL+"/jobs", `{"experiment":"fig4","options":{"quick":true}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var submitted jobsResponse
+	if err := json.Unmarshal(body, &submitted); err != nil {
+		t.Fatal(err)
+	}
+	id := submitted.Jobs[0].ID
+
+	stream, err := http.Get(ts.URL + "/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if stream.StatusCode != http.StatusOK {
+		t.Fatalf("events = %d", stream.StatusCode)
+	}
+	if ct := stream.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	<-started
+	close(release)
+
+	// Read SSE frames until the done event; the body closes after it.
+	var names []string
+	var rounds []obs.RoundEvent
+	sc := bufio.NewScanner(stream.Body)
+	var event string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+			names = append(names, event)
+		case strings.HasPrefix(line, "data: ") && event == "round":
+			var ev obs.RoundEvent
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad round payload %q: %v", line, err)
+			}
+			rounds = append(rounds, ev)
+		}
+		if event == "done" && line == "" {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"round", "round", "done"}; strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("event sequence = %v, want %v", names, want)
+	}
+	if len(rounds) != 2 || rounds[0].Round != 1 || rounds[1].Round != 2 ||
+		rounds[1].Straggler != 3 || rounds[1].Cohort != 4 {
+		t.Fatalf("round payloads = %+v", rounds)
+	}
+
+	waitDone(t, ts.URL, 1)
+
+	// After the job is done the stream replays history and closes at once.
+	replay, err := http.Get(ts.URL + "/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replay.Body.Close()
+	var buf strings.Builder
+	sc2 := bufio.NewScanner(replay.Body)
+	for sc2.Scan() {
+		buf.WriteString(sc2.Text() + "\n")
+	}
+	if out := buf.String(); strings.Count(out, "event: round") != 2 ||
+		!strings.Contains(out, "event: done") {
+		t.Fatalf("replay stream:\n%s", out)
+	}
+
+	// Unknown jobs are a 404, not a hung stream.
+	missing, err := http.Get(ts.URL + "/jobs/no-such-job/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job events = %d, want 404", missing.StatusCode)
+	}
+}
+
+// TestDaemonFlightEndpoint: GET /debug/flight serves the process-wide
+// flight ring as JSON.
+func TestDaemonFlightEndpoint(t *testing.T) {
+	ts, _, _ := newTestServer(t, filepath.Join(t.TempDir(), "store.jsonl"))
+
+	// The ring is process-global; make sure at least one event of ours is
+	// in it regardless of what other tests recorded.
+	obs.FlightDefault.RecordSpan(obs.Span{Trace: 777, ID: 1, From: -1, To: 0})
+
+	var got struct {
+		Count  int               `json:"count"`
+		Events []obs.FlightEvent `json:"events"`
+	}
+	if code := getJSON(t, ts.URL+"/debug/flight", &got); code != http.StatusOK {
+		t.Fatalf("flight = %d", code)
+	}
+	if got.Count == 0 || len(got.Events) != got.Count {
+		t.Fatalf("flight = count %d with %d events", got.Count, len(got.Events))
+	}
+	var found bool
+	for _, ev := range got.Events {
+		if ev.Class == "span" && ev.Trace == 777 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("flight snapshot is missing the recorded span (count %d)", got.Count)
+	}
+}

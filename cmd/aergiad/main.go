@@ -15,9 +15,16 @@
 //	POST /jobs        {"sweep":{"experiments":["fig6","fig7"],"seeds":[1,2,3]}}
 //	GET  /jobs        list jobs; ?status=done&experiment=fig6 filters
 //	GET  /jobs/{id}   one job with its result record
+//	GET  /jobs/{id}/events  live round progress over SSE ("event: round",
+//	                  one obs.RoundEvent JSON per data line; "event: done"
+//	                  when the job finishes)
 //	GET  /healthz     liveness + queue counters
 //	GET  /metrics     Prometheus text exposition (runner queue, bandwidth ledger, ...)
+//	GET  /debug/flight   recent span/fault events from the flight recorder (JSON)
 //	GET  /debug/pprof/*  runtime profiles (opt-in via -pprof)
+//
+// SIGQUIT dumps the flight recorder and all goroutine stacks to stderr and
+// exits — the post-mortem for a wedged run.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -89,6 +97,17 @@ func serve(addr, storePath string, jobs int, withPprof bool) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// SIGQUIT is the post-mortem trigger: installing a handler replaces
+	// Go's default stack dump, so re-emit the stacks ourselves after the
+	// flight recorder and exit with the conventional status.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		<-quit
+		log.Printf("aergiad: SIGQUIT, dumping flight recorder and stacks")
+		dumpPostMortem()
+		os.Exit(2)
+	}()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("aergiad: listening on %s", addr)
@@ -124,6 +143,8 @@ func newServer(r *runner.Runner, st *runner.Store, withPprof bool) http.Handler 
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	if withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -268,4 +289,74 @@ func (s *server) handleGet(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+}
+
+// handleEvents streams a job's live round progress as Server-Sent Events:
+// one "event: round" with an obs.RoundEvent JSON body per completed round
+// (replaying rounds already done), a comment heartbeat while rounds are in
+// flight, and "event: done" when the job ends.
+func (s *server) handleEvents(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	events, cancel, err := s.runner.Subscribe(id, 64)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	defer cancel()
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	// The server's WriteTimeout is sized for small JSON bodies; a live
+	// stream legitimately outlives it, so lift the deadline for this
+	// response only.
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-req.Context().Done():
+			return
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case ev, open := <-events:
+			if !open {
+				fmt.Fprint(w, "event: done\ndata: {}\n\n")
+				flusher.Flush()
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: round\ndata: %s\n\n", data); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// handleFlight serves the flight recorder's recent span/fault events — the
+// always-on diagnostic ring every traced run feeds.
+func (s *server) handleFlight(w http.ResponseWriter, _ *http.Request) {
+	events := obs.FlightDefault.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(events), "events": events})
+}
+
+// dumpPostMortem writes the flight recorder and all goroutine stacks to
+// stderr.
+func dumpPostMortem() {
+	obs.FlightDefault.Dump(os.Stderr)
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	_, _ = os.Stderr.Write(buf[:n])
 }

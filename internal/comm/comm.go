@@ -76,16 +76,42 @@ func (k Kind) String() string {
 	}
 }
 
+// SpanContext is the compact causal context a message carries across the
+// wire: which trace (run) it belongs to, which span the message itself is,
+// and which span was being handled when it was sent. It is stamped by the
+// observability tracer (internal/obs) at Env.Send and read back at
+// delivery; actors never set or inspect it, and a zero context means the
+// run is untraced. Sent is the sender's clock at the send, so the receiver
+// can close the span without any shared lookup state — both transports
+// share one epoch per run (virtual time on sim, the exchanged epoch on
+// rpc), making End-Sent the link latency the transport actually charged.
+type SpanContext struct {
+	// Trace identifies the run (the tracer derives it from the seed).
+	Trace uint64
+	// Span is this message's span ID, unique within the trace.
+	Span uint64
+	// Parent is the span of the message (or timer chain) that caused this
+	// send; 0 marks a root span (e.g. the federator's initial dispatch).
+	Parent uint64
+	// Sent is the sender's Env.Now() at the send.
+	Sent time.Duration
+}
+
+// Traced reports whether the context was stamped by a tracer.
+func (c SpanContext) Traced() bool { return c.Span != 0 }
+
 // Message is a protocol envelope. Size is the payload's true on-the-wire
 // size in bytes — for codec-encoded model payloads (internal/codec) the
 // encoded byte count, not the raw snapshot size — and drives the bandwidth
-// component of transfer delay on simulated links.
+// component of transfer delay on simulated links. Span is observability
+// metadata only: it never contributes to Size, delay, or actor behavior.
 type Message struct {
 	From    NodeID
 	To      NodeID
 	Round   int
 	Kind    Kind
 	Size    int
+	Span    SpanContext
 	Payload any
 }
 

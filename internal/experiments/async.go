@@ -69,6 +69,8 @@ func AsyncStudy(opt Options) ([]AsyncComparison, error) {
 		Codec:            opt.Codec,
 		Transport:        opt.Transport,
 		TransportTimeout: opt.TransportTimeout,
+		Spans:            opt.Spans,
+		Events:           opt.Events,
 	}
 	asyncRes, err := fl.RunAsync(asyncCfg)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"aergia/internal/hier"
 	"aergia/internal/metrics"
 	"aergia/internal/nn"
+	"aergia/internal/obs"
 	"aergia/internal/sim"
 	"aergia/internal/tensor"
 	"aergia/internal/trace"
@@ -83,6 +84,14 @@ type Options struct {
 	// excluded from the JSON encoding — observation must never split the
 	// record schema or the content-hash job IDs.
 	Trace *trace.Log `json:"-"`
+	// Spans, when set, retains every completed message span of the
+	// experiment's FL runs (the CLI's -spans-out). Excluded from the JSON
+	// encoding for the same reason as Trace.
+	Spans *obs.SpanLog `json:"-"`
+	// Events, when set, receives live per-round obs.RoundEvents from the
+	// experiment's FL runs — aergiad's runner wires one per job and
+	// streams it over SSE. Excluded from the JSON encoding like Trace.
+	Events *obs.RoundStream `json:"-"`
 }
 
 // seed resolves the default seed through the one normalization rule every
@@ -245,6 +254,8 @@ func (o Options) baseConfig(kind dataset.Kind, strat fl.Strategy) (fl.Config, er
 		Transport:        o.Transport,
 		TransportTimeout: o.TransportTimeout,
 		Trace:            o.Trace,
+		Spans:            o.Spans,
+		Events:           o.Events,
 	}, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"aergia/internal/codec"
 	"aergia/internal/comm"
 	"aergia/internal/nn"
+	"aergia/internal/obs"
 )
 
 // AsyncFederator implements the asynchronous aggregation alternative the
@@ -47,6 +48,13 @@ type AsyncFederator struct {
 	RedispatchAfter time.Duration
 	// Evaluate computes test accuracy of the global weights.
 	Evaluate func(w nn.Weights) (float64, error)
+	// Seed identifies the run in published round events.
+	Seed uint64
+	// Events, when set, receives one live obs.RoundEvent per evaluation
+	// sample; Round carries the absorbed-update count (the async analogue
+	// of a round number) and Cohort the updates absorbed since the
+	// previous sample.
+	Events *obs.RoundStream
 	// Codec decodes encoded client updates against the model version each
 	// dispatch shipped; nil expects raw payloads. With a codec, an update
 	// answering a dispatch whose base was already superseded (a redispatch
@@ -81,6 +89,11 @@ type AsyncFederator struct {
 	// snapshot when its last reference goes.
 	bases       map[int]*asyncBase
 	clientBases map[comm.NodeID]map[int]bool
+
+	// Event-stream bookkeeping: the clock and update count at the last
+	// published sample, so events carry per-sample deltas.
+	lastSampleAt      time.Duration
+	lastSampleUpdates int
 }
 
 // asyncBase is one retained dispatch base and its outstanding-dispatch
@@ -299,6 +312,20 @@ func (f *AsyncFederator) OnMessage(env comm.Env, msg comm.Message) {
 				Accuracy: acc,
 			})
 			f.results.FinalAccuracy = acc
+			f.Events.Publish(obs.RoundEvent{
+				Run:      f.Seed,
+				Round:    f.absorbed,
+				Accuracy: acc,
+				Cohort:   f.absorbed - f.lastSampleUpdates,
+				Duration: env.Now() - f.lastSampleAt,
+				Time:     env.Now(),
+				Bytes:    f.BW.Snapshot().TotalBytes,
+				// Async spans are filed under dispatch rounds, not absorb
+				// counts, so the straggler stays unnamed.
+				Straggler: comm.FederatorID,
+			})
+			f.lastSampleAt = env.Now()
+			f.lastSampleUpdates = f.absorbed
 		}
 	}
 	if f.absorbed >= f.TotalUpdates {

@@ -57,6 +57,12 @@ type AsyncConfig struct {
 	// TransportTimeout bounds a wall-clock (tcp) run; 0 selects the
 	// transport default. Ignored by the simulator.
 	TransportTimeout time.Duration
+	// Spans, when set, retains every completed message span (the tracer
+	// itself is always on — see Topology.Spans).
+	Spans *obs.SpanLog
+	// Events, when set, receives one live obs.RoundEvent per evaluation
+	// sample.
+	Events *obs.RoundStream
 }
 
 // Topology converts the AsyncConfig into the async Topology it wraps.
@@ -85,6 +91,8 @@ func (c AsyncConfig) Topology() Topology {
 		Backend:       c.Backend,
 		Codec:         c.Codec,
 		Hier:          c.Hier,
+		Spans:         c.Spans,
+		Events:        c.Events,
 	}
 }
 
@@ -104,6 +112,9 @@ func RunAsync(cfg AsyncConfig) (*AsyncResults, error) {
 	// obs wrap outermost is passive instrumentation (see internal/obs).
 	transport = chaos.Wrap(transport, cl.Topology.Chaos, cl.Topology.Seed)
 	transport = obs.WrapTransport(transport, obs.Default)
+	// Span tracer above the instrumentation, same as Run: always on,
+	// passive, with Spans/Events as optional sinks.
+	transport = tracerFor(cl.Topology).Wrap(transport)
 	dep := &Deployment{Cluster: cl, Transport: transport}
 	res, err := dep.RunAsync()
 	if cerr := transport.Close(); err == nil {

@@ -96,6 +96,11 @@ type Config struct {
 	TransportTimeout time.Duration
 	// Trace, when set, records the full event timeline of the run.
 	Trace *trace.Log
+	// Spans, when set, retains every completed message span (the tracer
+	// itself is always on — see Topology.Spans).
+	Spans *obs.SpanLog
+	// Events, when set, receives live per-round obs.RoundEvents.
+	Events *obs.RoundStream
 }
 
 // Topology converts the Config into the declarative Topology it wraps.
@@ -128,7 +133,22 @@ func (c Config) Topology() Topology {
 		Codec:          c.Codec,
 		Hier:           c.Hier,
 		Trace:          c.Trace,
+		Spans:          c.Spans,
+		Events:         c.Events,
 	}
+}
+
+// tracerFor builds the run's span tracer: the trace ID is the seed, and
+// whichever of Spans/Events the topology carries become sinks.
+func tracerFor(t Topology) *obs.Tracer {
+	var sinks []obs.SpanSink
+	if t.Spans != nil {
+		sinks = append(sinks, t.Spans)
+	}
+	if t.Events != nil {
+		sinks = append(sinks, t.Events)
+	}
+	return obs.NewTracer(NormalizeSeed(t.Seed), sinks...)
 }
 
 // Run executes the experiment and returns its results. It is a thin
@@ -155,6 +175,12 @@ func Run(cfg Config) (*Results, error) {
 	// delivered counts what survived the fault layer; it is passive and
 	// keeps the run bit-identical (see internal/obs).
 	transport = obs.WrapTransport(transport, obs.Default)
+	// The span tracer wraps above that (hier.Route, applied by the
+	// Deployment, stays outermost so spans record the rewritten tier
+	// links). It is always on — every run feeds the flight recorder and
+	// the span-latency histograms — and equally passive; Spans/Events are
+	// optional retention sinks.
+	transport = tracerFor(cl.Topology).Wrap(transport)
 	dep := &Deployment{Cluster: cl, Transport: transport}
 	res, err := dep.Run()
 	if cerr := transport.Close(); err == nil {

@@ -8,6 +8,7 @@ import (
 	"aergia/internal/codec"
 	"aergia/internal/comm"
 	"aergia/internal/nn"
+	"aergia/internal/obs"
 	"aergia/internal/profile"
 	"aergia/internal/sched"
 	"aergia/internal/similarity"
@@ -65,6 +66,10 @@ type Federator struct {
 	BW *Bandwidth
 	// OnFinish is invoked once all rounds complete.
 	OnFinish func(*Results)
+	// Events, when set, receives one live obs.RoundEvent as each round
+	// finalizes (aergiad streams it to SSE subscribers). Publishing is
+	// passive: it observes round state without touching it.
+	Events *obs.RoundStream
 	// Logf, when set, receives debug traces.
 	Logf func(format string, args ...any)
 	// Trace, when set, records timeline events (Figure 5 style).
@@ -672,6 +677,21 @@ func (f *Federator) finalizeRound(env comm.Env) {
 	f.Trace.Record(env.Now(), comm.FederatorID, f.round, trace.RoundEnd,
 		fmt.Sprintf("duration %v, %d updates, %d offloads",
 			stats.Duration, stats.Completed, stats.Offloads))
+	var wait time.Duration
+	if f.haveFirstUpdate {
+		wait = env.Now() - f.firstUpdateAt
+	}
+	f.Events.Publish(obs.RoundEvent{
+		Run:       f.Seed,
+		Round:     f.round,
+		Accuracy:  stats.Accuracy,
+		Cohort:    stats.Completed,
+		Duration:  stats.Duration,
+		Time:      env.Now(),
+		Bytes:     f.BW.Snapshot().TotalBytes,
+		Straggler: comm.FederatorID, // unknown here; Publish names it from the span stream
+		Wait:      wait,
+	})
 	f.results.Rounds = append(f.results.Rounds, stats)
 	f.results.TotalTime = f.results.PreTraining + sumDurations(f.results.Rounds)
 

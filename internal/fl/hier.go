@@ -587,6 +587,7 @@ func (t Topology) buildHier(wireCodec codec.Codec, bw *Bandwidth) (*Cluster, err
 		Seed:         t.Seed,
 		Codec:        wireCodec,
 		BW:           bw,
+		Events:       t.Events,
 		Logf:         t.Logf,
 		Trace:        t.Trace,
 	}

@@ -12,6 +12,7 @@ import (
 	"aergia/internal/enclave"
 	"aergia/internal/hier"
 	"aergia/internal/nn"
+	"aergia/internal/obs"
 	"aergia/internal/sched"
 	"aergia/internal/similarity"
 	"aergia/internal/tensor"
@@ -130,6 +131,15 @@ type Topology struct {
 	Codec string
 	// Trace, when set, records the full event timeline of the run.
 	Trace *trace.Log
+	// Spans, when set, collects every completed message span of the run —
+	// Run/RunAsync wrap the transport with an obs.Tracer feeding it (the
+	// tracer is always applied; Spans just retains its output). Like Trace
+	// it is passive: a collecting run stays bit-identical.
+	Spans *obs.SpanLog
+	// Events, when set, receives one live obs.RoundEvent per completed
+	// round (or async evaluation sample) and the round's spans for
+	// straggler extraction. aergiad streams it over SSE.
+	Events *obs.RoundStream
 	// Logf, when set, receives debug traces from the actors.
 	Logf func(format string, args ...any)
 }
@@ -411,8 +421,10 @@ func (t Topology) Build() (*Cluster, error) {
 			// cannot strand the update budget.
 			RedispatchAfter: t.Chaos.RoundTimeout,
 			Evaluate:        evaluate,
+			Seed:            t.Seed,
 			Codec:           wireCodec,
 			BW:              bw,
+			Events:          t.Events,
 			Logf:            t.Logf,
 		}
 		if err := fed.Init(); err != nil {
@@ -449,6 +461,7 @@ func (t Topology) Build() (*Cluster, error) {
 		Seed:             t.Seed,
 		Codec:            wireCodec,
 		BW:               bw,
+		Events:           t.Events,
 		Logf:             t.Logf,
 		Trace:            t.Trace,
 	}

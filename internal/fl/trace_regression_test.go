@@ -1,0 +1,230 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"aergia/internal/cluster"
+	"aergia/internal/comm"
+	"aergia/internal/dataset"
+	"aergia/internal/hier"
+	"aergia/internal/obs"
+)
+
+// TestFullyTracedRunMatchesGolden pins the tracer's passivity: a run with
+// every observability tap attached — span log, live round stream, and an
+// SSE-style subscriber — must still be bit-identical to the pre-refactor
+// goldens. Tracing that consumed virtual time, randomness, or message
+// bytes would show up here as a golden divergence.
+func TestFullyTracedRunMatchesGolden(t *testing.T) {
+	for _, mk := range []struct {
+		name  string
+		strat func() Strategy
+	}{
+		{"fedavg", func() Strategy { return NewFedAvg(0) }},
+		{"aergia", func() Strategy { return NewAergia(0, 1) }},
+	} {
+		cfg := parityConfig(mk.strat())
+		cfg.Spans = obs.NewSpanLog()
+		cfg.Events = obs.NewRoundStream()
+		sub, cancel := cfg.Events.Subscribe(8)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertMatchesGolden(t, "traced/"+mk.name, mk.name, res)
+
+		if cfg.Spans.Len() == 0 {
+			t.Fatalf("%s: traced run produced no spans", mk.name)
+		}
+		events := cfg.Events.Events()
+		if len(events) != cfg.Rounds {
+			t.Fatalf("%s: %d round events, want %d", mk.name, len(events), cfg.Rounds)
+		}
+		for i, ev := range events {
+			gr := goldenSync[mk.name].rounds[i]
+			if math.Float64bits(ev.Accuracy) != gr.accBits ||
+				ev.Duration != gr.dur || ev.Cohort != gr.completed {
+				t.Fatalf("%s: round event %d = %+v diverged from golden %+v",
+					mk.name, i, ev, gr)
+			}
+			if ev.Straggler < 0 {
+				t.Fatalf("%s: round %d straggler not named: %+v", mk.name, i, ev)
+			}
+			if ev.Run != NormalizeSeed(cfg.Seed) {
+				t.Fatalf("%s: event run = %d, want trace id %d", mk.name, ev.Run, NormalizeSeed(cfg.Seed))
+			}
+		}
+		// The live subscriber saw the same rounds the history retains.
+		cancel()
+		var live int
+		for range sub {
+			live++
+		}
+		if live != cfg.Rounds {
+			t.Fatalf("%s: subscriber saw %d events, want %d", mk.name, live, cfg.Rounds)
+		}
+	}
+}
+
+// TestTracedAsyncRunMatchesGolden: same passivity pin for the async engine.
+func TestTracedAsyncRunMatchesGolden(t *testing.T) {
+	cfg := asyncParityConfig()
+	cfg.Spans = obs.NewSpanLog()
+	cfg.Events = obs.NewRoundStream()
+	res, err := RunAsync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(res.FinalAccuracy) != 0x3fe3333333333333 ||
+		res.TotalTime != 661177269 {
+		t.Fatalf("traced async run diverged: %+v", res)
+	}
+	if cfg.Spans.Len() == 0 {
+		t.Fatal("traced async run produced no spans")
+	}
+	if len(cfg.Events.Events()) == 0 {
+		t.Fatal("async run published no progress events")
+	}
+}
+
+// TestTCPCausalTrace runs the full Aergia protocol over the real TCP
+// transport with tracing attached and asserts the causal contract end to
+// end: every uplink span (update, offload result) chains through Parent
+// links back to a root dispatch sent by the federator, the critical-path
+// extractor names a client straggler for every round, and the live stream
+// delivered every round to its subscriber.
+func TestTCPCausalTrace(t *testing.T) {
+	cfg := Config{
+		Strategy:     NewAergia(0, 1),
+		Arch:         archForParity,
+		Dataset:      dataset.MNIST,
+		SmallImages:  true,
+		Clients:      4,
+		Rounds:       2,
+		LocalEpochs:  2,
+		BatchSize:    8,
+		LR:           0.05,
+		TrainSamples: 128,
+		TestSamples:  50,
+		// Client 0 is 5x slower than its peers: the expected straggler.
+		Speeds:         []float64{0.2, 0.9, 1.0, 0.95},
+		Cost:           cluster.CostModel{FLOPSPerSecond: 2e9},
+		ProfileBatches: 1,
+		Seed:           5,
+		Transport:      TransportTCP,
+		Spans:          obs.NewSpanLog(),
+		Events:         obs.NewRoundStream(),
+	}
+	sub, cancel := cfg.Events.Subscribe(8)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != cfg.Rounds {
+		t.Fatalf("rounds = %d, want %d", len(res.Rounds), cfg.Rounds)
+	}
+
+	spans := cfg.Spans.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans over TCP")
+	}
+	byID := make(map[uint64]obs.Span, len(spans))
+	for _, s := range spans {
+		if s.Trace != NormalizeSeed(cfg.Seed) {
+			t.Fatalf("span carries trace %d, want %d: %+v", s.Trace, NormalizeSeed(cfg.Seed), s)
+		}
+		byID[s.ID] = s
+	}
+	var uplinks int
+	for _, s := range spans {
+		if s.Kind != comm.KindUpdate && s.Kind != comm.KindOffloadResult {
+			continue
+		}
+		uplinks++
+		if s.Parent == 0 {
+			t.Fatalf("uplink span has no parent: %+v", s)
+		}
+		// Walk to the root: it must be a federator-sent dispatch.
+		cur, hops := s, 0
+		for cur.Parent != 0 {
+			next, ok := byID[cur.Parent]
+			if !ok {
+				t.Fatalf("span %d's parent %d is not in the trace", cur.ID, cur.Parent)
+			}
+			cur = next
+			if hops++; hops > len(spans) {
+				t.Fatal("parent chain does not terminate")
+			}
+		}
+		if cur.From != comm.FederatorID {
+			t.Fatalf("uplink %d roots at %+v, want a federator dispatch", s.ID, cur)
+		}
+	}
+	if uplinks < cfg.Clients*cfg.Rounds {
+		t.Fatalf("only %d uplink spans for %d clients x %d rounds",
+			uplinks, cfg.Clients, cfg.Rounds)
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		chain, ok := obs.CriticalPath(spans, round)
+		if !ok {
+			t.Fatalf("round %d has no critical path", round)
+		}
+		if chain.Straggler < 0 || len(chain.Spans) < 2 {
+			t.Fatalf("round %d critical path = %+v, want a client-bounded chain", round, chain)
+		}
+	}
+
+	// The SSE-facing stream delivered each round live, straggler named.
+	cancel()
+	var live []obs.RoundEvent
+	for ev := range sub {
+		live = append(live, ev)
+	}
+	if len(live) != cfg.Rounds {
+		t.Fatalf("subscriber saw %d events, want %d", len(live), cfg.Rounds)
+	}
+	for _, ev := range live {
+		if ev.Cohort != cfg.Clients || ev.Straggler < 0 || ev.Bytes <= 0 {
+			t.Fatalf("round event incomplete: %+v", ev)
+		}
+	}
+}
+
+// TestTracedHierRunLinksTiers: in a tiered deployment the client->edge and
+// edge->fed hops must chain into one trace (the edge's uplink parents on
+// the last client update it absorbed).
+func TestTracedHierRunLinksTiers(t *testing.T) {
+	cfg := parityConfig(NewFedAvg(0))
+	cfg.Hier = hier.Options{Tiers: 2}
+	cfg.Spans = obs.NewSpanLog()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != cfg.Rounds {
+		t.Fatalf("rounds = %d, want %d", len(res.Rounds), cfg.Rounds)
+	}
+	spans := cfg.Spans.Spans()
+	var clientToEdge, edgeToFed int
+	for _, s := range spans {
+		if s.Kind != comm.KindUpdate {
+			continue
+		}
+		switch {
+		case s.From >= 0 && s.To < comm.FederatorID:
+			clientToEdge++
+			if s.Parent == 0 {
+				t.Fatalf("client->edge update has no parent: %+v", s)
+			}
+		case s.From < comm.FederatorID && s.To == comm.FederatorID:
+			edgeToFed++
+			if s.Parent == 0 {
+				t.Fatalf("edge->fed aggregate has no parent: %+v", s)
+			}
+		}
+	}
+	if clientToEdge == 0 || edgeToFed == 0 {
+		t.Fatalf("tier hops missing: %d client->edge, %d edge->fed", clientToEdge, edgeToFed)
+	}
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"time"
+
+	"aergia/internal/comm"
+)
+
+// Chain is one causal message chain through a round, root dispatch first.
+type Chain struct {
+	// Spans is the chain in causal order: the root dispatch down to the
+	// terminal uplink that closed the round.
+	Spans []Span
+	// Straggler is the client whose work bounded the chain — the deepest
+	// hop in the chain sent by a client (or, failing that, the terminal
+	// sender). It is what the paper's scheduler wants to know: who to
+	// freeze-and-offload next round.
+	Straggler comm.NodeID
+	// Duration is terminal end minus root start: the wall the round spent
+	// on this chain.
+	Duration time.Duration
+}
+
+// CriticalPath extracts the chain bounding a round from its completed
+// spans: the terminal span is the latest-ending update or offload-result
+// arriving at the federator in that round (falling back to the round's
+// latest span of any kind), and the chain follows Parent links back to the
+// root dispatch. The second return is false when the round has no spans.
+//
+// The walk is tier-aware: in a hier deployment the terminal is the edge's
+// aggregate uplink, whose parent is the last client update into that edge,
+// whose parent is the edge's dispatch — so the straggler (deepest
+// client-sent hop) is still the right client even though it never messaged
+// the federator directly.
+func CriticalPath(spans []Span, round int) (Chain, bool) {
+	byID := make(map[uint64]Span, len(spans))
+	var terminal Span
+	var haveTerminal, haveUplink bool
+	for _, s := range spans {
+		if s.Round != round {
+			continue
+		}
+		byID[s.ID] = s
+		uplink := s.To == comm.FederatorID &&
+			(s.Kind == comm.KindUpdate || s.Kind == comm.KindOffloadResult)
+		switch {
+		case uplink && (!haveUplink || s.End > terminal.End):
+			terminal, haveTerminal, haveUplink = s, true, true
+		case !haveUplink && (!haveTerminal || s.End > terminal.End):
+			terminal, haveTerminal = s, true
+		}
+	}
+	if !haveTerminal {
+		return Chain{}, false
+	}
+
+	var chain []Span
+	for s, ok := terminal, true; ok; s, ok = byID[s.Parent] {
+		chain = append(chain, s)
+		if s.Parent == 0 || len(chain) > len(byID) { // len guard: cycles can't happen, but stay total
+			break
+		}
+	}
+	// Reverse into causal order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+
+	straggler := terminal.From
+	for i := len(chain) - 1; i >= 0; i-- {
+		if chain[i].From >= 0 {
+			straggler = chain[i].From
+			break
+		}
+	}
+	return Chain{
+		Spans:     chain,
+		Straggler: straggler,
+		Duration:  terminal.End - chain[0].Start,
+	}, true
+}

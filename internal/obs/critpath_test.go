@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"aergia/internal/comm"
+)
+
+const fedID = comm.FederatorID
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestCriticalPathFlatRound(t *testing.T) {
+	// Two clients; client 1 finishes last and bounds the round.
+	spans := []Span{
+		{ID: 1, From: fedID, To: 0, Kind: comm.KindTrain, Round: 3, Start: 0, End: ms(1)},
+		{ID: 2, From: fedID, To: 1, Kind: comm.KindTrain, Round: 3, Start: 0, End: ms(1)},
+		{ID: 3, Parent: 1, From: 0, To: fedID, Kind: comm.KindUpdate, Round: 3, Start: ms(5), End: ms(6)},
+		{ID: 4, Parent: 2, From: 1, To: fedID, Kind: comm.KindUpdate, Round: 3, Start: ms(9), End: ms(10)},
+	}
+	chain, ok := CriticalPath(spans, 3)
+	if !ok {
+		t.Fatal("no chain found")
+	}
+	if len(chain.Spans) != 2 || chain.Spans[0].ID != 2 || chain.Spans[1].ID != 4 {
+		t.Fatalf("chain = %+v, want dispatch 2 -> update 4", chain.Spans)
+	}
+	if chain.Straggler != 1 {
+		t.Fatalf("straggler = %d, want client 1", chain.Straggler)
+	}
+	if chain.Duration != ms(10) {
+		t.Fatalf("duration = %v, want 10ms", chain.Duration)
+	}
+}
+
+func TestCriticalPathTiered(t *testing.T) {
+	// Hier chain: fed -> edge 0 (-2) -> client 5 -> edge 0 -> fed. The
+	// straggler is the deepest client-sent hop even though the client never
+	// messaged the federator directly.
+	edge := comm.NodeID(-2)
+	spans := []Span{
+		{ID: 1, From: fedID, To: edge, Kind: comm.KindTrain, Round: 0, Start: 0, End: ms(1)},
+		{ID: 2, Parent: 1, From: edge, To: 5, Kind: comm.KindTrain, Round: 0, Start: ms(1), End: ms(2)},
+		{ID: 3, Parent: 2, From: 5, To: edge, Kind: comm.KindUpdate, Round: 0, Start: ms(8), End: ms(9)},
+		{ID: 4, Parent: 3, From: edge, To: fedID, Kind: comm.KindUpdate, Round: 0, Start: ms(9), End: ms(11)},
+	}
+	chain, ok := CriticalPath(spans, 0)
+	if !ok {
+		t.Fatal("no chain found")
+	}
+	if len(chain.Spans) != 4 {
+		t.Fatalf("chain length = %d, want 4", len(chain.Spans))
+	}
+	if chain.Straggler != 5 {
+		t.Fatalf("straggler = %d, want client 5", chain.Straggler)
+	}
+	if chain.Duration != ms(11) {
+		t.Fatalf("duration = %v, want 11ms", chain.Duration)
+	}
+}
+
+func TestCriticalPathFiltersRounds(t *testing.T) {
+	spans := []Span{
+		{ID: 1, From: fedID, To: 0, Kind: comm.KindTrain, Round: 1, End: ms(1)},
+		{ID: 2, Parent: 1, From: 0, To: fedID, Kind: comm.KindUpdate, Round: 1, End: ms(2)},
+	}
+	if _, ok := CriticalPath(spans, 2); ok {
+		t.Fatal("found a chain in a round with no spans")
+	}
+	if _, ok := CriticalPath(nil, 0); ok {
+		t.Fatal("found a chain in an empty span set")
+	}
+}
+
+func TestCriticalPathFallbackWithoutUplink(t *testing.T) {
+	// A cut-off round with only dispatches: the latest span of any kind is
+	// the terminal, and with no client-sent hop the terminal's sender wins.
+	spans := []Span{
+		{ID: 1, From: fedID, To: 0, Kind: comm.KindTrain, Round: 0, Start: 0, End: ms(1)},
+		{ID: 2, From: fedID, To: 1, Kind: comm.KindTrain, Round: 0, Start: 0, End: ms(2)},
+	}
+	chain, ok := CriticalPath(spans, 0)
+	if !ok {
+		t.Fatal("no chain found")
+	}
+	if chain.Spans[len(chain.Spans)-1].ID != 2 {
+		t.Fatalf("terminal = %+v, want span 2", chain.Spans)
+	}
+	if chain.Straggler != fedID {
+		t.Fatalf("straggler = %d, want federator fallback", chain.Straggler)
+	}
+
+	// An offload result counts as an uplink terminal even when a later
+	// non-uplink span exists.
+	spans = append(spans,
+		Span{ID: 3, Parent: 1, From: 0, To: fedID, Kind: comm.KindOffloadResult, Round: 0, Start: ms(3), End: ms(4)},
+		Span{ID: 4, From: fedID, To: 1, Kind: comm.KindSchedule, Round: 0, Start: ms(5), End: ms(6)},
+	)
+	chain, ok = CriticalPath(spans, 0)
+	if !ok {
+		t.Fatal("no chain found")
+	}
+	if terminal := chain.Spans[len(chain.Spans)-1]; terminal.ID != 3 {
+		t.Fatalf("terminal = %+v, want offload-result span 3", terminal)
+	}
+	if chain.Straggler != 0 {
+		t.Fatalf("straggler = %d, want client 0", chain.Straggler)
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts by
+// linear interpolation inside the covering bucket, the same estimate
+// Prometheus's histogram_quantile gives. Returns NaN with no observations.
+// A quantile that lands among observations above the top bucket returns the
+// top bound — the histogram holds no finer information up there.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, ub := range h.upper {
+		n := float64(h.counts[i].Load())
+		if cum+n >= rank && n > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.upper[i-1]
+			}
+			return lo + (ub-lo)*((rank-cum)/n)
+		}
+		cum += n
+	}
+	// rank falls among observations above the highest bound (or the
+	// histogram has no buckets at all).
+	if len(h.upper) == 0 {
+		return math.NaN()
+	}
+	return h.upper[len(h.upper)-1]
+}
+
+// WriteQuantiles writes a human-readable p50/p95/p99 summary line for every
+// histogram child in the registry — the companion to the raw exposition
+// text that `aergia -metrics-out` prints, answering "how slow were the
+// links" without a Prometheus server in the loop. Families and children are
+// sorted, so the output is deterministic.
+func (r *Registry) WriteQuantiles(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	families := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		if f.typ == typeHistogram {
+			families = append(families, f)
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(families, func(i, j int) bool { return families[i].name < families[j].name })
+	for _, f := range families {
+		f.mu.Lock()
+		samples := make([]sample, 0, len(f.order))
+		for _, key := range f.order {
+			var values []string
+			if key != "" || len(f.labels) > 0 {
+				values = strings.Split(key, "\x1f")
+			}
+			samples = append(samples, sample{values: values, inst: f.children[key]})
+		}
+		f.mu.Unlock()
+		sort.Slice(samples, func(i, j int) bool {
+			return strings.Join(samples[i].values, "\x1f") < strings.Join(samples[j].values, "\x1f")
+		})
+		for _, s := range samples {
+			h, ok := s.inst.(*Histogram)
+			if !ok || h.Count() == 0 {
+				continue
+			}
+			_, err := fmt.Fprintf(w, "%s%s count=%d p50=%s p95=%s p99=%s\n",
+				f.name, labelString(f.labels, s.values), h.Count(),
+				formatFloat(h.Quantile(0.50)),
+				formatFloat(h.Quantile(0.95)),
+				formatFloat(h.Quantile(0.99)))
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

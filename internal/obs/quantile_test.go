@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := newHistogram([]float64{10, 20})
+	for i := 0; i < 4; i++ {
+		h.Observe(5)  // first bucket
+		h.Observe(15) // second bucket
+	}
+	checks := []struct{ q, want float64 }{
+		{0.25, 5},  // rank 2 of 4 in bucket (0,10]
+		{0.5, 10},  // rank 4: exactly the first bucket's upper bound
+		{0.75, 15}, // rank 6: halfway through (10,20]
+		{1.0, 20},  // rank 8: top of the second bucket
+		{-0.5, 0},  // clamps to q=0: the first bucket's lower edge
+		{1.5, 20},  // clamps to q=1
+	}
+	for _, c := range checks {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if !math.IsNaN(nilH.Quantile(0.5)) {
+		t.Fatal("nil histogram quantile should be NaN")
+	}
+	h := newHistogram([]float64{1, 2})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+	h.Observe(1)
+	if !math.IsNaN(h.Quantile(math.NaN())) {
+		t.Fatal("Quantile(NaN) should be NaN")
+	}
+
+	// All observations above the top bucket: the histogram holds no finer
+	// information, every quantile degrades to the top bound.
+	top := newHistogram([]float64{1, 2})
+	top.Observe(100)
+	top.Observe(200)
+	for _, q := range []float64{0.1, 0.5, 0.99} {
+		if got := top.Quantile(q); got != 2 {
+			t.Fatalf("above-top Quantile(%v) = %v, want top bound 2", q, got)
+		}
+	}
+	if top.Count() != 2 || top.Sum() != 300 {
+		t.Fatalf("count/sum = %d/%v, want 2/300", top.Count(), top.Sum())
+	}
+
+	// No buckets at all: count and sum still track, quantiles are NaN.
+	none := newHistogram(nil)
+	none.Observe(5)
+	if !math.IsNaN(none.Quantile(0.5)) {
+		t.Fatal("bucketless quantile should be NaN")
+	}
+}
+
+// TestExpBucketsSingle: the degenerate n=1 spec is a one-bucket histogram,
+// not a panic — everything at or below the bound lands in it, everything
+// above only in count/sum.
+func TestExpBucketsSingle(t *testing.T) {
+	b := ExpBuckets(0.5, 2, 1)
+	if len(b) != 1 || b[0] != 0.5 {
+		t.Fatalf("ExpBuckets(0.5, 2, 1) = %v, want [0.5]", b)
+	}
+	h := newHistogram(b)
+	h.Observe(0.25)
+	h.Observe(0.5)
+	h.Observe(9)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if got := h.counts[0].Load(); got != 2 {
+		t.Fatalf("bucket count = %d, want 2", got)
+	}
+	if got := h.Quantile(0.99); got != 0.5 {
+		t.Fatalf("p99 = %v, want the single bound 0.5", got)
+	}
+	for _, bad := range []func(){
+		func() { ExpBuckets(0, 2, 1) },
+		func() { ExpBuckets(1, 1, 1) },
+		func() { ExpBuckets(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid ExpBuckets spec should panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestWriteQuantilesFormat(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("test_q_seconds", "t", []float64{1, 2, 4}, "link")
+	for i := 0; i < 10; i++ {
+		v.With("fed>client").Observe(1.5)
+	}
+	v.With("client>fed") // registered but never observed: skipped
+	r.Histogram("test_a_seconds", "t", []float64{1}).Observe(0.5)
+	r.Counter("test_total", "t").Inc() // non-histogram: ignored
+
+	var buf bytes.Buffer
+	if err := r.WriteQuantiles(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 summary lines, got %d:\n%s", len(lines), out)
+	}
+	// Families sort by name: test_a before test_q.
+	if !strings.HasPrefix(lines[0], "test_a_seconds count=1 ") {
+		t.Fatalf("line 0 = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], `test_q_seconds{link="fed>client"} count=10 p50=`) {
+		t.Fatalf("line 1 = %q", lines[1])
+	}
+	if strings.Contains(out, "client>fed") || strings.Contains(out, "test_total") {
+		t.Fatalf("summary includes zero-count or non-histogram series:\n%s", out)
+	}
+	if err := (*Registry)(nil).WriteQuantiles(&buf); err != nil {
+		t.Fatal("nil registry should no-op")
+	}
+}
+
+// TestConcurrentObserveExpose races the lock-free Observe hot path against
+// full expositions and quantile summaries — run under -race.
+func TestConcurrentObserveExpose(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("test_race_seconds", "t", ExpBuckets(0.001, 4, 8), "kind")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := string(rune('a' + w))
+			for i := 0; i < 2000; i++ {
+				v.With(name).Observe(float64(i) / 100)
+			}
+		}()
+	}
+	for rd := 0; rd < 2; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var buf bytes.Buffer
+				if err := r.WriteText(&buf); err != nil {
+					t.Errorf("WriteText: %v", err)
+					return
+				}
+				if err := r.WriteQuantiles(&buf); err != nil {
+					t.Errorf("WriteQuantiles: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var total uint64
+	for w := 0; w < 4; w++ {
+		total += v.With(string(rune('a' + w))).Count()
+	}
+	if total != 8000 {
+		t.Fatalf("total observations = %d, want 8000", total)
+	}
+}

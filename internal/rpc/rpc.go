@@ -24,13 +24,16 @@ import (
 // concrete payload type before opening peers.
 func RegisterPayload(v any) { gob.Register(v) }
 
-// wireMessage is the on-the-wire envelope.
+// wireMessage is the on-the-wire envelope. Span rides along so a causal
+// trace survives the socket hop; it stays outside Size (observability
+// metadata is never charged as payload bytes).
 type wireMessage struct {
 	From    comm.NodeID
 	To      comm.NodeID
 	Round   int
 	Kind    comm.Kind
 	Size    int
+	Span    comm.SpanContext
 	Payload any
 }
 
@@ -147,6 +150,7 @@ func (p *Peer) readLoop(conn net.Conn) {
 			Round:   wm.Round,
 			Kind:    wm.Kind,
 			Size:    wm.Size,
+			Span:    wm.Span,
 			Payload: wm.Payload,
 		}
 		p.handleMu.Lock()
@@ -195,6 +199,7 @@ func (p *Peer) send(msg comm.Message) error {
 		Round:   msg.Round,
 		Kind:    msg.Kind,
 		Size:    msg.Size,
+		Span:    msg.Span,
 		Payload: msg.Payload,
 	}
 	if oc.conn != nil {

@@ -3,11 +3,13 @@ package runner
 import (
 	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"time"
 
 	"aergia/internal/experiments"
+	"aergia/internal/obs"
 )
 
 // JobState is a point-in-time snapshot of one job in the runner — the
@@ -32,14 +34,15 @@ type Runner struct {
 	execute func(Job) (json.RawMessage, error)
 	slots   int
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []Job
-	jobs   map[string]*JobState
-	order  []string
-	active int
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []Job
+	jobs    map[string]*JobState
+	order   []string
+	streams map[string]*obs.RoundStream
+	active  int
+	closed  bool
+	wg      sync.WaitGroup
 }
 
 // Option configures a Runner.
@@ -62,6 +65,7 @@ func New(store *Store, slots int, opts ...Option) *Runner {
 		slots:   slots,
 		execute: executeJob,
 		jobs:    make(map[string]*JobState),
+		streams: make(map[string]*obs.RoundStream),
 	}
 	r.cond = sync.NewCond(&r.mu)
 	for _, opt := range opts {
@@ -141,6 +145,10 @@ func (r *Runner) SubmitAll(jobs []Job) ([]JobState, error) {
 }
 
 func (r *Runner) enqueue(job Job) {
+	// A fresh event stream per (re)enqueue: SSE consumers can attach the
+	// moment Submit returns, before a worker claims the job. A failed
+	// job's requeue replaces the old closed stream.
+	r.streams[job.ID()] = obs.NewRoundStream()
 	r.queue = append(r.queue, job)
 	rm().queueDepth.Inc()
 	// Broadcast, not Signal: Wait and the workers share the condition
@@ -164,14 +172,22 @@ func (r *Runner) worker() {
 		r.queue = r.queue[1:]
 		st := r.jobs[job.ID()]
 		st.Status = StatusRunning
+		stream := r.streams[job.ID()]
 		r.active++
 		rm().queueDepth.Dec()
 		rm().activeJobs.Inc()
 		r.mu.Unlock()
 
+		// The job's FL runs publish live round events into the stream
+		// (Events is excluded from the canonical encoding, so the job ID
+		// and the stored record are untouched). Closing it after the run
+		// tells subscribers the job is over.
+		job.Options.Events = stream
 		start := time.Now()
 		result, err := r.runJob(job)
 		elapsed := time.Since(start)
+		stream.Close()
+		job.Options.Events = nil
 
 		rec := Record{
 			ID:         job.ID(),
@@ -218,14 +234,42 @@ func (r *Runner) worker() {
 }
 
 // runJob shields the worker slot from a panicking executor: a panic
-// becomes a failed job, not a lost slot in a long-running daemon.
+// becomes a failed job, not a lost slot in a long-running daemon. The
+// flight recorder gets a panic marker and is dumped to stderr — the last
+// moments of message traffic before the blow-up, without a re-run.
 func (r *Runner) runJob(job Job) (result json.RawMessage, err error) {
 	defer func() {
 		if p := recover(); p != nil {
+			obs.FlightDefault.RecordPanic()
+			fmt.Fprintf(os.Stderr, "runner: job %s panicked: %v\n", job.ID(), p)
+			obs.FlightDefault.Dump(os.Stderr)
 			result, err = nil, fmt.Errorf("job %s panicked: %v", job.ID(), p)
 		}
 	}()
 	return r.execute(job)
+}
+
+// Subscribe attaches to a job's live round-event stream: the channel
+// replays events published so far, then delivers live ones, and closes
+// when the job finishes (or was already answered from the store, in which
+// case it closes immediately). The cancel function detaches early. Unknown
+// job IDs error.
+func (r *Runner) Subscribe(id string, buf int) (<-chan obs.RoundEvent, func(), error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.jobs[id]; !ok {
+		return nil, nil, fmt.Errorf("runner: unknown job %s", id)
+	}
+	s := r.streams[id]
+	if s == nil {
+		// Answered from the store without running here: no events existed,
+		// the stream is trivially over.
+		ch := make(chan obs.RoundEvent)
+		close(ch)
+		return ch, func() {}, nil
+	}
+	ch, cancel := s.Subscribe(buf)
+	return ch, cancel, nil
 }
 
 // Get returns the state snapshot for a job ID. Completed jobs carry their

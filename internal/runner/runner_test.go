@@ -10,6 +10,7 @@ import (
 
 	"aergia/internal/experiments"
 	"aergia/internal/hier"
+	"aergia/internal/obs"
 )
 
 // countingExecutor returns an executor that counts executions and yields a
@@ -581,5 +582,100 @@ func TestSweepExpandHierAxes(t *testing.T) {
 	}
 	if _, err := (Sweep{Experiments: []string{"fig4"}, Tiers: []int{-1}}).Expand(); err == nil {
 		t.Fatal("negative tier count accepted")
+	}
+}
+
+// TestRunnerSubscribeStreamsJobEvents: a subscriber attached between Submit
+// and execution sees the events the job publishes into Options.Events and
+// the channel closes when the job finishes.
+func TestRunnerSubscribeStreamsJobEvents(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	exec := func(j Job) (json.RawMessage, error) {
+		close(started)
+		<-release
+		j.Options.Events.Publish(obs.RoundEvent{Round: 1, Accuracy: 0.5})
+		j.Options.Events.Publish(obs.RoundEvent{Round: 2, Accuracy: 0.7})
+		return json.RawMessage(`{}`), nil
+	}
+	r := New(nil, 1, WithExecutor(exec))
+	defer r.Close()
+
+	job := Job{Experiment: "fig4", Options: experiments.Options{Quick: true}}
+	if _, err := r.Submit(job); err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel, err := r.Subscribe(job.ID(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	<-started
+	close(release)
+
+	var rounds []int
+	for ev := range ch {
+		rounds = append(rounds, ev.Round)
+	}
+	if len(rounds) != 2 || rounds[0] != 1 || rounds[1] != 2 {
+		t.Fatalf("subscriber saw rounds %v, want [1 2]", rounds)
+	}
+	r.Wait()
+
+	// The stream is closed but history survives: a late subscriber drains
+	// the same events from an already-closed channel.
+	late, cancel2, err := r.Subscribe(job.ID(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel2()
+	var n int
+	for range late {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("late subscriber replayed %d events, want 2", n)
+	}
+
+	if _, _, err := r.Subscribe("no-such-job", 1); err == nil {
+		t.Fatal("unknown job id should error")
+	}
+}
+
+// TestRunnerSubscribeStoreAnsweredJob: a job answered from the store never
+// ran here, so its subscription is an immediately-closed empty channel.
+func TestRunnerSubscribeStoreAnsweredJob(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir + "/results.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count atomic.Int64
+	r := New(store, 1, WithExecutor(countingExecutor(&count)))
+	job := Job{Experiment: "fig4", Options: experiments.Options{Quick: true}}
+	if _, err := r.Submit(job); err != nil {
+		t.Fatal(err)
+	}
+	r.Wait()
+	r.Close()
+	store.Close()
+
+	store2, err := Open(dir + "/results.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	r2 := New(store2, 1, WithExecutor(countingExecutor(&count)))
+	defer r2.Close()
+	if st, err := r2.Submit(job); err != nil || st.Status != StatusDone {
+		t.Fatalf("resubmit = %+v, %v; want store-answered done", st, err)
+	}
+	ch, cancel, err := r2.Subscribe(job.ID(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if _, open := <-ch; open {
+		t.Fatal("store-answered job should yield a closed event channel")
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"io"
 	"sort"
-	"strconv"
 	"time"
 
 	"aergia/internal/comm"
@@ -20,6 +19,8 @@ type chromeEvent struct {
 	Dur   *float64       `json:"dur,omitempty"`
 	Pid   int            `json:"pid"`
 	Tid   int            `json:"tid"`
+	ID    int            `json:"id,omitempty"`
+	Bp    string         `json:"bp,omitempty"`
 	Scope string         `json:"s,omitempty"`
 	Args  map[string]any `json:"args,omitempty"`
 }
@@ -33,14 +34,38 @@ type chromeTrace struct {
 // chromePid is the single process all lanes live under.
 const chromePid = 0
 
+// chromeEdgeTidBase is where hier edge-aggregator lanes start. Edges carry
+// negative node IDs (hier.EdgeID(k) = -2-k) which would make invalid
+// negative thread IDs, so edge k is parked at a base far above any
+// realistic client count; thread_sort_index metadata puts the lanes back
+// in federator → edges → clients order.
+const chromeEdgeTidBase = 1 << 20
+
 // chromeTid maps a node to its thread lane. Thread IDs must be
-// non-negative, so the federator (comm.FederatorID, -1) takes lane 0 and
-// client i takes lane i+1.
+// non-negative: the federator (comm.FederatorID, -1) takes lane 0, edge
+// aggregator k takes chromeEdgeTidBase+k, client i takes lane i+1.
 func chromeTid(id comm.NodeID) int {
-	if id == comm.FederatorID {
+	switch {
+	case id == comm.FederatorID:
 		return 0
+	case id < comm.FederatorID:
+		return chromeEdgeTidBase + (-(int(id) + 2))
+	default:
+		return int(id) + 1
 	}
-	return int(id) + 1
+}
+
+// chromeSortIndex orders lanes for display: federator, then edges in tier
+// order, then clients.
+func chromeSortIndex(id comm.NodeID) int {
+	switch {
+	case id == comm.FederatorID:
+		return 0
+	case id < comm.FederatorID:
+		return 1 + (-(int(id) + 2))
+	default:
+		return chromeEdgeTidBase + int(id)
+	}
 }
 
 func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
@@ -61,11 +86,14 @@ func spanEnd(k Kind) (Kind, bool) {
 }
 
 // WriteChromeTrace exports the log in the Chrome trace-event JSON format:
-// one process, one thread lane per node (metadata-named), duration spans
-// for round / train / helper intervals, instants for everything else. The
-// virtual timeline maps one-to-one onto the trace clock (1 virtual µs = 1
-// trace µs), so the Figure-5 view opens directly in Perfetto or
-// chrome://tracing.
+// one process, one thread lane per node (metadata-named and sort-indexed
+// federator → edges → clients), duration spans for round / train / helper
+// intervals, instants for everything else, and flow events binding the
+// lanes causally — a "dispatch" arrow from each round start to every train
+// start it triggered, an "update" arrow from every update back into the
+// round end that absorbed it. The virtual timeline maps one-to-one onto
+// the trace clock (1 virtual µs = 1 trace µs), so the Figure-5 view opens
+// directly in Perfetto or chrome://tracing.
 func (l *Log) WriteChromeTrace(w io.Writer) error {
 	events := l.Events()
 
@@ -80,13 +108,12 @@ func (l *Log) WriteChromeTrace(w io.Writer) error {
 			continue
 		}
 		named[e.Node] = true
-		name := "client " + strconv.Itoa(int(e.Node))
-		if e.Node == comm.FederatorID {
-			name = "federator"
-		}
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
 			Name: "thread_name", Phase: "M", Pid: chromePid, Tid: chromeTid(e.Node),
-			Args: map[string]any{"name": name},
+			Args: map[string]any{"name": nodeName(e.Node)},
+		}, chromeEvent{
+			Name: "thread_sort_index", Phase: "M", Pid: chromePid, Tid: chromeTid(e.Node),
+			Args: map[string]any{"sort_index": chromeSortIndex(e.Node)},
 		})
 	}
 
@@ -114,7 +141,24 @@ func (l *Log) WriteChromeTrace(w io.Writer) error {
 		}
 		out.TraceEvents = append(out.TraceEvents, ce)
 	}
+	// Flow anchors: the federator's round boundaries and the per-node
+	// train/update events they causally connect to across lanes.
+	roundStart := make(map[int]Event)
+	roundEnd := make(map[int]Event)
+	var trainStarts, updateSents []Event
 	for _, e := range events {
+		switch {
+		case e.Kind == RoundStart && e.Node == comm.FederatorID:
+			if _, ok := roundStart[e.Round]; !ok {
+				roundStart[e.Round] = e
+			}
+		case e.Kind == RoundEnd && e.Node == comm.FederatorID:
+			roundEnd[e.Round] = e
+		case e.Kind == TrainStart && e.Node != comm.FederatorID:
+			trainStarts = append(trainStarts, e)
+		case e.Kind == UpdateSent && e.Node != comm.FederatorID:
+			updateSents = append(updateSents, e)
+		}
 		if end, ok := spanEnd(e.Kind); ok {
 			open[spanKey{e.Node, e.Round, end}] = e
 			continue
@@ -146,6 +190,38 @@ func (l *Log) WriteChromeTrace(w io.Writer) error {
 	})
 	for _, start := range unclosed {
 		emit(start, 0, false)
+	}
+
+	// Flow events ("s" start / "f" finish, shared id) draw the causal
+	// arrows between lanes: dispatch fans out from the round-start span to
+	// each train-start it triggered, updates flow back into the round-end.
+	// The "bp":"e" binding point attaches the arrowhead to the enclosing
+	// slice rather than the next one, which is what makes Perfetto land the
+	// arrow on the train/round span instead of a later event. Flows whose
+	// anchor never happened (cut-off run, async rounds with no boundary
+	// event) are skipped rather than left dangling.
+	flowID := 0
+	flow := func(name string, from, to Event) {
+		flowID++
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: name, Phase: "s", ID: flowID,
+			Ts: micros(from.Time), Pid: chromePid, Tid: chromeTid(from.Node),
+			Args: map[string]any{"round": from.Round},
+		}, chromeEvent{
+			Name: name, Phase: "f", ID: flowID, Bp: "e",
+			Ts: micros(to.Time), Pid: chromePid, Tid: chromeTid(to.Node),
+			Args: map[string]any{"round": to.Round},
+		})
+	}
+	for _, ts := range trainStarts {
+		if rs, ok := roundStart[ts.Round]; ok {
+			flow("dispatch", rs, ts)
+		}
+	}
+	for _, us := range updateSents {
+		if re, ok := roundEnd[us.Round]; ok {
+			flow("update", us, re)
+		}
 	}
 
 	enc := json.NewEncoder(w)

@@ -20,6 +20,8 @@ type decodedTrace struct {
 		Dur   *float64       `json:"dur"`
 		Pid   int            `json:"pid"`
 		Tid   int            `json:"tid"`
+		ID    int            `json:"id"`
+		Bp    string         `json:"bp"`
 		Scope string         `json:"s"`
 		Args  map[string]any `json:"args"`
 	} `json:"traceEvents"`
@@ -59,6 +61,8 @@ func TestWriteChromeTraceShape(t *testing.T) {
 	var threadNames []string
 	spans := map[string]float64{}
 	instants := map[string]bool{}
+	flowStarts := map[int]string{}
+	flowEnds := map[int]string{}
 	for _, e := range got.TraceEvents {
 		if e.Name == "" {
 			t.Fatalf("event with empty name: %+v", e)
@@ -81,6 +85,16 @@ func TestWriteChromeTraceShape(t *testing.T) {
 				t.Fatalf("instant without thread scope: %+v", e)
 			}
 			instants[e.Name] = true
+		case "s":
+			if e.ID == 0 {
+				t.Fatalf("flow start without id: %+v", e)
+			}
+			flowStarts[e.ID] = e.Name
+		case "f":
+			if e.ID == 0 || e.Bp != "e" {
+				t.Fatalf("flow finish without id or bp=e: %+v", e)
+			}
+			flowEnds[e.ID] = e.Name
 		default:
 			t.Fatalf("unknown phase %q: %+v", e.Phase, e)
 		}
@@ -107,6 +121,18 @@ func TestWriteChromeTraceShape(t *testing.T) {
 		if !instants[want] {
 			t.Fatalf("missing instant %q (have %v)", want, instants)
 		}
+	}
+	// Flow events pair up by id: two dispatch arrows (round start → each
+	// train start) and one update arrow (client 1's update → round end).
+	counts := map[string]int{}
+	for id, name := range flowStarts {
+		if flowEnds[id] != name {
+			t.Fatalf("flow %d start %q has no matching finish (ends %v)", id, name, flowEnds)
+		}
+		counts[name]++
+	}
+	if counts["dispatch"] != 2 || counts["update"] != 1 {
+		t.Fatalf("flow counts = %v, want 2 dispatch + 1 update", counts)
 	}
 }
 

@@ -123,15 +123,38 @@ func (l *Log) Len() int {
 	return len(l.events)
 }
 
+// nodeName labels a node for rendering: the federator, a hier edge
+// aggregator (hier.EdgeID(k) = -2-k, so IDs below the federator decode back
+// to their tier index), or a client.
+func nodeName(id comm.NodeID) string {
+	switch {
+	case id == comm.FederatorID:
+		return "federator"
+	case id < comm.FederatorID:
+		return fmt.Sprintf("edge %d", -(int(id) + 2))
+	default:
+		return fmt.Sprintf("client %d", id)
+	}
+}
+
+// laneRank orders lanes for display: the federator first, then its edge
+// aggregators in tier order, then the clients.
+func laneRank(id comm.NodeID) int {
+	switch {
+	case id == comm.FederatorID:
+		return 0
+	case id < comm.FederatorID:
+		return 1
+	default:
+		return 2
+	}
+}
+
 // Render writes the chronological event listing.
 func (l *Log) Render(w io.Writer) error {
 	for _, e := range l.Events() {
-		node := fmt.Sprintf("client %d", e.Node)
-		if e.Node == comm.FederatorID {
-			node = "federator"
-		}
 		line := fmt.Sprintf("%10.3fs  r%-3d %-10s %-14s %s\n",
-			e.Time.Seconds(), e.Round, node, e.Kind, e.Detail)
+			e.Time.Seconds(), e.Round, nodeName(e.Node), e.Kind, e.Detail)
 		if _, err := io.WriteString(w, line); err != nil {
 			return err
 		}
@@ -194,7 +217,16 @@ func (l *Log) Lanes(w io.Writer, width int) error {
 		}
 		nodes[e.Node] = append(nodes[e.Node], e)
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if ra, rb := laneRank(a), laneRank(b); ra != rb {
+			return ra < rb
+		}
+		if laneRank(a) == 1 {
+			return a > b // edges: -2 (edge 0) before -3 (edge 1), ...
+		}
+		return a < b
+	})
 	legend := "legend: | start  p profile  s schedule  f freeze  o offload  h/H helper  u update  # round-end  x crash  r rejoin  R reassign\n"
 	if _, err := io.WriteString(w, legend); err != nil {
 		return err
@@ -214,9 +246,9 @@ func (l *Log) Lanes(w io.Writer, width int) error {
 			}
 			lane[pos] = laneGlyph(e.Kind)
 		}
-		name := fmt.Sprintf("client %2d", id)
-		if id == comm.FederatorID {
-			name = "federator"
+		name := nodeName(id)
+		if id >= 0 {
+			name = fmt.Sprintf("client %2d", id)
 		}
 		if _, err := fmt.Fprintf(w, "%-10s %s\n", name, lane); err != nil {
 			return err

@@ -108,3 +108,52 @@ func TestKindStrings(t *testing.T) {
 		t.Fatal("unknown kind should render 'unknown'")
 	}
 }
+
+// TestEdgeAggregatorLanes: hier edge aggregators carry negative node IDs
+// (hier.EdgeID(k) = -2-k) and must render as their own labeled lanes —
+// federator first, then edges in tier order, then clients — not as
+// nonsense "client -2" lanes.
+func TestEdgeAggregatorLanes(t *testing.T) {
+	l := NewLog()
+	l.Record(0, comm.FederatorID, 0, RoundStart, "")
+	l.Record(1*time.Millisecond, 0, 0, TrainStart, "")
+	l.Record(2*time.Millisecond, -3, 0, UpdateSent, "edge flush") // edge 1
+	l.Record(3*time.Millisecond, -2, 0, UpdateSent, "edge flush") // edge 0
+	l.Record(4*time.Millisecond, comm.FederatorID, 0, RoundEnd, "")
+
+	var lanes strings.Builder
+	if err := l.Lanes(&lanes, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := lanes.String()
+	if strings.Contains(out, "client -") {
+		t.Fatalf("edge rendered as negative client:\n%s", out)
+	}
+	fed := strings.Index(out, "federator")
+	e0 := strings.Index(out, "edge 0")
+	e1 := strings.Index(out, "edge 1")
+	cl := strings.Index(out, "client  0")
+	if fed < 0 || e0 < 0 || e1 < 0 || cl < 0 {
+		t.Fatalf("missing lanes (fed=%d e0=%d e1=%d client=%d):\n%s", fed, e0, e1, cl, out)
+	}
+	if !(fed < e0 && e0 < e1 && e1 < cl) {
+		t.Fatalf("lane order want federator < edge 0 < edge 1 < client:\n%s", out)
+	}
+
+	var render strings.Builder
+	if err := l.Render(&render); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(render.String(), "edge 1") || strings.Contains(render.String(), "client -") {
+		t.Fatalf("Render mislabels edges:\n%s", render.String())
+	}
+
+	// Chrome export: edge lanes get valid non-negative thread IDs distinct
+	// from every client lane.
+	if tid := chromeTid(-2); tid < 0 || tid == chromeTid(0) {
+		t.Fatalf("edge 0 tid = %d", tid)
+	}
+	if chromeTid(-2) == chromeTid(-3) {
+		t.Fatal("edge lanes collide")
+	}
+}
