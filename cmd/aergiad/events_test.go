@@ -2,11 +2,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"aergia/internal/obs"
 	"aergia/internal/runner"
@@ -19,7 +22,7 @@ import (
 func TestDaemonEventsSSE(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
-	exec := func(j runner.Job) (json.RawMessage, error) {
+	exec := func(_ context.Context, j runner.Job) (json.RawMessage, error) {
 		close(started)
 		<-release
 		j.Options.Events.Publish(obs.RoundEvent{Run: 9, Round: 1, Accuracy: 0.25, Cohort: 4})
@@ -143,5 +146,122 @@ func TestDaemonFlightEndpoint(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("flight snapshot is missing the recorded span (count %d)", got.Count)
+	}
+}
+
+// TestEventsStreamSurvivesReadTimeout is the regression test for the SSE
+// deadline bug: the server arms each connection's *read* deadline from
+// ReadTimeout at accept time, and net/http's background read (the one
+// that watches for client aborts) trips it even though an SSE stream only
+// writes — canceling the request context and killing every live stream at
+// the same age. The handler must lift the read deadline as well as the
+// write deadline; with a sub-second ReadTimeout, a stream held open for
+// several multiples of it must still deliver its rounds and terminator.
+func TestEventsStreamSurvivesReadTimeout(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	exec := func(_ context.Context, j runner.Job) (json.RawMessage, error) {
+		close(started)
+		<-release
+		j.Options.Events.Publish(obs.RoundEvent{Round: 1, Accuracy: 0.5})
+		return json.RawMessage(`{}`), nil
+	}
+	st, err := runner.Open(filepath.Join(t.TempDir(), "store.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	r := runner.New(st, 1, runner.WithExecutor(exec))
+	defer r.Close()
+	ts := httptest.NewUnstartedServer(newServer(r, st, nil, false))
+	ts.Config.ReadTimeout = 150 * time.Millisecond
+	ts.Config.WriteTimeout = 150 * time.Millisecond
+	ts.Start()
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/jobs", `{"experiment":"fig4","options":{"quick":true}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var submitted jobsResponse
+	if err := json.Unmarshal(body, &submitted); err != nil {
+		t.Fatal(err)
+	}
+	id := submitted.Jobs[0].ID
+
+	stream, err := http.Get(ts.URL + "/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if stream.StatusCode != http.StatusOK {
+		t.Fatalf("events = %d", stream.StatusCode)
+	}
+	<-started
+	// Outlive the server's ReadTimeout several times over while the job is
+	// still running and the stream is idle.
+	time.Sleep(600 * time.Millisecond)
+	close(release)
+
+	var names []string
+	sc := bufio.NewScanner(stream.Body)
+	var event string
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			event = strings.TrimPrefix(line, "event: ")
+			names = append(names, event)
+		}
+		if event == "done" && line == "" {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream died before the job finished (read deadline not lifted?): %v", err)
+	}
+	if want := "round,done"; strings.Join(names, ",") != want {
+		t.Fatalf("event sequence = %v, want %s", names, want)
+	}
+}
+
+// TestEventsStoreOnlyJob: a job completed in an earlier daemon life is
+// known to GET /jobs/{id} via the store — its events endpoint must agree
+// that the job exists and serve an immediately-terminated stream instead
+// of a 404.
+func TestEventsStoreOnlyJob(t *testing.T) {
+	storePath := filepath.Join(t.TempDir(), "store.jsonl")
+	ts1, _, stop1 := newTestServer(t, storePath)
+	resp, body := postJSON(t, ts1.URL+"/jobs", `{"experiment":"fig4","options":{"quick":true}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var submitted jobsResponse
+	if err := json.Unmarshal(body, &submitted); err != nil {
+		t.Fatal(err)
+	}
+	id := submitted.Jobs[0].ID
+	waitDone(t, ts1.URL, 1)
+	stop1()
+
+	// Second life: the job lives only in the store (never resubmitted).
+	ts2, _, _ := newTestServer(t, storePath)
+	if code := getJSON(t, ts2.URL+"/jobs/"+id, nil); code != http.StatusOK {
+		t.Fatalf("store-only GET /jobs/{id} = %d", code)
+	}
+	stream, err := http.Get(ts2.URL + "/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if stream.StatusCode != http.StatusOK {
+		t.Fatalf("store-only events = %d, want 200 (GET /jobs/{id} knows it)", stream.StatusCode)
+	}
+	var out strings.Builder
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		out.WriteString(sc.Text() + "\n")
+	}
+	if s := out.String(); !strings.Contains(s, "event: done") || strings.Contains(s, "event: round") {
+		t.Fatalf("store-only stream = %q, want an immediate done and no rounds", s)
 	}
 }

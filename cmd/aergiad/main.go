@@ -9,17 +9,31 @@
 //
 //	aergiad -addr :8080 -store aergiad.jsonl -jobs 2
 //
+// Every daemon is also a federation control plane (DESIGN.md §13): worker
+// daemons started with -worker join it over HTTP, pull job leases over the
+// rpc transport, and stream results back. A control that should never
+// execute locally runs with -jobs -1:
+//
+//	aergiad -addr :8080 -store aergiad.jsonl -jobs -1   # control
+//	aergiad -worker -join http://ctrl:8080 -name w1     # workers
+//
 // API:
 //
 //	POST /jobs        {"experiment":"fig6","options":{"quick":true,"seed":2}}
 //	POST /jobs        {"sweep":{"experiments":["fig6","fig7"],"seeds":[1,2,3]}}
+//	                  (429 + Retry-After when the queue is at -queue-max)
 //	GET  /jobs        list jobs; ?status=done&experiment=fig6 filters
 //	GET  /jobs/{id}   one job with its result record
 //	GET  /jobs/{id}/events  live round progress over SSE ("event: round",
 //	                  one obs.RoundEvent JSON per data line; "event: done"
 //	                  when the job finishes)
+//	DELETE /jobs/{id} cancel a job wherever it is (queued, running locally,
+//	                  or leased to a worker)
+//	POST /workers/join   worker bootstrap (identity + rpc address)
+//	GET  /workers     registered workers with lease counts
 //	GET  /healthz     liveness + queue counters
-//	GET  /metrics     Prometheus text exposition (runner queue, bandwidth ledger, ...)
+//	GET  /metrics     Prometheus text exposition (runner queue, per-worker
+//	                  federation counters, bandwidth ledger, ...)
 //	GET  /debug/flight   recent span/fault events from the flight recorder (JSON)
 //	GET  /debug/pprof/*  runtime profiles (opt-in via -pprof)
 //
@@ -43,6 +57,7 @@ import (
 	"time"
 
 	"aergia/internal/experiments"
+	"aergia/internal/fed"
 	"aergia/internal/obs"
 	"aergia/internal/runner"
 )
@@ -51,23 +66,96 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		store     = flag.String("store", "aergiad.jsonl", "append-only JSONL result store path")
-		jobs      = flag.Int("jobs", 0, "concurrent job slots (0 = GOMAXPROCS)")
+		jobs      = flag.Int("jobs", 0, "concurrent job slots (0 = GOMAXPROCS, -1 = none: pure control plane)")
+		queueMax  = flag.Int("queue-max", 0, "max queued jobs before POST /jobs returns 429 (0 = unbounded)")
+		heartbeat = flag.Duration("heartbeat", 2*time.Second, "federation heartbeat interval")
+		misses    = flag.Int("misses", 3, "missed heartbeats before a worker's leases are requeued")
+		rpcAddr   = flag.String("rpc-addr", "127.0.0.1:0", "federation rpc listen address")
+		worker    = flag.Bool("worker", false, "run as a worker daemon: join a control daemon and execute its leases")
+		join      = flag.String("join", "", "control daemon base URL to join (worker mode), e.g. http://host:8080")
+		name      = flag.String("name", "", "worker display name (default host-pid)")
 		withPprof = flag.Bool("pprof", false, "serve /debug/pprof/* runtime profiles")
 	)
 	flag.Parse()
-	if err := serve(*addr, *store, *jobs, *withPprof); err != nil {
+	var err error
+	if *worker {
+		err = serveWorker(*join, *name, *rpcAddr, *jobs)
+	} else {
+		err = serve(daemonConfig{
+			addr: *addr, store: *store, jobs: *jobs, queueMax: *queueMax,
+			heartbeat: *heartbeat, misses: *misses, rpcAddr: *rpcAddr,
+			pprof: *withPprof,
+		})
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "aergiad:", err)
 		os.Exit(1)
 	}
 }
 
-func serve(addr, storePath string, jobs int, withPprof bool) error {
-	st, err := runner.Open(storePath)
+// serveWorker runs the daemon in worker mode: no HTTP API and no store —
+// it joins the control daemon at joinURL, executes the leases it is
+// granted, and exits on SIGINT/SIGTERM (telling the control to requeue
+// anything unfinished) or when the control dismisses it.
+func serveWorker(joinURL, name, rpcAddr string, slots int) error {
+	if joinURL == "" {
+		return errors.New("-worker requires -join <control base URL>")
+	}
+	if name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if slots < 0 {
+		return errors.New("-jobs -1 makes no sense for a worker (it exists to execute)")
+	}
+	w, err := fed.Join(fed.WorkerConfig{ControlURL: joinURL, Name: name, Addr: rpcAddr, Slots: slots})
+	if err != nil {
+		return err
+	}
+	log.Printf("aergiad: worker %s (node %d) joined %s, rpc %s", w.Name(), w.ID(), joinURL, w.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	select {
+	case <-quit:
+		log.Printf("aergiad: SIGQUIT, dumping flight recorder and stacks")
+		dumpPostMortem()
+		os.Exit(2)
+		return nil
+	case <-w.Lost():
+		if cerr := w.Close(); cerr != nil {
+			_ = cerr
+		}
+		return errors.New("dismissed by the control daemon (it restarted?); rejoin")
+	case <-ctx.Done():
+		log.Printf("aergiad: worker shutting down")
+		return w.Close()
+	}
+}
+
+// daemonConfig is the flag set of the default (control) mode.
+type daemonConfig struct {
+	addr      string
+	store     string
+	jobs      int
+	queueMax  int
+	heartbeat time.Duration
+	misses    int
+	rpcAddr   string
+	pprof     bool
+}
+
+func serve(cfg daemonConfig) error {
+	st, err := runner.Open(cfg.store)
 	if err != nil {
 		return err
 	}
 	defer st.Close()
-	r := runner.New(st, jobs)
+	r := runner.New(st, cfg.jobs, runner.WithQueueLimit(cfg.queueMax))
 	// Bounded shutdown: give in-flight jobs a grace period, then exit
 	// anyway — unfinished work was never persisted, so the next daemon
 	// life resumes it from the store. Waiting out a full-scale experiment
@@ -85,9 +173,23 @@ func serve(addr, storePath string, jobs int, withPprof bool) error {
 	log.Printf("aergiad: store %s (%d records, %d lines skipped), %d job slots",
 		st.Path(), st.Len(), st.Skipped(), r.Slots())
 
+	ctrl, err := fed.NewControl(r, fed.ControlConfig{
+		Addr: cfg.rpcAddr, Heartbeat: cfg.heartbeat, Misses: cfg.misses,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := ctrl.Close(); cerr != nil {
+			log.Printf("aergiad: control close: %v", cerr)
+		}
+	}()
+	log.Printf("aergiad: federation control on rpc %s (heartbeat %s, %d misses)",
+		ctrl.Addr(), cfg.heartbeat, cfg.misses)
+
 	srv := &http.Server{
-		Addr:    addr,
-		Handler: newServer(r, st, withPprof),
+		Addr:    cfg.addr,
+		Handler: newServer(r, st, ctrl, cfg.pprof),
 		// Requests and responses are small JSON; generous deadlines still
 		// stop a slow or stalled client from pinning a connection forever.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -110,7 +212,7 @@ func serve(addr, storePath string, jobs int, withPprof bool) error {
 	}()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("aergiad: listening on %s", addr)
+	log.Printf("aergiad: listening on %s", cfg.addr)
 	select {
 	case err := <-errc:
 		return err
@@ -125,25 +227,33 @@ func serve(addr, storePath string, jobs int, withPprof bool) error {
 	}
 }
 
-// server is the HTTP facade over a runner and its store.
+// server is the HTTP facade over a runner, its store, and (optionally)
+// the federation control plane.
 type server struct {
 	runner *runner.Runner
 	store  *runner.Store
+	ctrl   *fed.Control
 	start  time.Time
 }
 
 // newServer builds the daemon's HTTP handler; split from serve so tests
-// can mount it on httptest servers. The pprof endpoints are opt-in: the
-// daemon may face a shared network, and profiles leak more than metrics.
-func newServer(r *runner.Runner, st *runner.Store, withPprof bool) http.Handler {
-	s := &server{runner: r, store: st, start: time.Now()}
+// can mount it on httptest servers. ctrl may be nil (a runner-only test
+// server): the federation endpoints then report the control as absent and
+// DELETE falls back to local cancellation. The pprof endpoints are
+// opt-in: the daemon may face a shared network, and profiles leak more
+// than metrics.
+func newServer(r *runner.Runner, st *runner.Store, ctrl *fed.Control, withPprof bool) http.Handler {
+	s := &server{runner: r, store: st, ctrl: ctrl, start: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", obs.Handler(obs.Default))
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /workers/join", s.handleJoin)
+	mux.HandleFunc("GET /workers", s.handleWorkers)
 	mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	if withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -172,14 +282,66 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	for _, st := range s.runner.List() {
 		counts[st.Status]++
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":    "ok",
 		"uptime_ns": time.Since(s.start),
 		"slots":     s.runner.Slots(),
 		"jobs":      counts,
 		"store":     s.store.Path(),
 		"records":   s.store.Len(),
-	})
+	}
+	if s.ctrl != nil {
+		body["workers"] = len(s.ctrl.Workers())
+		body["leases"] = s.runner.LeaseCount()
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleJoin bootstraps a worker daemon into the federation.
+func (s *server) handleJoin(w http.ResponseWriter, req *http.Request) {
+	if s.ctrl == nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("federation control plane disabled"))
+		return
+	}
+	s.ctrl.HandleJoin(w, req)
+}
+
+// handleWorkers lists the registered worker daemons.
+func (s *server) handleWorkers(w http.ResponseWriter, _ *http.Request) {
+	workers := []fed.WorkerInfo{}
+	if s.ctrl != nil {
+		workers = append(workers, s.ctrl.Workers()...)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workers": workers})
+}
+
+// handleCancel is DELETE /jobs/{id}: cancellation wherever the job is —
+// dropped from the queue, context-canceled locally, or propagated to the
+// owning worker. 404 for unknown IDs, 409 for already-terminal jobs.
+func (s *server) handleCancel(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	var (
+		st  runner.JobState
+		err error
+	)
+	if s.ctrl != nil {
+		st, err = s.ctrl.CancelJob(id)
+	} else {
+		st, _, err = s.runner.Cancel(id)
+	}
+	st.Result = nil
+	switch {
+	case errors.Is(err, runner.ErrUnknownJob):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, runner.ErrJobFinished):
+		writeJSON(w, http.StatusConflict, map[string]any{"error": err.Error(), "job": st})
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		// Accepted, not completed: a running job finalizes asynchronously
+		// when its executor notices the canceled context.
+		writeJSON(w, http.StatusAccepted, map[string]any{"job": st})
+	}
 }
 
 // submitRequest is the POST /jobs body: exactly one of a single job
@@ -234,12 +396,23 @@ func (s *server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	states, err := s.runner.SubmitAll(jobs)
-	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	}
 	for i := range states {
 		states[i].Result = nil // fetch results via GET /jobs/{id}
+	}
+	if err != nil {
+		if errors.Is(err, runner.ErrQueueFull) {
+			// Backpressure, not failure: the client should retry once the
+			// workers drain the queue. Jobs admitted before the bound hit
+			// are reported; resubmitting the whole batch later is
+			// idempotent and picks up exactly the refused remainder.
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error": err.Error(), "jobs": states,
+			})
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{"jobs": states})
 }
@@ -251,11 +424,13 @@ func (s *server) handleList(w http.ResponseWriter, req *http.Request) {
 		// matching nothing would read as "all jobs done", so unknown
 		// statuses are a loud 400 instead.
 		switch runner.Status(status) {
-		case runner.StatusQueued, runner.StatusRunning, runner.StatusDone, runner.StatusFailed:
+		case runner.StatusQueued, runner.StatusRunning, runner.StatusLeased,
+			runner.StatusDone, runner.StatusFailed, runner.StatusCanceled:
 		default:
 			writeError(w, http.StatusBadRequest, fmt.Errorf(
-				"unknown status %q (allowed: %s, %s, %s, %s)", status,
-				runner.StatusQueued, runner.StatusRunning, runner.StatusDone, runner.StatusFailed))
+				"unknown status %q (allowed: %s, %s, %s, %s, %s, %s)", status,
+				runner.StatusQueued, runner.StatusRunning, runner.StatusLeased,
+				runner.StatusDone, runner.StatusFailed, runner.StatusCanceled))
 			return
 		}
 	}
@@ -308,10 +483,17 @@ func (s *server) handleEvents(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
 		return
 	}
-	// The server's WriteTimeout is sized for small JSON bodies; a live
-	// stream legitimately outlives it, so lift the deadline for this
-	// response only.
-	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+	// The server's ReadTimeout/WriteTimeout are sized for small JSON
+	// bodies; a live stream legitimately outlives both, so lift the
+	// deadlines for this connection only. The read deadline matters even
+	// though the stream only writes: net/http keeps reading the connection
+	// in the background to detect client aborts, and when the read
+	// deadline (armed at accept time from ReadTimeout) expires, that
+	// background read fails and cancels the request context — killing
+	// every SSE stream mid-flight at the same age regardless of activity.
+	rc := http.NewResponseController(w)
+	_ = rc.SetReadDeadline(time.Time{})
+	_ = rc.SetWriteDeadline(time.Time{})
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"aergia/internal/experiments"
+	"aergia/internal/fed"
 	"aergia/internal/runner"
 )
 
@@ -75,11 +77,18 @@ func newTestServer(t *testing.T, storePath string, opts ...runner.Option) (*http
 		t.Fatal(err)
 	}
 	r := runner.New(st, 4, opts...)
-	ts := httptest.NewServer(newServer(r, st, false))
+	ctrl, err := fed.NewControl(r, fed.ControlConfig{Heartbeat: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(r, st, ctrl, false))
 	var once sync.Once
 	stop := func() {
 		once.Do(func() {
 			ts.Close()
+			if err := ctrl.Close(); err != nil {
+				t.Errorf("control close: %v", err)
+			}
 			r.Close()
 			st.Close()
 		})
@@ -194,7 +203,7 @@ func TestDaemonCodecJobRoundTrip(t *testing.T) {
 func TestDaemonRestartResumesSweep(t *testing.T) {
 	storePath := filepath.Join(t.TempDir(), "store.jsonl")
 	counting := func(count *atomic.Int64) runner.Option {
-		return runner.WithExecutor(func(j runner.Job) (json.RawMessage, error) {
+		return runner.WithExecutor(func(_ context.Context, j runner.Job) (json.RawMessage, error) {
 			count.Add(1)
 			return json.RawMessage(fmt.Sprintf(`{"job":%q}`, j.ID())), nil
 		})
@@ -344,5 +353,183 @@ func TestDaemonStatusFilter(t *testing.T) {
 	getJSON(t, ts.URL+"/jobs?status=done&experiment=table1", &list)
 	if len(list.Jobs) != 1 || list.Jobs[0].Experiment != "table1" {
 		t.Fatalf("composed filter = %+v", list.Jobs)
+	}
+}
+
+// deleteJob issues DELETE /jobs/{id} and returns status code, body, and
+// the Retry-After header (useful on other methods' error paths too).
+func deleteJob(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes()
+}
+
+// TestDaemonCancelEndpoint exercises DELETE /jobs/{id} against every job
+// phase: unknown (404), queued (202, terminal immediately), running (202,
+// terminal once the executor sees the canceled context), and already
+// terminal (409 with the job's final state).
+func TestDaemonCancelEndpoint(t *testing.T) {
+	bail := make(chan struct{})
+	exec := runner.WithExecutor(func(ctx context.Context, j runner.Job) (json.RawMessage, error) {
+		select {
+		case <-ctx.Done():
+		case <-bail: // a test failure must not park Close forever
+		}
+		return nil, runner.ErrCanceled
+	})
+	ts, _, _ := newTestServer(t, filepath.Join(t.TempDir(), "store.jsonl"), exec)
+	t.Cleanup(func() { close(bail) }) // LIFO: runs before the server's stop
+
+	// 4 slots: seeds 1-4 run (parked on ctx), seed 5 queues.
+	resp, body := postJSON(t, ts.URL+"/jobs",
+		`{"sweep":{"experiments":["fig4"],"seeds":[1,2,3,4,5],"quick":[true]}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+
+	if code, _ := deleteJob(t, ts.URL+"/jobs/no-such-job"); code != http.StatusNotFound {
+		t.Fatalf("cancel unknown = %d, want 404", code)
+	}
+
+	var queued jobsResponse
+	waitStatus := func(status string, want int) jobsResponse {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			var list jobsResponse
+			getJSON(t, ts.URL+"/jobs?status="+status, &list)
+			if len(list.Jobs) >= want {
+				return list
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %d %s jobs", want, status)
+		return jobsResponse{}
+	}
+	queued = waitStatus("queued", 1)
+
+	// Queued job: canceled synchronously, never executes.
+	qid := queued.Jobs[0].ID
+	code, body := deleteJob(t, ts.URL+"/jobs/"+qid)
+	if code != http.StatusAccepted {
+		t.Fatalf("cancel queued = %d: %s", code, body)
+	}
+	var got runner.JobState
+	if getJSON(t, ts.URL+"/jobs/"+qid, &got); got.Status != runner.StatusCanceled {
+		t.Fatalf("queued job after cancel = %+v, want canceled", got)
+	}
+
+	// Terminal job: a second DELETE is a conflict carrying the final state.
+	code, body = deleteJob(t, ts.URL+"/jobs/"+qid)
+	if code != http.StatusConflict || !strings.Contains(string(body), `"canceled"`) {
+		t.Fatalf("cancel terminal = %d: %s, want 409 with final state", code, body)
+	}
+
+	// Running jobs: DELETE is accepted immediately; each finalizes canceled
+	// once its executor observes the context.
+	running := waitStatus("running", 4)
+	for _, j := range running.Jobs {
+		if code, body := deleteJob(t, ts.URL+"/jobs/"+j.ID); code != http.StatusAccepted {
+			t.Fatalf("cancel running %s = %d: %s", j.ID, code, body)
+		}
+	}
+	waitStatus("canceled", 5)
+}
+
+// TestDaemonQueueBackpressure pins admission control: once running slots
+// and the bounded queue are full, POST /jobs answers 429 with Retry-After
+// and reports the partial batch, and the same submission succeeds after
+// the backlog drains.
+func TestDaemonQueueBackpressure(t *testing.T) {
+	started := make(chan struct{}, 16)
+	release := make(chan struct{})
+	releaseOnce := sync.OnceFunc(func() { close(release) })
+	gate := runner.WithExecutor(func(_ context.Context, j runner.Job) (json.RawMessage, error) {
+		started <- struct{}{}
+		<-release
+		return json.RawMessage(`{}`), nil
+	})
+	ts, _, _ := newTestServer(t, filepath.Join(t.TempDir(), "store.jsonl"),
+		gate, runner.WithQueueLimit(2))
+	t.Cleanup(releaseOnce) // LIFO: unblock executors before the server's stop
+
+	// Fill all 4 slots first — one at a time so the bounded queue (which
+	// counts only waiting jobs) stays empty — then both queue positions.
+	submitSeed := func(seed int) (*http.Response, []byte) {
+		return postJSON(t, ts.URL+"/jobs",
+			fmt.Sprintf(`{"experiment":"fig4","options":{"quick":true,"seed":%d}}`, seed))
+	}
+	for seed := 1; seed <= 4; seed++ {
+		if resp, body := submitSeed(seed); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("fill submit %d = %d: %s", seed, resp.StatusCode, body)
+		}
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("executor for seed %d never started", seed)
+		}
+	}
+	for seed := 5; seed <= 6; seed++ {
+		if resp, body := submitSeed(seed); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("queue submit %d = %d: %s", seed, resp.StatusCode, body)
+		}
+	}
+
+	over := `{"experiment":"fig4","options":{"quick":true,"seed":7}}`
+	resp, body := postJSON(t, ts.URL+"/jobs", over)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit = %d: %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if !strings.Contains(string(body), "queue is full") {
+		t.Fatalf("429 body = %s, want a queue-full error", body)
+	}
+
+	// Drain and retry: the refused job left no trace, so resubmission is
+	// clean and runs to completion.
+	releaseOnce()
+	waitDone(t, ts.URL, 6)
+	resp, body = postJSON(t, ts.URL+"/jobs", over)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("retry submit = %d: %s", resp.StatusCode, body)
+	}
+	waitDone(t, ts.URL, 7)
+}
+
+// TestDaemonWorkersEndpoint: the control daemon lists its registered
+// workers; a worker-less daemon answers with an empty list, not an error.
+func TestDaemonWorkersEndpoint(t *testing.T) {
+	ts, _, _ := newTestServer(t, filepath.Join(t.TempDir(), "store.jsonl"))
+	var out struct {
+		Workers []fed.WorkerInfo `json:"workers"`
+	}
+	if code := getJSON(t, ts.URL+"/workers", &out); code != http.StatusOK {
+		t.Fatalf("workers = %d", code)
+	}
+	if len(out.Workers) != 0 {
+		t.Fatalf("workers = %+v, want none", out.Workers)
+	}
+	w, err := fed.Join(fed.WorkerConfig{ControlURL: ts.URL, Name: "probe", Slots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if code := getJSON(t, ts.URL+"/workers", &out); code != http.StatusOK || len(out.Workers) != 1 {
+		t.Fatalf("workers after join = %d %+v, want one", code, out.Workers)
+	}
+	if out.Workers[0].Name != "probe" || out.Workers[0].Slots != 1 {
+		t.Fatalf("worker info = %+v", out.Workers[0])
 	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -30,7 +31,7 @@ func getBody(t *testing.T, url string) (*http.Response, string) {
 // with the runner families present and moving as jobs finish.
 func TestDaemonMetricsEndpoint(t *testing.T) {
 	ts, _, _ := newTestServer(t, filepath.Join(t.TempDir(), "store.jsonl"),
-		runner.WithExecutor(func(j runner.Job) (json.RawMessage, error) {
+		runner.WithExecutor(func(_ context.Context, j runner.Job) (json.RawMessage, error) {
 			return json.RawMessage(`{"ok":true}`), nil
 		}))
 
@@ -83,13 +84,13 @@ func TestDaemonPprofOptIn(t *testing.T) {
 	r := runner.New(st, 1)
 	defer r.Close()
 
-	off := httptest.NewServer(newServer(r, st, false))
+	off := httptest.NewServer(newServer(r, st, nil, false))
 	defer off.Close()
 	if resp, _ := getBody(t, off.URL+"/debug/pprof/"); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("pprof off = %d, want 404", resp.StatusCode)
 	}
 
-	on := httptest.NewServer(newServer(r, st, true))
+	on := httptest.NewServer(newServer(r, st, nil, true))
 	defer on.Close()
 	resp, body := getBody(t, on.URL+"/debug/pprof/")
 	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
@@ -108,13 +109,13 @@ func TestDaemonHealthzJobLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st.Close()
-	r := runner.New(st, 1, runner.WithExecutor(func(j runner.Job) (json.RawMessage, error) {
+	r := runner.New(st, 1, runner.WithExecutor(func(_ context.Context, j runner.Job) (json.RawMessage, error) {
 		started <- j.ID()
 		<-release
 		return json.RawMessage(`{"ok":true}`), nil
 	}))
 	defer r.Close()
-	ts := httptest.NewServer(newServer(r, st, false))
+	ts := httptest.NewServer(newServer(r, st, nil, false))
 	defer ts.Close()
 
 	counts := func() map[string]int {

@@ -42,6 +42,11 @@ const (
 	// layer (internal/chaos), standing in for the failure detector a
 	// production federation would run; it never crosses the wire.
 	KindFault
+	// KindControl carries job-federation control-plane traffic between a
+	// control daemon and its worker daemons (internal/rpc control payloads,
+	// internal/fed): registration, leases, heartbeats, results, cancels.
+	// It never appears inside an FL run.
+	KindControl
 )
 
 // FaultPayload is the body of a KindFault notification.
@@ -71,6 +76,8 @@ func (k Kind) String() string {
 		return "similarity"
 	case KindFault:
 		return "fault"
+	case KindControl:
+		return "control"
 	default:
 		return "unknown"
 	}

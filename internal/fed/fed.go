@@ -1,0 +1,16 @@
+// Package fed turns aergiad into a multi-node job federation: a control
+// daemon owns the job queue, the store, and the HTTP API, while worker
+// daemons register over HTTP, pull leases over the rpc transport, execute
+// experiments locally, and stream results and live round events back (see
+// DESIGN.md §13).
+//
+// The division of labor with internal/runner is strict: the runner owns
+// every scheduling decision (lease fencing, requeue, cancellation state),
+// this package only moves messages. Work distribution is pull-based — a
+// worker asks for leases on attach, on every heartbeat while it has free
+// slots, and after each completion; the control grants from the shared
+// queue and never pushes unrequested work. Liveness is heartbeat-based: a
+// worker that goes silent for Heartbeat×Misses has its leases requeued at
+// the head of the queue, and a late result from it is fenced off by the
+// lease sequence number.
+package fed

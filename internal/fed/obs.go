@@ -1,0 +1,40 @@
+package fed
+
+import (
+	"sync"
+
+	"aergia/internal/obs"
+)
+
+// fedInstruments is the federation's metric surface on obs.Default,
+// labeled by worker name so one /metrics scrape on the control daemon
+// shows where every lease went.
+type fedInstruments struct {
+	workers       *obs.Gauge
+	workersLost   *obs.Counter
+	staleResults  *obs.Counter
+	heartbeats    *obs.CounterVec
+	leasesGranted *obs.CounterVec
+	leaseActive   *obs.GaugeVec
+	requeued      *obs.CounterVec
+}
+
+var fm = sync.OnceValue(func() *fedInstruments {
+	reg := obs.Default
+	return &fedInstruments{
+		workers: reg.Gauge("aergia_fed_workers",
+			"Worker daemons currently registered with the control plane."),
+		workersLost: reg.Counter("aergia_fed_workers_lost_total",
+			"Workers evicted: missed heartbeats, byes, or undeliverable grants."),
+		staleResults: reg.Counter("aergia_fed_stale_results_total",
+			"Results dropped because their lease had expired (fencing)."),
+		heartbeats: reg.CounterVec("aergia_fed_heartbeats_total",
+			"Heartbeats received, by worker.", "worker"),
+		leasesGranted: reg.CounterVec("aergia_fed_leases_total",
+			"Job leases granted, by worker.", "worker"),
+		leaseActive: reg.GaugeVec("aergia_fed_lease_active",
+			"Leases currently held, by worker.", "worker"),
+		requeued: reg.CounterVec("aergia_fed_requeued_total",
+			"Leases requeued after losing their worker, by worker.", "worker"),
+	}
+})

@@ -1,0 +1,346 @@
+package fed
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"aergia/internal/comm"
+	"aergia/internal/obs"
+	"aergia/internal/rpc"
+	"aergia/internal/runner"
+)
+
+// WorkerConfig configures one worker daemon.
+type WorkerConfig struct {
+	// ControlURL is the control daemon's HTTP base URL (the -join flag),
+	// e.g. "http://127.0.0.1:8080".
+	ControlURL string
+	// Name is the worker's display name (metrics label, lease owner).
+	Name string
+	// Addr is the worker's rpc listen address ("127.0.0.1:0" by default).
+	Addr string
+	// Slots is how many jobs the worker executes concurrently
+	// (default GOMAXPROCS).
+	Slots int
+	// Execute runs one job (default runner.ExecuteJob). Tests substitute
+	// gated or counting executors.
+	Execute func(context.Context, runner.Job) (json.RawMessage, error)
+	// Client performs the join request (default http.DefaultClient).
+	Client *http.Client
+}
+
+// activeJob is one lease being executed.
+type activeJob struct {
+	seq    uint64
+	cancel context.CancelFunc
+}
+
+// Worker is the executing side of a federation: it joins a control
+// daemon, pulls leases, runs them through the ordinary executor, and
+// reports results and live round events back.
+type Worker struct {
+	cfg       WorkerConfig
+	id        comm.NodeID
+	peer      *rpc.Peer
+	heartbeat time.Duration
+
+	mu      sync.Mutex
+	active  map[string]*activeJob
+	pending bool // a lease request is in flight, don't stack another
+	stopped bool
+
+	stop     chan struct{}
+	lost     chan struct{}
+	loseOnce sync.Once
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// Join bootstraps a worker: POST /workers/join for an identity, listen on
+// the rpc transport under it, attach with Hello, and start the heartbeat
+// loop. The first lease request goes out immediately.
+func Join(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("worker-%d", time.Now().UnixNano()%100000)
+	}
+	if cfg.Execute == nil {
+		cfg.Execute = runner.ExecuteJob
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+
+	resp, err := client.Post(cfg.ControlURL+"/workers/join", "application/json", nil)
+	if err != nil {
+		return nil, fmt.Errorf("fed: join %s: %w", cfg.ControlURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fed: join %s: %s", cfg.ControlURL, resp.Status)
+	}
+	var jr JoinResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		return nil, fmt.Errorf("fed: join response: %w", err)
+	}
+	if jr.HeartbeatMS <= 0 || jr.Control == "" {
+		return nil, fmt.Errorf("fed: join response incomplete: %+v", jr)
+	}
+
+	w := &Worker{
+		cfg:       cfg,
+		id:        comm.NodeID(jr.ID),
+		heartbeat: time.Duration(jr.HeartbeatMS) * time.Millisecond,
+		active:    make(map[string]*activeJob),
+		stop:      make(chan struct{}),
+		lost:      make(chan struct{}),
+	}
+	peer, err := rpc.Listen(w.id, cfg.Addr, w)
+	if err != nil {
+		return nil, fmt.Errorf("fed: worker listen: %w", err)
+	}
+	w.peer = peer
+	peer.AddRoute(rpc.ControlID, jr.Control)
+	if err := w.send(rpc.HelloPayload{Name: cfg.Name, Addr: peer.Addr(), Slots: cfg.Slots}); err != nil {
+		if cerr := peer.Close(); cerr != nil {
+			_ = cerr
+		}
+		return nil, fmt.Errorf("fed: hello: %w", err)
+	}
+	w.maybeRequestLeases()
+	w.wg.Add(1)
+	go w.heartbeatLoop()
+	return w, nil
+}
+
+// ID returns the node identity the control assigned.
+func (w *Worker) ID() comm.NodeID { return w.id }
+
+// Name returns the worker's display name.
+func (w *Worker) Name() string { return w.cfg.Name }
+
+// Addr returns the worker's rpc listen address.
+func (w *Worker) Addr() string { return w.peer.Addr() }
+
+// Active returns how many leases the worker is executing right now.
+func (w *Worker) Active() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.active)
+}
+
+// Lost is closed if the control tells the worker to go away (Bye), so the
+// daemon main can exit and rejoin instead of spinning uselessly.
+func (w *Worker) Lost() <-chan struct{} { return w.lost }
+
+func (w *Worker) send(payload any) error {
+	return w.peer.Send(comm.Message{To: rpc.ControlID, Kind: comm.KindControl, Payload: payload})
+}
+
+// maybeRequestLeases asks the control for as many jobs as there are free
+// slots, at most one request in flight — the control always answers, even
+// with an empty grant, and the heartbeat loop clears the in-flight flag
+// each tick so a lost answer degrades to polling, never to starvation.
+func (w *Worker) maybeRequestLeases() {
+	w.mu.Lock()
+	free := w.cfg.Slots - len(w.active)
+	ask := free > 0 && !w.pending && !w.stopped
+	if ask {
+		w.pending = true
+	}
+	w.mu.Unlock()
+	if !ask {
+		return
+	}
+	if err := w.send(rpc.LeaseRequestPayload{Want: free}); err != nil {
+		w.mu.Lock()
+		w.pending = false
+		w.mu.Unlock()
+	}
+}
+
+func (w *Worker) heartbeatLoop() {
+	defer w.wg.Done()
+	t := time.NewTicker(w.heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			ids := make([]string, 0, len(w.active))
+			for id := range w.active {
+				ids = append(ids, id)
+			}
+			w.pending = false // grants lost in transit: go back to polling
+			w.mu.Unlock()
+			if err := w.send(rpc.HeartbeatPayload{Active: ids, Name: w.cfg.Name,
+				Addr: w.peer.Addr(), Slots: w.cfg.Slots}); err != nil {
+				continue // control briefly unreachable: keep beaconing
+			}
+			w.maybeRequestLeases()
+		}
+	}
+}
+
+// OnMessage handles control→worker traffic (grants, cancels, bye).
+func (w *Worker) OnMessage(_ comm.Env, msg comm.Message) {
+	switch p := msg.Payload.(type) {
+	case rpc.LeaseGrantPayload:
+		w.mu.Lock()
+		w.pending = false
+		if w.stopped {
+			w.mu.Unlock()
+			return // shutting down: leases expire back to the queue via Bye/timeout
+		}
+		var accepted []launch
+		for _, l := range p.Leases {
+			var job runner.Job
+			if err := json.Unmarshal(l.Spec, &job); err != nil {
+				// A spec this worker cannot decode (version skew): report it
+				// failed so the job doesn't wait for a heartbeat timeout.
+				go w.report(l.ID, l.Seq, runner.StatusFailed, 0,
+					fmt.Sprintf("worker %s: decode spec: %v", w.cfg.Name, err), nil)
+				continue
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			w.active[l.ID] = &activeJob{seq: l.Seq, cancel: cancel}
+			accepted = append(accepted, launch{lease: l, job: job, ctx: ctx})
+		}
+		w.mu.Unlock()
+		for _, a := range accepted {
+			w.wg.Add(1)
+			go w.run(a.lease, a.job, a.ctx)
+		}
+	case rpc.CancelPayload:
+		w.mu.Lock()
+		a := w.active[p.ID]
+		w.mu.Unlock()
+		if a != nil {
+			a.cancel()
+		}
+	case rpc.ByePayload:
+		w.loseOnce.Do(func() { close(w.lost) })
+	}
+}
+
+// launch is one decoded, admitted lease about to start executing.
+type launch struct {
+	lease rpc.Lease
+	job   runner.Job
+	ctx   context.Context
+}
+
+// run executes one lease: live round events are forwarded to the control
+// as they happen, and the terminal result (done, failed, or canceled)
+// echoes the lease's fencing sequence.
+func (w *Worker) run(l rpc.Lease, job runner.Job, ctx context.Context) {
+	defer w.wg.Done()
+	stream := obs.NewRoundStream()
+	ch, unsub := stream.Subscribe(64)
+	defer unsub()
+	var fwg sync.WaitGroup
+	fwg.Add(1)
+	go func() {
+		defer fwg.Done()
+		for ev := range ch {
+			b, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			if err := w.send(rpc.EventPayload{ID: l.ID, Event: b}); err != nil {
+				_ = err // events are best-effort observability
+			}
+		}
+	}()
+	job.Options.Events = stream
+	start := time.Now()
+	result, err := w.cfg.Execute(ctx, job)
+	elapsed := time.Since(start)
+	stream.Close()
+	fwg.Wait()
+
+	status := runner.StatusDone
+	errMsg := ""
+	if err != nil {
+		status = runner.StatusFailed
+		if errors.Is(err, runner.ErrCanceled) || ctx.Err() != nil {
+			status = runner.StatusCanceled
+		}
+		errMsg = err.Error()
+		result = nil
+	}
+	w.mu.Lock()
+	if a := w.active[l.ID]; a != nil {
+		delete(w.active, l.ID)
+		a.cancel()
+	}
+	w.mu.Unlock()
+	w.report(l.ID, l.Seq, status, elapsed, errMsg, result)
+	w.maybeRequestLeases()
+}
+
+// report sends one terminal result to the control. A send failure is
+// survivable: the control declares this worker dead after the heartbeat
+// timeout and requeues the job.
+func (w *Worker) report(id string, seq uint64, status runner.Status, elapsed time.Duration, errMsg string, result json.RawMessage) {
+	if err := w.send(rpc.ResultPayload{
+		ID: id, Seq: seq, Status: string(status),
+		ElapsedNS: elapsed.Nanoseconds(), Error: errMsg, Result: result,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "fed: worker %s: report %s: %v\n", w.cfg.Name, id, err)
+	}
+}
+
+// Close leaves the federation gracefully: a Bye tells the control to
+// requeue this worker's leases now (rather than after the heartbeat
+// timeout), running jobs are canceled, and the rpc listener shuts down.
+func (w *Worker) Close() error {
+	w.stopOnce.Do(func() {
+		w.mu.Lock()
+		w.stopped = true
+		actives := make([]*activeJob, 0, len(w.active))
+		for _, a := range w.active {
+			actives = append(actives, a)
+		}
+		w.mu.Unlock()
+		if err := w.send(rpc.ByePayload{Reason: "shutdown"}); err != nil {
+			_ = err // control already gone; timeout-based requeue covers it
+		}
+		close(w.stop)
+		for _, a := range actives {
+			a.cancel()
+		}
+	})
+	w.wg.Wait()
+	return w.peer.Close()
+}
+
+// Kill simulates an abrupt worker death for tests: no Bye, no cancels —
+// the transport just goes dark, exactly like a SIGKILL, and the control
+// must recover via the heartbeat timeout.
+func (w *Worker) Kill() {
+	w.stopOnce.Do(func() {
+		w.mu.Lock()
+		w.stopped = true
+		w.mu.Unlock()
+		close(w.stop)
+	})
+	if err := w.peer.Close(); err != nil {
+		_ = err
+	}
+}

@@ -1,0 +1,120 @@
+// Control-plane wire protocol for multi-daemon job federation (DESIGN.md
+// §13): the message shapes a worker daemon and a control daemon exchange
+// over the ordinary Peer transport. Work distribution is pull-based — the
+// control never pushes a job a worker did not ask for — and every payload
+// that references a job carries the lease sequence number the control
+// issued, so results from expired leases are detectable and droppable.
+//
+// Payloads deliberately carry job specs and records as opaque JSON bytes:
+// the rpc layer stays ignorant of the runner's schema, and a control and
+// worker built from slightly different binaries fail loudly at JSON decode
+// instead of silently at gob type mismatch.
+package rpc
+
+import (
+	"encoding/gob"
+
+	"aergia/internal/comm"
+)
+
+// ControlID is the well-known node identity of the control daemon on the
+// federation network, far outside both the client ID space (0..n-1) and
+// the edge-aggregator space (-2-k).
+const ControlID comm.NodeID = -100
+
+// HelloPayload attaches a worker to the control plane after the HTTP join
+// bootstrap assigned it a node ID: it announces the worker's own rpc
+// listen address (the control cannot send grants without it), its display
+// name, and its executor slot count.
+type HelloPayload struct {
+	Name  string
+	Addr  string
+	Slots int
+}
+
+// LeaseRequestPayload asks the control for up to Want more jobs. Workers
+// send it on attach, after each completed job, and on every heartbeat
+// while slots are free; an empty queue simply grants nothing, so the
+// request doubles as the poll.
+type LeaseRequestPayload struct {
+	Want int
+}
+
+// Lease is one unit of granted work: the job's content-hash ID, the
+// fencing sequence number of this particular grant, and the job spec as
+// canonical JSON ({"experiment":..., "options":...}).
+type Lease struct {
+	ID   string
+	Seq  uint64
+	Spec []byte
+}
+
+// LeaseGrantPayload delivers zero or more leases in response to a
+// LeaseRequestPayload.
+type LeaseGrantPayload struct {
+	Leases []Lease
+}
+
+// HeartbeatPayload is the worker's liveness beacon, carrying the job IDs
+// it currently holds. A worker that misses the control's configured number
+// of consecutive heartbeats is declared dead and its leases are requeued.
+// Name/Addr/Slots duplicate the Hello so a control that no longer knows
+// the sender (it restarted, or it declared the worker dead after a
+// transient send failure) can re-admit it in place instead of starving it.
+type HeartbeatPayload struct {
+	Active []string
+	Name   string
+	Addr   string
+	Slots  int
+}
+
+// ResultPayload reports one finished lease. Status is the runner's
+// terminal status string ("done", "failed", "canceled"); Result is the
+// experiment's canonical record JSON for done jobs and empty otherwise.
+// Seq must echo the lease's sequence number — a stale Seq means the lease
+// expired (the worker was declared dead and the job requeued) and the
+// result is dropped.
+type ResultPayload struct {
+	ID        string
+	Seq       uint64
+	Status    string
+	ElapsedNS int64
+	Error     string
+	Result    []byte
+}
+
+// EventPayload forwards one live round-progress event (obs.RoundEvent as
+// JSON) from the worker executing a job to the control daemon, which
+// republishes it into the job's SSE stream. Best-effort observability:
+// loss is acceptable, ordering per job follows the connection.
+type EventPayload struct {
+	ID    string
+	Event []byte
+}
+
+// CancelPayload tells the owning worker to abort a leased job; the worker
+// cancels the job's context and reports a canceled ResultPayload.
+type CancelPayload struct {
+	ID string
+}
+
+// ByePayload is a graceful goodbye. Worker → control: the worker is
+// shutting down, requeue its leases now rather than after the heartbeat
+// timeout. Control → worker: the control no longer recognizes the worker
+// (typically after a control restart) and it should exit and rejoin.
+type ByePayload struct {
+	Reason string
+}
+
+func init() {
+	// Control payloads ride the same gob envelope as FL payloads; register
+	// them once so any binary that links the rpc layer can federate.
+	gob.Register(HelloPayload{})
+	gob.Register(LeaseRequestPayload{})
+	gob.Register(LeaseGrantPayload{})
+	gob.Register(HeartbeatPayload{})
+	gob.Register(ResultPayload{})
+	gob.Register(EventPayload{})
+	gob.Register(CancelPayload{})
+	gob.Register(ByePayload{})
+}

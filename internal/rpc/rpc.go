@@ -106,6 +106,47 @@ func (p *Peer) SetRegistry(reg map[comm.NodeID]string) {
 // should share an epoch so Now() is comparable).
 func (p *Peer) SetEpoch(epoch time.Time) { p.epoch = epoch }
 
+// AddRoute adds or replaces a single address-book entry. The control plane
+// uses it to admit workers one at a time as they register, where
+// SetRegistry's full-replace semantics would race concurrent joins.
+func (p *Peer) AddRoute(id comm.NodeID, addr string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.registry[id] = addr
+}
+
+// DropRoute forgets a peer: its address-book entry is removed and any
+// cached outbound connection is closed. Used when a worker is declared
+// dead so a later send cannot reach a stale socket.
+func (p *Peer) DropRoute(id comm.NodeID) {
+	p.mu.Lock()
+	delete(p.registry, id)
+	oc := p.conns[id]
+	delete(p.conns, id)
+	p.mu.Unlock()
+	if oc == nil {
+		return
+	}
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if oc.conn != nil {
+		if cerr := oc.conn.Close(); cerr != nil {
+			_ = cerr // best-effort teardown of an abandoned route
+		}
+		oc.conn, oc.enc = nil, nil
+	}
+}
+
+// Send stamps the sender and delivers msg, returning the transport error
+// instead of panicking. FL actors keep the panic-on-failure Env contract
+// (the reliable-network assumption, §3.1); the control plane uses Send
+// because a worker vanishing mid-send is an expected fault it must absorb,
+// not a protocol violation.
+func (p *Peer) Send(msg comm.Message) error {
+	msg.From = p.id
+	return p.send(msg)
+}
+
 func (p *Peer) acceptLoop() {
 	defer p.wg.Done()
 	for {

@@ -59,10 +59,15 @@ func (j Job) ID() string {
 // Status is the lifecycle of a job inside the runner.
 type Status string
 
-// Job lifecycle states. Only StatusDone and StatusFailed are persisted.
+// Job lifecycle states. StatusDone, StatusFailed, and StatusCanceled are
+// terminal; those three plus StatusLeased are persisted (a leased record
+// is non-terminal bookkeeping — it names the worker holding the job, and
+// any later record for the job supersedes it).
 const (
-	StatusQueued  Status = "queued"
-	StatusRunning Status = "running"
-	StatusDone    Status = "done"
-	StatusFailed  Status = "failed"
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusLeased   Status = "leased"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
 )

@@ -13,11 +13,12 @@ import (
 // same families, which is also why the queue depth is a plain gauge moved
 // by enqueue/dequeue rather than a per-runner GaugeFunc.
 type runnerInstruments struct {
-	queueDepth *obs.Gauge
-	activeJobs *obs.Gauge
-	jobsDone   *obs.Counter
-	jobsFailed *obs.Counter
-	jobSeconds *obs.Histogram
+	queueDepth   *obs.Gauge
+	activeJobs   *obs.Gauge
+	jobsDone     *obs.Counter
+	jobsFailed   *obs.Counter
+	jobsCanceled *obs.Counter
+	jobSeconds   *obs.Histogram
 }
 
 var rm = sync.OnceValue(func() *runnerInstruments {
@@ -30,8 +31,9 @@ var rm = sync.OnceValue(func() *runnerInstruments {
 			"Jobs waiting for a worker slot."),
 		activeJobs: reg.Gauge("aergia_runner_active_jobs",
 			"Jobs currently executing in a worker slot."),
-		jobsDone:   jobs.With(string(StatusDone)),
-		jobsFailed: jobs.With(string(StatusFailed)),
+		jobsDone:     jobs.With(string(StatusDone)),
+		jobsFailed:   jobs.With(string(StatusFailed)),
+		jobsCanceled: jobs.With(string(StatusCanceled)),
 		jobSeconds: reg.Histogram("aergia_runner_job_seconds",
 			"Wall-clock execution time per finished job.",
 			obs.ExpBuckets(0.001, 4, 12)),
@@ -46,6 +48,8 @@ func (m *runnerInstruments) observeFinished(status Status, elapsed time.Duration
 		m.jobsDone.Inc()
 	case StatusFailed:
 		m.jobsFailed.Inc()
+	case StatusCanceled:
+		m.jobsCanceled.Inc()
 	}
 	m.jobSeconds.Observe(elapsed.Seconds())
 }

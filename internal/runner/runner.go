@@ -1,7 +1,9 @@
 package runner
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -17,84 +19,190 @@ import (
 // silently vanish from the other.
 type JobState = Record
 
-// Runner schedules jobs over a fixed number of worker slots and persists
-// every outcome to the result store.
+// Sentinel errors of the scheduling surface. They are wrapped with job
+// context; match with errors.Is.
+var (
+	// ErrQueueFull is returned by Submit when the queue is at its
+	// configured admission bound (WithQueueLimit).
+	ErrQueueFull = errors.New("runner: job queue is full")
+	// ErrCanceled is the terminal error of a job whose context was
+	// canceled; executors return it (or any error while their context is
+	// canceled) to mark the job canceled rather than failed.
+	ErrCanceled = errors.New("runner: job canceled")
+	// ErrUnknownJob is returned for job IDs the runner has never seen.
+	ErrUnknownJob = errors.New("runner: unknown job")
+	// ErrJobFinished is returned by Cancel for jobs already in a terminal
+	// state.
+	ErrJobFinished = errors.New("runner: job already finished")
+	// ErrStaleLease is returned by Complete when the lease sequence does
+	// not match — the worker was declared dead and the job requeued (or
+	// finished by someone else) while the result was in flight.
+	ErrStaleLease = errors.New("runner: stale lease")
+)
+
+// Runner schedules jobs over a fixed number of local worker slots and a
+// lease-based pull interface for remote workers (internal/fed), and
+// persists every outcome to the result store.
 //
-// Concurrency budget: the slots bound how many experiments run at once,
-// while all compute inside them flows through the shared tensor worker
-// pool (one pool per width, process-global — see internal/tensor/pool.go).
-// N concurrent jobs on the parallel backend therefore contend for the same
-// GOMAXPROCS-bounded pool instead of oversubscribing cores N times.
+// Concurrency budget: the slots bound how many experiments run at once
+// locally, while all compute inside them flows through the shared tensor
+// worker pool (one pool per width, process-global — see
+// internal/tensor/pool.go). N concurrent jobs on the parallel backend
+// therefore contend for the same GOMAXPROCS-bounded pool instead of
+// oversubscribing cores N times.
 //
 // Dedup/resume: Submit answers repeats of completed work from the store
 // without recomputing — submitting the same sweep to a restarted runner
-// re-runs only the jobs that are missing or failed.
+// re-runs only the jobs that are missing, failed, or canceled.
+//
+// Leases: Lease hands queued jobs to a named remote owner; Complete
+// finishes them with the result the owner reported, and Requeue returns a
+// lost owner's jobs to the front of the queue. Every lease carries a
+// fencing sequence number so a result from an expired lease is dropped
+// instead of double-finishing a job, and a lease record is persisted so
+// the store shows which worker held what across a control-daemon restart.
 type Runner struct {
-	store   *Store
-	execute func(Job) (json.RawMessage, error)
-	slots   int
+	store    *Store
+	execute  func(context.Context, Job) (json.RawMessage, error)
+	slots    int
+	maxQueue int
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []Job
-	jobs    map[string]*JobState
-	order   []string
-	streams map[string]*obs.RoundStream
-	active  int
-	closed  bool
-	wg      sync.WaitGroup
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []Job
+	jobs      map[string]*JobState
+	order     []string
+	streams   map[string]*obs.RoundStream
+	cancels   map[string]context.CancelFunc
+	leases    map[string]*leaseState
+	cancelReq map[string]struct{}
+	leaseSeq  uint64
+	active    int
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// leaseState is one outstanding remote lease.
+type leaseState struct {
+	job   Job
+	owner string
+	seq   uint64
+}
+
+// Leased is one job granted to a remote owner, with the fencing sequence
+// its completion must echo.
+type Leased struct {
+	Job Job
+	Seq uint64
 }
 
 // Option configures a Runner.
 type Option func(*Runner)
 
 // WithExecutor replaces the job executor (which runs the experiment and
-// marshals its record). Tests use it to count or stub executions.
-func WithExecutor(fn func(Job) (json.RawMessage, error)) Option {
+// marshals its record). The context is canceled when the job is canceled;
+// executors should return promptly with ErrCanceled (or any error) once
+// it is done. Tests use this to count or stub executions.
+func WithExecutor(fn func(context.Context, Job) (json.RawMessage, error)) Option {
 	return func(r *Runner) { r.execute = fn }
 }
 
-// New starts a runner with the given worker-slot count (0 = GOMAXPROCS)
-// writing to store (nil = no persistence). Close releases the slots.
+// WithQueueLimit bounds how many jobs may wait in the queue: Submit
+// returns ErrQueueFull beyond it, which the daemon surfaces as 429 +
+// Retry-After. Admission control, not a correctness bound — resubmitting
+// the same sweep later is idempotent. 0 (the default) is unbounded.
+func WithQueueLimit(n int) Option {
+	return func(r *Runner) { r.maxQueue = n }
+}
+
+// New starts a runner with the given local worker-slot count (0 =
+// GOMAXPROCS, negative = no local execution at all — a pure control
+// plane draining only through Lease) writing to store (nil = no
+// persistence). Close releases the slots.
 func New(store *Store, slots int, opts ...Option) *Runner {
-	if slots <= 0 {
+	if slots == 0 {
 		slots = runtime.GOMAXPROCS(0)
 	}
+	if slots < 0 {
+		slots = 0
+	}
 	r := &Runner{
-		store:   store,
-		slots:   slots,
-		execute: executeJob,
-		jobs:    make(map[string]*JobState),
-		streams: make(map[string]*obs.RoundStream),
+		store:     store,
+		slots:     slots,
+		execute:   ExecuteJob,
+		jobs:      make(map[string]*JobState),
+		streams:   make(map[string]*obs.RoundStream),
+		cancels:   make(map[string]context.CancelFunc),
+		leases:    make(map[string]*leaseState),
+		cancelReq: make(map[string]struct{}),
 	}
 	r.cond = sync.NewCond(&r.mu)
 	for _, opt := range opts {
 		opt(r)
 	}
-	r.wg.Add(slots)
-	for i := 0; i < slots; i++ {
+	r.wg.Add(r.slots)
+	for i := 0; i < r.slots; i++ {
 		go r.worker()
 	}
 	return r
 }
 
-// executeJob runs the experiment and returns its canonical record bytes —
+// ExecuteJob runs the experiment and returns its canonical record bytes —
 // the same bytes `aergia -experiment <id> -json` prints for these options.
-func executeJob(j Job) (json.RawMessage, error) {
-	rec, err := experiments.Run(j.Experiment, j.Options)
-	if err != nil {
-		return nil, err
+// Cancellation is by abandonment: the experiment registry has no
+// cooperative cancellation points inside a run, so a canceled context
+// returns ErrCanceled immediately while the run finishes in the
+// background with its output discarded (its event stream is closed by the
+// caller, so late publishes are no-ops). The leaked compute drains
+// through the shared tensor pool and cannot oversubscribe cores.
+func ExecuteJob(ctx context.Context, j Job) (json.RawMessage, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return rec.Marshal()
+	if err := ctx.Err(); err != nil {
+		return nil, ErrCanceled
+	}
+	type outcome struct {
+		result json.RawMessage
+		err    error
+	}
+	out := make(chan outcome, 1)
+	go func() {
+		// A panic must not escape this goroutine (it would kill the
+		// process, not the job): record it, dump the flight recorder, and
+		// surface it as the job's failure.
+		defer func() {
+			if p := recover(); p != nil {
+				obs.FlightDefault.RecordPanic()
+				fmt.Fprintf(os.Stderr, "runner: job %s panicked: %v\n", j.ID(), p)
+				obs.FlightDefault.Dump(os.Stderr)
+				out <- outcome{nil, fmt.Errorf("job %s panicked: %v", j.ID(), p)}
+			}
+		}()
+		rec, err := experiments.Run(j.Experiment, j.Options)
+		if err != nil {
+			out <- outcome{nil, err}
+			return
+		}
+		b, err := rec.Marshal()
+		out <- outcome{b, err}
+	}()
+	select {
+	case o := <-out:
+		return o.result, o.err
+	case <-ctx.Done():
+		return nil, ErrCanceled
+	}
 }
 
-// Slots reports the worker-slot count.
+// Slots reports the local worker-slot count.
 func (r *Runner) Slots() int { return r.slots }
 
 // Submit enqueues one job and returns its current state. Completed work —
 // whether from this process or replayed from the store — is answered
-// immediately with status done; a queued or running duplicate is returned
-// as-is; failed jobs are re-enqueued.
+// immediately with status done; a queued, leased, or running duplicate is
+// returned as-is; failed and canceled jobs are re-enqueued. ErrQueueFull
+// reports that the admission bound is reached; nothing was enqueued.
 func (r *Runner) Submit(job Job) (JobState, error) {
 	id := job.ID()
 	r.mu.Lock()
@@ -104,34 +212,52 @@ func (r *Runner) Submit(job Job) (JobState, error) {
 	}
 	if st, ok := r.jobs[id]; ok {
 		switch st.Status {
-		case StatusQueued, StatusRunning, StatusDone:
+		case StatusQueued, StatusRunning, StatusLeased, StatusDone:
 			return *st, nil
 		}
-		// Failed: fall through and requeue below.
+		// Failed or canceled: requeue, subject to admission control.
+		if err := r.checkQueueSpace(); err != nil {
+			return *st, err
+		}
 		st.Status = StatusQueued
 		st.Error = ""
 		st.Elapsed = 0
 		st.Result = nil
+		st.Worker = ""
 		r.enqueue(job)
 		return *st, nil
 	}
 	st := &JobState{ID: id, Experiment: job.Experiment, Options: job.Options}
-	r.jobs[id] = st
-	r.order = append(r.order, id)
 	if rec, ok := r.store.Meta(id); ok && rec.Status == StatusDone {
 		// The store owns the result payload (on disk); job states carry
 		// only metadata so the daemon's footprint is bounded by job count.
+		r.jobs[id] = st
+		r.order = append(r.order, id)
 		st.Status = StatusDone
 		st.Elapsed = rec.Elapsed
 		return *st, nil
 	}
+	if err := r.checkQueueSpace(); err != nil {
+		return JobState{}, err
+	}
+	r.jobs[id] = st
+	r.order = append(r.order, id)
 	st.Status = StatusQueued
 	r.enqueue(job)
 	return *st, nil
 }
 
+// checkQueueSpace enforces the admission bound. Callers hold r.mu.
+func (r *Runner) checkQueueSpace() error {
+	if r.maxQueue > 0 && len(r.queue) >= r.maxQueue {
+		return fmt.Errorf("%w (depth %d)", ErrQueueFull, len(r.queue))
+	}
+	return nil
+}
+
 // SubmitAll submits a batch (e.g. an expanded sweep) and returns the
-// per-job states in order.
+// per-job states in order. On ErrQueueFull the states accepted so far are
+// returned with the error; resubmitting the same batch later skips them.
 func (r *Runner) SubmitAll(jobs []Job) ([]JobState, error) {
 	out := make([]JobState, 0, len(jobs))
 	for _, job := range jobs {
@@ -147,13 +273,24 @@ func (r *Runner) SubmitAll(jobs []Job) ([]JobState, error) {
 func (r *Runner) enqueue(job Job) {
 	// A fresh event stream per (re)enqueue: SSE consumers can attach the
 	// moment Submit returns, before a worker claims the job. A failed
-	// job's requeue replaces the old closed stream.
+	// job's requeue replaces the old stream — which is always already
+	// closed, because terminal status and stream close happen atomically
+	// under r.mu (see the worker loop) and only terminal jobs requeue.
 	r.streams[job.ID()] = obs.NewRoundStream()
 	r.queue = append(r.queue, job)
 	rm().queueDepth.Inc()
 	// Broadcast, not Signal: Wait and the workers share the condition
 	// variable, so a single wakeup could land on a waiter that is not a
 	// worker and strand the queue.
+	r.cond.Broadcast()
+}
+
+// requeueFront returns a previously leased job to the head of the queue,
+// keeping its existing stream so attached subscribers ride through the
+// worker loss transparently.
+func (r *Runner) requeueFront(job Job) {
+	r.queue = append([]Job{job}, r.queue...)
+	rm().queueDepth.Inc()
 	r.cond.Broadcast()
 }
 
@@ -170,9 +307,12 @@ func (r *Runner) worker() {
 		}
 		job := r.queue[0]
 		r.queue = r.queue[1:]
-		st := r.jobs[job.ID()]
+		id := job.ID()
+		st := r.jobs[id]
 		st.Status = StatusRunning
-		stream := r.streams[job.ID()]
+		stream := r.streams[id]
+		ctx, cancel := context.WithCancel(context.Background())
+		r.cancels[id] = cancel
 		r.active++
 		rm().queueDepth.Dec()
 		rm().activeJobs.Inc()
@@ -184,13 +324,12 @@ func (r *Runner) worker() {
 		// tells subscribers the job is over.
 		job.Options.Events = stream
 		start := time.Now()
-		result, err := r.runJob(job)
+		result, err := r.runJob(ctx, job)
 		elapsed := time.Since(start)
-		stream.Close()
 		job.Options.Events = nil
 
 		rec := Record{
-			ID:         job.ID(),
+			ID:         id,
 			Experiment: job.Experiment,
 			Options:    job.Options,
 			Status:     StatusDone,
@@ -199,24 +338,19 @@ func (r *Runner) worker() {
 		}
 		if err != nil {
 			rec.Status = StatusFailed
+			if errors.Is(err, ErrCanceled) || ctx.Err() != nil {
+				// Canceled mid-run (or the executor surfaced the canceled
+				// context as its own error): terminal, but distinct from a
+				// failure so resubmission semantics and metrics stay honest.
+				rec.Status = StatusCanceled
+			}
 			rec.Error = err.Error()
 			rec.Result = nil
 		}
-		if perr := r.store.Append(rec); perr != nil {
-			if rec.Status == StatusDone {
-				// The result exists but did not persist; surface that
-				// loudly rather than pretending the store has it.
-				rec.Status = StatusFailed
-				rec.Error = perr.Error()
-				rec.Result = nil
-			} else {
-				// Keep the job's own failure primary, but don't swallow
-				// the signal that the store is unwritable.
-				rec.Error += "; persist: " + perr.Error()
-			}
-		}
+		r.persist(&rec)
 
 		r.mu.Lock()
+		delete(r.cancels, id)
 		st.Status = rec.Status
 		st.Elapsed = rec.Elapsed
 		st.Error = rec.Error
@@ -228,8 +362,32 @@ func (r *Runner) worker() {
 		r.active--
 		rm().activeJobs.Dec()
 		rm().observeFinished(rec.Status, rec.Elapsed)
+		// Close the stream inside the same critical section that makes the
+		// status terminal: a subscriber whose channel closed can trust that
+		// the job state already reads terminal, and a retry requeued via
+		// Submit can never interleave between the two (it would have seen a
+		// running job and returned as-is). See TestRunnerFailedJobRetry*.
+		stream.Close()
 		r.cond.Broadcast()
 		r.mu.Unlock()
+		cancel()
+	}
+}
+
+// persist appends rec to the store, reconciling a persistence failure
+// into the record: a result that exists but did not persist is surfaced
+// loudly as a failure rather than pretending the store has it.
+func (r *Runner) persist(rec *Record) {
+	if perr := r.store.Append(*rec); perr != nil {
+		if rec.Status == StatusDone {
+			rec.Status = StatusFailed
+			rec.Error = perr.Error()
+			rec.Result = nil
+		} else {
+			// Keep the job's own failure primary, but don't swallow
+			// the signal that the store is unwritable.
+			rec.Error += "; persist: " + perr.Error()
+		}
 	}
 }
 
@@ -237,7 +395,7 @@ func (r *Runner) worker() {
 // becomes a failed job, not a lost slot in a long-running daemon. The
 // flight recorder gets a panic marker and is dumped to stderr — the last
 // moments of message traffic before the blow-up, without a re-run.
-func (r *Runner) runJob(job Job) (result json.RawMessage, err error) {
+func (r *Runner) runJob(ctx context.Context, job Job) (result json.RawMessage, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			obs.FlightDefault.RecordPanic()
@@ -246,19 +404,234 @@ func (r *Runner) runJob(job Job) (result json.RawMessage, err error) {
 			result, err = nil, fmt.Errorf("job %s panicked: %v", job.ID(), p)
 		}
 	}()
-	return r.execute(job)
+	return r.execute(ctx, job)
+}
+
+// Cancel requests cancellation of a job. A queued job is removed from the
+// queue and finalized as canceled immediately; a locally running job has
+// its context canceled and finalizes as canceled when the executor
+// returns; a leased job is marked cancel-requested and the owner's name
+// is returned so the caller can propagate the cancel over the control
+// plane (if the owner is lost instead, Requeue finalizes the job as
+// canceled). Terminal jobs return ErrJobFinished, unknown IDs
+// ErrUnknownJob.
+func (r *Runner) Cancel(id string) (JobState, string, error) {
+	r.mu.Lock()
+	st, ok := r.jobs[id]
+	if !ok {
+		r.mu.Unlock()
+		if rec, ok := r.store.Meta(id); ok {
+			return rec, "", fmt.Errorf("%w: %s is %s", ErrJobFinished, id, rec.Status)
+		}
+		return JobState{}, "", fmt.Errorf("%w %s", ErrUnknownJob, id)
+	}
+	switch st.Status {
+	case StatusDone, StatusFailed, StatusCanceled:
+		out := *st
+		r.mu.Unlock()
+		return out, "", fmt.Errorf("%w: %s is %s", ErrJobFinished, id, out.Status)
+	case StatusRunning:
+		if cancel := r.cancels[id]; cancel != nil {
+			cancel()
+		}
+		out := *st
+		r.mu.Unlock()
+		return out, "", nil
+	case StatusLeased:
+		r.cancelReq[id] = struct{}{}
+		out := *st
+		r.mu.Unlock()
+		return out, out.Worker, nil
+	}
+	// Queued: it never started, finalize here.
+	for i := range r.queue {
+		if r.queue[i].ID() == id {
+			r.queue = append(r.queue[:i], r.queue[i+1:]...)
+			rm().queueDepth.Dec()
+			break
+		}
+	}
+	st.Status = StatusCanceled
+	st.Error = "canceled before execution"
+	rec := Record{ID: id, Experiment: st.Experiment, Options: st.Options,
+		Status: StatusCanceled, Error: st.Error}
+	rm().observeFinished(StatusCanceled, 0)
+	r.streams[id].Close()
+	r.cond.Broadcast()
+	out := *st
+	r.mu.Unlock()
+	if perr := r.store.Append(rec); perr != nil {
+		fmt.Fprintf(os.Stderr, "runner: persist canceled %s: %v\n", id, perr)
+	}
+	return out, "", nil
+}
+
+// Lease pops up to max queued jobs and grants them to the named remote
+// owner. Each grant carries a fresh fencing sequence and appends a lease
+// record to the store, so the on-disk history shows which worker held
+// which job across control-daemon restarts (a leased record is
+// non-terminal: resubmitting the job after a restart re-runs it).
+func (r *Runner) Lease(owner string, max int) []Leased {
+	r.mu.Lock()
+	if r.closed || max <= 0 {
+		r.mu.Unlock()
+		return nil
+	}
+	n := min(max, len(r.queue))
+	out := make([]Leased, 0, n)
+	recs := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		job := r.queue[0]
+		r.queue = r.queue[1:]
+		id := job.ID()
+		st := r.jobs[id]
+		r.leaseSeq++
+		st.Status = StatusLeased
+		st.Worker = owner
+		r.leases[id] = &leaseState{job: job, owner: owner, seq: r.leaseSeq}
+		rm().queueDepth.Dec()
+		out = append(out, Leased{Job: job, Seq: r.leaseSeq})
+		recs = append(recs, Record{ID: id, Experiment: job.Experiment,
+			Options: job.Options, Status: StatusLeased, Worker: owner})
+	}
+	r.mu.Unlock()
+	for i := range recs {
+		// Lease records are visibility, not correctness (the fencing seq
+		// lives in memory): failing to persist one must not fail the grant.
+		if perr := r.store.Append(recs[i]); perr != nil {
+			fmt.Fprintf(os.Stderr, "runner: persist lease %s: %v\n", recs[i].ID, perr)
+		}
+	}
+	return out
+}
+
+// Complete finishes a leased job with the outcome its owner reported. The
+// record's identity fields are rebuilt from the lease (the wire is not
+// trusted to name the job it was granted); seq must match the outstanding
+// lease or the result is dropped with ErrStaleLease — the job was
+// requeued after the owner was declared dead, and whoever holds the new
+// lease owns the result.
+func (r *Runner) Complete(id string, seq uint64, rec Record) error {
+	r.mu.Lock()
+	l := r.leases[id]
+	if l == nil || l.seq != seq {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: job %s seq %d", ErrStaleLease, id, seq)
+	}
+	delete(r.leases, id)
+	delete(r.cancelReq, id)
+	r.mu.Unlock()
+
+	rec.ID = id
+	rec.Experiment = l.job.Experiment
+	rec.Options = l.job.Options
+	rec.Worker = l.owner
+	switch rec.Status {
+	case StatusDone:
+	case StatusCanceled:
+		rec.Result = nil
+	default:
+		rec.Status = StatusFailed
+		rec.Result = nil
+	}
+	r.persist(&rec)
+
+	r.mu.Lock()
+	st := r.jobs[id]
+	st.Status = rec.Status
+	st.Elapsed = rec.Elapsed
+	st.Error = rec.Error
+	st.Worker = rec.Worker
+	st.Result = rec.Result
+	if r.store != nil && rec.Status == StatusDone {
+		st.Result = nil
+	}
+	rm().observeFinished(rec.Status, rec.Elapsed)
+	r.streams[id].Close()
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	return nil
+}
+
+// Requeue takes back every lease held by owner: cancel-requested jobs
+// finalize as canceled (the cancel beat the worker's death), the rest
+// return to the front of the queue with their streams intact so attached
+// subscribers ride through the worker loss. Returns how many jobs took
+// each path.
+func (r *Runner) Requeue(owner string) (requeued, canceled int) {
+	r.mu.Lock()
+	var cancelRecs []Record
+	for id, l := range r.leases {
+		if l.owner != owner {
+			continue
+		}
+		delete(r.leases, id)
+		st := r.jobs[id]
+		st.Worker = ""
+		if _, drop := r.cancelReq[id]; drop {
+			delete(r.cancelReq, id)
+			st.Status = StatusCanceled
+			st.Error = "canceled while leased to a lost worker"
+			cancelRecs = append(cancelRecs, Record{ID: id, Experiment: l.job.Experiment,
+				Options: l.job.Options, Status: StatusCanceled, Error: st.Error})
+			rm().observeFinished(StatusCanceled, 0)
+			r.streams[id].Close()
+			canceled++
+			continue
+		}
+		st.Status = StatusQueued
+		r.requeueFront(l.job)
+		requeued++
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	for i := range cancelRecs {
+		if perr := r.store.Append(cancelRecs[i]); perr != nil {
+			fmt.Fprintf(os.Stderr, "runner: persist canceled %s: %v\n", cancelRecs[i].ID, perr)
+		}
+	}
+	return requeued, canceled
+}
+
+// LeaseCount reports how many jobs are currently leased out.
+func (r *Runner) LeaseCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.leases)
+}
+
+// PublishEvent republishes a live round event reported by a remote worker
+// into the job's stream, where local subscribers (the SSE handler) pick
+// it up exactly as if the job ran in-process. Unknown IDs and closed
+// streams drop silently — events are observability, not state.
+func (r *Runner) PublishEvent(id string, ev obs.RoundEvent) {
+	r.mu.Lock()
+	s := r.streams[id]
+	r.mu.Unlock()
+	s.Publish(ev) // nil-receiver safe
 }
 
 // Subscribe attaches to a job's live round-event stream: the channel
 // replays events published so far, then delivers live ones, and closes
 // when the job finishes (or was already answered from the store, in which
-// case it closes immediately). The cancel function detaches early. Unknown
-// job IDs error.
+// case it closes immediately). By the time the channel closes, the job's
+// state already reads terminal. Jobs known only to the store — completed
+// in an earlier daemon life — return an immediately-closed stream, the
+// streaming analogue of GET /jobs/{id} falling back to the store, so the
+// two endpoints can never disagree about whether a job exists. The cancel
+// function detaches early. Unknown job IDs error with ErrUnknownJob.
 func (r *Runner) Subscribe(id string, buf int) (<-chan obs.RoundEvent, func(), error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.jobs[id]; !ok {
-		return nil, nil, fmt.Errorf("runner: unknown job %s", id)
+		if _, ok := r.store.Meta(id); ok {
+			// Completed in an earlier daemon life: no events exist here,
+			// the stream is trivially over.
+			ch := make(chan obs.RoundEvent)
+			close(ch)
+			return ch, func() {}, nil
+		}
+		return nil, nil, fmt.Errorf("%w %s", ErrUnknownJob, id)
 	}
 	s := r.streams[id]
 	if s == nil {
@@ -318,21 +691,24 @@ func (r *Runner) List() []JobState {
 	return out
 }
 
-// Wait blocks until the queue is drained and no job is running.
+// Wait blocks until the queue is drained, no job is running locally, and
+// no lease is outstanding.
 func (r *Runner) Wait() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for len(r.queue) > 0 || r.active > 0 {
+	for len(r.queue) > 0 || r.active > 0 || len(r.leases) > 0 {
 		r.cond.Wait()
 	}
 }
 
-// Close abandons queued jobs, waits for in-flight jobs to finish, and
-// releases the worker slots. Submit fails afterwards. Abandoned jobs stay
-// in state "queued" and were never persisted, so resubmitting them to a
-// fresh runner over the same store resumes exactly where this one
+// Close abandons queued jobs, waits for locally running jobs to finish,
+// and releases the worker slots. Submit fails afterwards. Abandoned jobs
+// stay in state "queued" and were never persisted, so resubmitting them
+// to a fresh runner over the same store resumes exactly where this one
 // stopped — that is the shutdown story of aergiad, where draining a long
-// sweep would hold the process alive for hours.
+// sweep would hold the process alive for hours. Outstanding remote leases
+// are likewise abandoned: late results are dropped as stale, and the
+// leased records in the store mark the jobs for re-submission.
 func (r *Runner) Close() {
 	r.mu.Lock()
 	r.closed = true

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -15,8 +16,8 @@ import (
 
 // countingExecutor returns an executor that counts executions and yields a
 // deterministic payload per job.
-func countingExecutor(count *atomic.Int64) func(Job) (json.RawMessage, error) {
-	return func(j Job) (json.RawMessage, error) {
+func countingExecutor(count *atomic.Int64) func(context.Context, Job) (json.RawMessage, error) {
+	return func(_ context.Context, j Job) (json.RawMessage, error) {
 		count.Add(1)
 		return json.RawMessage(fmt.Sprintf(`{"job":%q}`, j.ID())), nil
 	}
@@ -254,7 +255,7 @@ func TestRunnerResumesHalfFinishedSweep(t *testing.T) {
 
 func TestRunnerRetriesFailedJobs(t *testing.T) {
 	var attempts atomic.Int64
-	exec := func(j Job) (json.RawMessage, error) {
+	exec := func(_ context.Context, j Job) (json.RawMessage, error) {
 		if attempts.Add(1) == 1 {
 			return nil, fmt.Errorf("transient failure")
 		}
@@ -298,7 +299,7 @@ func TestRunnerRetriesFailedJobs(t *testing.T) {
 func TestCloseAbandonsQueuedJobs(t *testing.T) {
 	started := make(chan struct{}, 3)
 	release := make(chan struct{})
-	exec := func(j Job) (json.RawMessage, error) {
+	exec := func(_ context.Context, j Job) (json.RawMessage, error) {
 		started <- struct{}{}
 		<-release
 		return json.RawMessage(`{}`), nil
@@ -346,7 +347,7 @@ func TestCloseAbandonsQueuedJobs(t *testing.T) {
 }
 
 func TestRunnerRecoversFromPanickingExecutor(t *testing.T) {
-	exec := func(j Job) (json.RawMessage, error) {
+	exec := func(_ context.Context, j Job) (json.RawMessage, error) {
 		panic("collector bug")
 	}
 	r := New(nil, 1, WithExecutor(exec))
@@ -394,7 +395,7 @@ func TestRunnerSurfacesPersistFailures(t *testing.T) {
 	}
 	store.Close() // subsequent Appends fail on the closed file
 
-	r := New(store, 1, WithExecutor(func(Job) (json.RawMessage, error) {
+	r := New(store, 1, WithExecutor(func(context.Context, Job) (json.RawMessage, error) {
 		return json.RawMessage(`{}`), nil
 	}))
 	defer r.Close()
@@ -410,7 +411,7 @@ func TestRunnerSurfacesPersistFailures(t *testing.T) {
 		t.Fatalf("computed-but-unpersisted job = %+v, want failed with append error", st)
 	}
 
-	r2 := New(store, 1, WithExecutor(func(Job) (json.RawMessage, error) {
+	r2 := New(store, 1, WithExecutor(func(context.Context, Job) (json.RawMessage, error) {
 		return nil, fmt.Errorf("job broke")
 	}))
 	defer r2.Close()
@@ -591,7 +592,7 @@ func TestSweepExpandHierAxes(t *testing.T) {
 func TestRunnerSubscribeStreamsJobEvents(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
-	exec := func(j Job) (json.RawMessage, error) {
+	exec := func(_ context.Context, j Job) (json.RawMessage, error) {
 		close(started)
 		<-release
 		j.Options.Events.Publish(obs.RoundEvent{Round: 1, Accuracy: 0.5})

@@ -26,7 +26,10 @@ type Record struct {
 	Status     Status              `json:"status"`
 	Elapsed    time.Duration       `json:"elapsed_ns,omitempty"`
 	Error      string              `json:"error,omitempty"`
-	Result     json.RawMessage     `json:"result,omitempty"`
+	// Worker names the federation worker that held (leased records) or
+	// produced (terminal records) this outcome; empty for local execution.
+	Worker string          `json:"worker,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
 }
 
 // Store is a crash-safe append-only JSONL file of Records.
